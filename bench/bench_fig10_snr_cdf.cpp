@@ -1,0 +1,36 @@
+// Fig. 10: CDF of the estimated node SNRs in the three deployments.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace tnb;
+
+int main() {
+  bench::print_header("Fig. 10: node SNR CDF per deployment", "paper Fig. 10");
+  Rng rng(10);
+  for (const sim::Deployment& dep :
+       {sim::indoor_deployment(), sim::outdoor1_deployment(),
+        sim::outdoor2_deployment()}) {
+    std::vector<double> snrs;
+    // Aggregate several draws for a smooth CDF.
+    const int draws = bench::full_mode() ? 40 : 10;
+    for (int d = 0; d < draws; ++d) {
+      for (const sim::NodeConfig& n : dep.draw_nodes(rng)) {
+        snrs.push_back(n.snr_db);
+      }
+    }
+    std::sort(snrs.begin(), snrs.end());
+    std::printf("\n%s (%zu nodes/run):\n  SNR(dB):", dep.name.c_str(),
+                dep.n_nodes);
+    for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+      const std::size_t idx = std::min(
+          snrs.size() - 1, static_cast<std::size_t>(q * (snrs.size() - 1)));
+      std::printf("  p%-3.0f=%5.1f", q * 100, snrs[idx]);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n(paper: >20 dB spread within a deployment; outdoor sites "
+              "reach lower SNRs)\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Fig. 20: decoding error probability of BEC at CR 4 with 3 error columns —
+// closed-form analysis (Lemma 4) vs Monte-Carlo simulation, across SF.
+#include <cstdio>
+#include <set>
+
+#include "bench_util.hpp"
+#include "core/bec.hpp"
+#include "core/bec_analysis.hpp"
+#include "lora/hamming.hpp"
+
+using namespace tnb;
+
+int main() {
+  bench::print_header(
+      "Fig. 20: CR4 3-error-column decoding error probability",
+      "paper Fig. 20");
+  const int trials = bench::full_mode() ? 40000 : 8000;
+  Rng rng(20);
+
+  std::printf("%-4s %-12s %-12s\n", "SF", "analysis", "simulation");
+  for (unsigned sf = 7; sf <= 12; ++sf) {
+    const double analytic = rx::bec_cr4_3col_error_probability(sf);
+
+    const rx::Bec bec(sf, 4);
+    int fails = 0;
+    for (int t = 0; t < trials; ++t) {
+      std::vector<std::uint8_t> truth(sf);
+      for (auto& r : truth) r = lora::codewords(4)[rng.uniform_index(16)];
+      std::set<unsigned> cols;
+      while (cols.size() < 3) {
+        cols.insert(static_cast<unsigned>(rng.uniform_index(8)));
+      }
+      std::vector<std::uint8_t> received = truth;
+      for (unsigned c : cols) {
+        bool any = false;
+        while (!any) {
+          for (std::size_t r = 0; r < received.size(); ++r) {
+            received[r] = static_cast<std::uint8_t>(received[r] & ~(1u << c));
+            const unsigned orig = (truth[r] >> c) & 1u;
+            const unsigned bit = rng.uniform() < 0.5 ? orig ^ 1u : orig;
+            received[r] |= static_cast<std::uint8_t>(bit << c);
+            if (bit != orig) any = true;
+          }
+        }
+      }
+      bool ok = false;
+      for (const auto& cand : bec.decode_block(received)) {
+        if (cand == truth) {
+          ok = true;
+          break;
+        }
+      }
+      if (!ok) ++fails;
+    }
+    std::printf("%-4u %-12.5f %-12.5f\n", sf, analytic,
+                static_cast<double>(fails) / trials);
+  }
+  std::printf("\n(paper: <0.04 at SF 7, decreasing with SF; analysis and "
+              "simulation reasonably close)\n");
+  return 0;
+}

@@ -1,0 +1,148 @@
+// Microbenchmarks of TnB's computational kernels (google-benchmark):
+// FFT, signal-vector computation, peak finding, BEC block decoding, and
+// Thrive's per-checking-point assignment.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "core/bec.hpp"
+#include "core/thrive.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/peak_finder.hpp"
+#include "lora/chirp.hpp"
+#include "lora/demodulator.hpp"
+#include "lora/frame.hpp"
+#include "lora/hamming.hpp"
+#include "lora/modulator.hpp"
+
+using namespace tnb;
+
+namespace {
+
+void BM_Fft(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<cfloat> buf(n);
+  for (auto& v : buf) v = rng.complex_normal();
+  const auto& plan = dsp::fft_plan(n);
+  for (auto _ : state) {
+    plan.forward(std::span<cfloat>(buf));
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Fft)->Arg(256)->Arg(1024)->Arg(2048)->Arg(8192);
+
+void BM_SignalVector(benchmark::State& state) {
+  const unsigned sf = static_cast<unsigned>(state.range(0));
+  lora::Params p{.sf = sf, .cr = 4, .bandwidth_hz = 125e3, .osf = 8};
+  const lora::Demodulator demod(p);
+  const auto sym = lora::make_upchirp(p, 42);
+  for (auto _ : state) {
+    const SignalVector sv = demod.signal_vector(sym, 1.37);
+    benchmark::DoNotOptimize(sv.data());
+  }
+}
+BENCHMARK(BM_SignalVector)->Arg(8)->Arg(10)->Arg(12);
+
+void BM_PeakFinder(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<float> sv(1024);
+  for (auto& v : sv) v = static_cast<float>(rng.uniform());
+  sv[100] = 40.0f;
+  sv[500] = 25.0f;
+  dsp::PeakFinderOptions opt;
+  opt.circular = true;
+  opt.sel = 2.0;
+  opt.max_peaks = 16;
+  for (auto _ : state) {
+    const auto peaks = dsp::find_peaks(sv, opt);
+    benchmark::DoNotOptimize(peaks.data());
+  }
+}
+BENCHMARK(BM_PeakFinder);
+
+void BM_BecDecodeBlock(benchmark::State& state) {
+  const unsigned cr = static_cast<unsigned>(state.range(0));
+  Rng rng(3);
+  const rx::Bec bec(8, cr);
+  std::vector<std::uint8_t> rows(8);
+  for (auto& r : rows) r = lora::codewords(cr)[rng.uniform_index(16)];
+  rows[2] ^= 0x11;  // corrupt two columns in one row
+  rows[5] ^= 0x03;
+  for (auto _ : state) {
+    const auto cands = bec.decode_block(rows);
+    benchmark::DoNotOptimize(cands.data());
+  }
+}
+BENCHMARK(BM_BecDecodeBlock)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_BecDecodePayload(benchmark::State& state) {
+  lora::Params p{.sf = 8, .cr = 4, .bandwidth_hz = 125e3, .osf = 8};
+  Rng rng(4);
+  std::vector<std::uint8_t> app(14, 0x5A);
+  const auto payload = lora::assemble_payload(app);
+  auto symbols = lora::encode_payload_symbols(p, payload);
+  symbols[1] ^= 0x5;
+  symbols[9] ^= 0x81;
+  for (auto _ : state) {
+    Rng r(5);
+    const auto result = rx::decode_payload_bec(p, symbols, payload.size(), r);
+    benchmark::DoNotOptimize(&result);
+  }
+}
+BENCHMARK(BM_BecDecodePayload);
+
+void BM_ThriveAssign(benchmark::State& state) {
+  // Two colliding packets, one checking point.
+  const int m = static_cast<int>(state.range(0));
+  lora::Params p{.sf = 8, .cr = 4, .bandwidth_hz = 125e3, .osf = 2};
+  Rng rng(6);
+  const lora::Modulator mod(p);
+  std::vector<std::uint8_t> app(14, 0x77);
+  const auto symbols = lora::make_packet_symbols(p, app);
+  const std::size_t pkt_len = mod.packet_samples(symbols.size());
+  IqBuffer trace(pkt_len + static_cast<std::size_t>((3 + m) * static_cast<int>(p.sps())),
+                 cfloat{0.0f, 0.0f});
+  std::vector<rx::PacketContext> ctxs;
+  for (int i = 0; i < m; ++i) {
+    lora::WaveformOptions w;
+    w.cfo_hz = -3000.0 + 1100.0 * i;
+    const IqBuffer pkt = mod.synthesize(symbols, w);
+    const double t0 = (2.0 + 0.37 * i) * static_cast<double>(p.sps());
+    for (std::size_t s = 0;
+         s < pkt.size() && static_cast<std::size_t>(t0) + s < trace.size(); ++s) {
+      trace[static_cast<std::size_t>(t0) + s] += pkt[s];
+    }
+    ctxs.emplace_back(p, rx::DetectedPacket{t0, p.cfo_hz_to_cycles(w.cfo_hz), 0, 12});
+    ctxs.back().n_data_symbols = static_cast<int>(symbols.size());
+  }
+  rx::SigCalc sig(p, {trace});
+  std::vector<rx::PeakHistory> hist(ctxs.size());
+  rx::Thrive thrive(p);
+
+  const double c = 20.0 * static_cast<double>(p.sps());
+  std::vector<rx::ActiveSymbol> act;
+  for (int i = 0; i < m; ++i) {
+    const auto d = ctxs[static_cast<std::size_t>(i)].data_symbol_at(
+        c, ctxs[static_cast<std::size_t>(i)].n_data_symbols);
+    if (d) {
+      act.push_back({i, *d, ctxs[static_cast<std::size_t>(i)].data_symbol_start(*d)});
+    }
+  }
+  std::vector<std::vector<double>> masks(act.size());
+  for (auto _ : state) {
+    rx::AssignInput in;
+    in.symbols = act;
+    in.contexts = ctxs;
+    in.masked_bins = masks;
+    in.sig = &sig;
+    in.history = hist;
+    const auto res = thrive.assign(in);
+    benchmark::DoNotOptimize(res.data());
+  }
+}
+BENCHMARK(BM_ThriveAssign)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

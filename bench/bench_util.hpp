@@ -1,0 +1,97 @@
+// Shared helpers for the figure/table reproduction benches.
+//
+// Every bench prints the same rows/series the paper reports. Defaults are
+// sized for a single-core laptop run of the whole suite; set
+// TNB_BENCH_FULL=1 for paper-scale durations and sweeps.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "baselines/factories.hpp"
+#include "common/rng.hpp"
+#include "sim/deployment.hpp"
+#include "sim/metrics.hpp"
+#include "sim/trace_builder.hpp"
+
+namespace tnb::bench {
+
+inline bool full_mode() {
+  const char* v = std::getenv("TNB_BENCH_FULL");
+  return v != nullptr && v[0] != '0';
+}
+
+/// Trace duration in seconds (paper: 30 s runs).
+inline double trace_duration() { return full_mode() ? 10.0 : 2.0; }
+
+/// Offered loads in pkt/s (paper: 5..25 step 5).
+inline std::vector<double> load_sweep() {
+  if (full_mode()) return {5.0, 10.0, 15.0, 20.0, 25.0};
+  return {5.0, 15.0, 25.0};
+}
+
+struct SchemeResult {
+  std::string name;
+  sim::EvalResult eval;
+  rx::ReceiverStats stats;
+};
+
+/// Builds a deployment trace at an offered load.
+inline sim::Trace make_deployment_trace(const lora::Params& params,
+                                        const sim::Deployment& dep,
+                                        double load_pps, std::uint64_t seed,
+                                        const chan::Channel* channel = nullptr,
+                                        unsigned n_antennas = 1) {
+  Rng rng(seed);
+  sim::TraceOptions opt;
+  opt.duration_s = trace_duration();
+  opt.load_pps = load_pps;
+  opt.nodes = dep.draw_nodes(rng);
+  opt.channel = channel;
+  opt.n_antennas = n_antennas;
+  return sim::build_trace(params, opt, rng);
+}
+
+/// Detection + fractional sync for one trace — run once and share across
+/// schemes (they all use TnB's detector, as in the paper's methodology).
+inline std::vector<rx::DetectedPacket> detect_once(const lora::Params& params,
+                                                   const sim::Trace& trace,
+                                                   bool use_all_antennas = false) {
+  rx::Receiver receiver(params);
+  return receiver.detect(use_all_antennas
+                             ? trace.antenna_spans()
+                             : std::vector<std::span<const cfloat>>{trace.iq});
+}
+
+/// Decodes one trace with one scheme and scores it. Pass `detections` to
+/// reuse a shared detection result.
+inline SchemeResult run_scheme(
+    base::Scheme scheme, const lora::Params& params, const sim::Trace& trace,
+    bool use_all_antennas = false,
+    const std::vector<rx::DetectedPacket>* detections = nullptr) {
+  rx::Receiver receiver = base::make_receiver(scheme, params);
+  Rng rng(0xBEC + static_cast<std::uint64_t>(scheme));
+  SchemeResult r;
+  r.name = base::scheme_name(scheme);
+  const std::vector<std::span<const cfloat>> spans =
+      use_all_antennas ? trace.antenna_spans()
+                       : std::vector<std::span<const cfloat>>{trace.iq};
+  const auto decoded =
+      detections != nullptr
+          ? receiver.decode_with_detections(spans, *detections, rng, &r.stats)
+          : receiver.decode_multi(spans, rng, &r.stats);
+  r.eval = sim::evaluate(trace, decoded);
+  return r;
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("(reproduces %s; TNB_BENCH_FULL=%d)\n", paper_ref,
+              full_mode() ? 1 : 0);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace tnb::bench

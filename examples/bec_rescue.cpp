@@ -1,0 +1,98 @@
+// BEC walkthrough: corrupts symbols of a code block beyond the default
+// Hamming decoder's capability and shows BEC repairing them — the worked
+// example of the paper's Figs. 2 and 7, on a random block.
+//
+//   ./examples/bec_rescue [sf] [cr]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/bec.hpp"
+#include "lora/hamming.hpp"
+
+namespace {
+
+void print_block(const char* title, std::span<const std::uint8_t> rows,
+                 unsigned cols) {
+  std::printf("%s\n", title);
+  std::printf("      ");
+  for (unsigned c = 1; c <= cols; ++c) std::printf("c%-2u", c);
+  std::printf("\n");
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    std::printf("  r%-2zu ", r + 1);
+    for (unsigned c = 0; c < cols; ++c) {
+      std::printf(" %u ", (rows[r] >> c) & 1u);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tnb;
+
+  const unsigned sf = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 8;
+  const unsigned cr = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 3;
+  const unsigned cols = 4 + cr;
+
+  Rng rng(7);
+  std::vector<std::uint8_t> truth(sf);
+  for (auto& r : truth) r = lora::codewords(cr)[rng.uniform_index(16)];
+  print_block("Transmitted block (each row a codeword):", truth, cols);
+
+  // Corrupt two columns — two garbled symbols on the air. With CR 3 this
+  // exceeds the default decoder's 1-bit-per-row guarantee whenever a row is
+  // hit twice.
+  std::vector<std::uint8_t> received = truth;
+  const unsigned victims[2] = {1, static_cast<unsigned>(cols - 1)};
+  for (unsigned c : victims) {
+    bool any = false;
+    while (!any) {
+      for (auto& row : received) {
+        if (rng.uniform() < 0.5) {
+          row ^= static_cast<std::uint8_t>(1u << c);
+          any = true;
+        }
+      }
+    }
+  }
+  std::printf("\nCorrupted symbols (columns) %u and %u.\n\n", victims[0] + 1,
+              victims[1] + 1);
+  print_block("Received block:", received, cols);
+
+  // Default decoder: per-row nearest codeword.
+  std::vector<std::uint8_t> cleaned(sf);
+  unsigned default_errors = 0;
+  for (unsigned r = 0; r < sf; ++r) {
+    cleaned[r] = lora::default_decode(received[r], cr).codeword;
+    if (cleaned[r] != truth[r]) ++default_errors;
+  }
+  std::printf("\n");
+  print_block("Default decoder's cleaned block:", cleaned, cols);
+  std::printf("\nDefault decoder got %u of %u rows wrong.\n\n", default_errors,
+              sf);
+
+  // BEC: joint block decode.
+  const rx::Bec bec(sf, cr);
+  rx::BecStats stats;
+  const auto candidates = bec.decode_block(received, &stats);
+  std::printf("BEC produced %zu candidate blocks "
+              "(%zu Delta_1, %zu Delta_2, %zu Delta_3 repairs).\n",
+              candidates.size(), stats.delta1, stats.delta2, stats.delta3);
+  bool rescued = false;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (candidates[i] == truth) {
+      std::printf("Candidate %zu matches the transmitted block exactly — "
+                  "the packet CRC would select it.\n",
+                  i);
+      rescued = true;
+    }
+  }
+  if (!rescued) {
+    std::printf("BEC did not recover this block (probability ~2^-SF for "
+                "CR 3 two-column errors).\n");
+  }
+  return rescued ? 0 : 1;
+}

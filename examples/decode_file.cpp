@@ -1,0 +1,68 @@
+// Decode a trace file in the paper artifact's format (interleaved int16 IQ
+// at OSF x BW) — the C++ counterpart of the artifact's TnBMain.m.
+//
+//   ./examples/decode_file <trace.bin> [sf] [osf]
+//
+// With no arguments, synthesizes a small collided trace, writes it to a
+// temporary file, and decodes it back — a self-contained round trip.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/rng.hpp"
+#include "core/receiver.hpp"
+#include "sim/deployment.hpp"
+#include "sim/metrics.hpp"
+#include "sim/trace_builder.hpp"
+#include "sim/trace_io.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tnb;
+
+  std::string path;
+  unsigned sf = 8, osf = 8;
+  if (argc > 1) {
+    path = argv[1];
+    if (argc > 2) sf = std::strtoul(argv[2], nullptr, 10);
+    if (argc > 3) osf = std::strtoul(argv[3], nullptr, 10);
+  } else {
+    // Self-contained demo: build, export, and re-import a trace.
+    path = "/tmp/tnb_demo_trace.bin";
+    lora::Params p{.sf = sf, .cr = 4, .bandwidth_hz = 125e3, .osf = osf};
+    Rng rng(3);
+    sim::Deployment dep = sim::indoor_deployment();
+    dep.n_nodes = 5;
+    sim::TraceOptions opt;
+    opt.duration_s = 1.5;
+    opt.load_pps = 8.0;
+    opt.nodes = dep.draw_nodes(rng);
+    const sim::Trace trace = sim::build_trace(p, opt, rng);
+    sim::write_trace_i16(path, trace.iq);
+    std::printf("No trace given; wrote a demo trace with %zu packets to %s\n",
+                trace.packets.size(), path.c_str());
+  }
+
+  lora::Params params{.sf = sf, .cr = 4, .bandwidth_hz = 125e3, .osf = osf};
+  const IqBuffer iq = sim::read_trace_i16(path);
+  std::printf("Read %zu samples (%.2f s at %.0f sps); decoding with SF %u...\n",
+              iq.size(), iq.size() / params.sample_rate_hz(),
+              params.sample_rate_hz(), sf);
+
+  rx::Receiver receiver(params);
+  Rng rng(1);
+  rx::ReceiverStats stats;
+  const auto decoded = receiver.decode(iq, rng, &stats);
+  std::printf("— TnB decoded %zu pkts —\n", decoded.size());
+  for (const auto& pkt : decoded) {
+    std::uint16_t node = 0, seq = 0;
+    if (sim::parse_app_payload(pkt.payload, node, seq)) {
+      std::printf("  node %u seq %u @ %.3f s\n", node, seq,
+                  pkt.start_sample / params.sample_rate_hz());
+    } else {
+      std::printf("  (non-simulator payload, %zu bytes) @ %.3f s\n",
+                  pkt.payload.size(),
+                  pkt.start_sample / params.sample_rate_hz());
+    }
+  }
+  return 0;
+}

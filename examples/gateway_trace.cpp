@@ -1,0 +1,77 @@
+// Gateway-scale demo: synthesize a full deployment trace (one of the
+// paper's three testbeds), decode it with TnB, and print the per-node
+// report the paper's artifact produces — sequence numbers, estimated SNR,
+// packet start time, and CFO.
+//
+//   ./examples/gateway_trace [indoor|outdoor1|outdoor2] [sf] [load_pps]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+
+#include "common/rng.hpp"
+#include "core/receiver.hpp"
+#include "sim/deployment.hpp"
+#include "sim/metrics.hpp"
+#include "sim/trace_builder.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tnb;
+
+  sim::Deployment dep = sim::indoor_deployment();
+  if (argc > 1 && std::strcmp(argv[1], "outdoor1") == 0) {
+    dep = sim::outdoor1_deployment();
+  } else if (argc > 1 && std::strcmp(argv[1], "outdoor2") == 0) {
+    dep = sim::outdoor2_deployment();
+  }
+  const unsigned sf = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 8;
+  const double load = argc > 3 ? std::atof(argv[3]) : 10.0;
+
+  lora::Params params{.sf = sf, .cr = 4, .bandwidth_hz = 125e3, .osf = 8};
+  Rng rng(99);
+  sim::TraceOptions opt;
+  opt.duration_s = 2.0;
+  opt.load_pps = load;
+  opt.nodes = dep.draw_nodes(rng);
+  const sim::Trace trace = sim::build_trace(params, opt, rng);
+  std::printf("Deployment %s: %zu nodes, SF%u, %.0f pkt/s offered, %.1f s.\n",
+              dep.name.c_str(), dep.n_nodes, sf, load, opt.duration_s);
+
+  rx::Receiver receiver(params);
+  Rng rx_rng(1);
+  const auto decoded = receiver.decode(trace.iq, rx_rng);
+
+  std::printf("— TnB decoded %zu pkts —\n\n", decoded.size());
+
+  // Per-node report, artifact style.
+  std::map<std::uint16_t, double> node_snr;
+  for (const auto& rec : trace.packets) node_snr[rec.node_id] = rec.snr_db;
+  std::map<std::uint16_t, std::vector<const sim::DecodedPacket*>> by_node;
+  for (const auto& pkt : decoded) {
+    std::uint16_t node = 0, seq = 0;
+    if (sim::parse_app_payload(pkt.payload, node, seq)) {
+      by_node[node].push_back(&pkt);
+    }
+  }
+  const auto prr = sim::per_node_prr(trace, decoded);
+  for (const auto& [node, pkts] : by_node) {
+    double est_snr = 0.0;
+    for (const auto* pkt : pkts) est_snr += pkt->snr_db;
+    est_snr /= static_cast<double>(pkts.size());
+    std::printf("node %2u (SNR true %5.1f / est %5.1f dB, CFO est %6.0f Hz, "
+                "PRR %.2f):",
+                node, node_snr[node], est_snr, pkts[0]->cfo_hz, prr.at(node));
+    for (const auto* pkt : pkts) {
+      std::uint16_t n = 0, seq = 0;
+      sim::parse_app_payload(pkt->payload, n, seq);
+      std::printf(" seq %u @ %.2fs", seq,
+                  pkt->start_sample / params.sample_rate_hz());
+    }
+    std::printf("\n");
+  }
+
+  const auto result = sim::evaluate(trace, decoded);
+  std::printf("\ntotal: %zu/%zu decoded (PRR %.2f)\n", result.decoded_unique,
+              result.transmitted, result.prr);
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Quickstart: modulate one LoRa packet, push it through an AWGN channel,
+// and decode it with the TnB receiver.
+//
+//   ./examples/quickstart [snr_db]
+//
+// Demonstrates the minimal TnB API surface: lora::Params, the simulator's
+// trace builder, and rx::Receiver.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/rng.hpp"
+#include "core/receiver.hpp"
+#include "sim/metrics.hpp"
+#include "sim/trace_builder.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tnb;
+
+  const double snr_db = argc > 1 ? std::atof(argv[1]) : 10.0;
+
+  // SF8 / CR4 / 125 kHz, 8x oversampled: the paper's experimental setup.
+  lora::Params params{.sf = 8, .cr = 4, .bandwidth_hz = 125e3, .osf = 8};
+
+  // One node sending a handful of packets at random times.
+  Rng rng(42);
+  sim::TraceOptions opt;
+  opt.duration_s = 2.0;
+  opt.load_pps = 3.0;
+  opt.nodes = {{.id = 1, .snr_db = snr_db, .cfo_hz = 1700.0}};
+  const sim::Trace trace = sim::build_trace(params, opt, rng);
+  std::printf("Synthesized %.1f s of IQ (%zu samples) with %zu packets at "
+              "SNR %.1f dB.\n",
+              opt.duration_s, trace.iq.size(), trace.packets.size(), snr_db);
+
+  // Decode with the full TnB receiver (Thrive + BEC, two passes).
+  rx::Receiver receiver(params);
+  Rng rx_rng(7);
+  rx::ReceiverStats stats;
+  const auto decoded = receiver.decode(trace.iq, rx_rng, &stats);
+
+  std::printf("Detected %zu preambles, decoded %zu packets "
+              "(%zu on the second pass).\n",
+              stats.detected, decoded.size(), stats.decoded_second_pass);
+  for (const auto& pkt : decoded) {
+    std::uint16_t node = 0, seq = 0;
+    sim::parse_app_payload(pkt.payload, node, seq);
+    std::string hex;
+    for (std::uint8_t b : pkt.payload) {
+      char buf[4];
+      std::snprintf(buf, sizeof buf, "%02x", b);
+      hex += buf;
+    }
+    std::printf("  node %u seq %u @ sample %.0f payload %s\n", node, seq,
+                pkt.start_sample, hex.c_str());
+  }
+
+  const auto result = sim::evaluate(trace, decoded);
+  std::printf("PRR: %zu/%zu = %.2f\n", result.decoded_unique,
+              result.transmitted, result.prr);
+  return result.decoded_unique == result.transmitted ? 0 : 1;
+}

@@ -1,0 +1,75 @@
+#include "baselines/aligntrack.hpp"
+
+#include <cmath>
+
+#include "common/math_util.hpp"
+#include "core/sibling.hpp"
+
+namespace tnb::base {
+
+AlignTrackStar::AlignTrackStar(lora::Params p) : p_(p) { p_.validate(); }
+
+std::vector<rx::Assignment> AlignTrackStar::assign(const rx::AssignInput& in) {
+  const std::size_t n = p_.n_bins();
+  const double nd = static_cast<double>(n);
+  constexpr double kTol = 1.5;
+
+  std::vector<rx::Assignment> out(in.symbols.size());
+  for (std::size_t i = 0; i < in.symbols.size(); ++i) {
+    const rx::ActiveSymbol& sym = in.symbols[i];
+    const rx::PacketContext& ctx =
+        in.contexts[static_cast<std::size_t>(sym.packet)];
+    const rx::SymbolView& view =
+        in.sig->data_symbol(sym.packet, ctx, sym.data_idx);
+    const double alpha_i = ctx.alpha_at(sym.window_start);
+
+    out[i].packet = sym.packet;
+    out[i].data_idx = sym.data_idx;
+
+    const auto& masks = in.masked_bins[i];
+    const dsp::Peak* fallback = nullptr;   // tallest unmasked peak
+    const dsp::Peak* chosen = nullptr;     // first aligned peak (peaks are
+                                           // height-sorted, so "first" =
+                                           // tallest aligned)
+    for (const dsp::Peak& pk : view.peaks) {
+      bool masked = false;
+      for (double mb : masks) {
+        if (std::abs(wrap_half(pk.frac_index - mb, nd)) <= kTol) {
+          masked = true;
+          break;
+        }
+      }
+      if (masked) continue;
+      if (fallback == nullptr) fallback = &pk;
+
+      bool aligned = true;
+      for (const rx::SiblingWindow& w : rx::sibling_windows(in, i)) {
+        const rx::PacketContext& wctx =
+            in.contexts[static_cast<std::size_t>(w.packet)];
+        const double expected = rx::map_bin(
+            pk.frac_index, alpha_i, wctx.alpha_at(w.window_start), n);
+        if (rx::sibling_height(in, w, expected, kTol) >=
+            static_cast<double>(pk.value)) {
+          aligned = false;
+          break;
+        }
+      }
+      if (aligned) {
+        chosen = &pk;
+        break;
+      }
+    }
+    const dsp::Peak* pick = chosen != nullptr ? chosen : fallback;
+    if (pick != nullptr) {
+      out[i].bin = static_cast<int>(pick->index);
+      out[i].height = pick->value;
+    } else {
+      const std::size_t bin = lora::Demodulator::argmax(view.sv);
+      out[i].bin = static_cast<int>(bin);
+      out[i].height = view.sv[bin];
+    }
+  }
+  return out;
+}
+
+}  // namespace tnb::base

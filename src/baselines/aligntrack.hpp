@@ -1,0 +1,27 @@
+// AlignTrack* — the peak-assignment core of AlignTrack (Chen & Wang, ICNP
+// 2021), reimplemented as in the paper's Section 8.2.
+//
+// A peak is considered aligned to a symbol if it is higher in that symbol's
+// signal vector than at the corresponding (alpha-mapped) locations in every
+// other packet's signal vectors. When several peaks of one symbol qualify —
+// which happens whenever an accidental (noise/interference) peak shows up
+// in one vector only — an arbitrary choice has to be made; this is the
+// weakness the paper observes at SF 10 (Section 8.4).
+#pragma once
+
+#include "core/assign.hpp"
+#include "lora/params.hpp"
+
+namespace tnb::base {
+
+class AlignTrackStar final : public rx::PeakAssigner {
+ public:
+  explicit AlignTrackStar(lora::Params p);
+
+  std::vector<rx::Assignment> assign(const rx::AssignInput& in) override;
+
+ private:
+  lora::Params p_;
+};
+
+}  // namespace tnb::base

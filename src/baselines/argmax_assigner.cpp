@@ -1,0 +1,24 @@
+#include "baselines/argmax_assigner.hpp"
+
+#include "lora/demodulator.hpp"
+
+namespace tnb::base {
+
+ArgmaxAssigner::ArgmaxAssigner(lora::Params p) : p_(p) { p_.validate(); }
+
+std::vector<rx::Assignment> ArgmaxAssigner::assign(const rx::AssignInput& in) {
+  std::vector<rx::Assignment> out(in.symbols.size());
+  for (std::size_t i = 0; i < in.symbols.size(); ++i) {
+    const rx::ActiveSymbol& sym = in.symbols[i];
+    const rx::PacketContext& ctx =
+        in.contexts[static_cast<std::size_t>(sym.packet)];
+    const rx::SymbolView& view =
+        in.sig->data_symbol(sym.packet, ctx, sym.data_idx);
+    const std::size_t bin = lora::Demodulator::argmax(view.sv);
+    out[i] = {sym.packet, sym.data_idx, static_cast<int>(bin),
+              static_cast<double>(view.sv[bin])};
+  }
+  return out;
+}
+
+}  // namespace tnb::base

@@ -1,0 +1,21 @@
+// The original LoRa demodulator as a peak assigner: every symbol takes the
+// tallest bin of its own aligned signal vector, ignoring collisions. This is
+// the "LoRaPHY" baseline of the paper's evaluation.
+#pragma once
+
+#include "core/assign.hpp"
+#include "lora/params.hpp"
+
+namespace tnb::base {
+
+class ArgmaxAssigner final : public rx::PeakAssigner {
+ public:
+  explicit ArgmaxAssigner(lora::Params p);
+
+  std::vector<rx::Assignment> assign(const rx::AssignInput& in) override;
+
+ private:
+  lora::Params p_;
+};
+
+}  // namespace tnb::base

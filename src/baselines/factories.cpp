@@ -1,0 +1,82 @@
+#include "baselines/factories.hpp"
+
+#include <stdexcept>
+
+#include "baselines/aligntrack.hpp"
+#include "baselines/argmax_assigner.hpp"
+#include "baselines/cic.hpp"
+
+namespace tnb::base {
+
+std::string scheme_name(Scheme s) {
+  switch (s) {
+    case Scheme::kTnB: return "TnB";
+    case Scheme::kThrive: return "Thrive";
+    case Scheme::kSibling: return "Sibling";
+    case Scheme::kLoRaPhy: return "LoRaPHY";
+    case Scheme::kCic: return "CIC";
+    case Scheme::kCicBec: return "CIC+";
+    case Scheme::kAlignTrack: return "AlignTrack*";
+    case Scheme::kAlignTrackBec: return "AlignTrack*+";
+  }
+  throw std::invalid_argument("scheme_name: unknown scheme");
+}
+
+std::vector<Scheme> all_schemes() {
+  return {Scheme::kTnB,     Scheme::kThrive,     Scheme::kSibling,
+          Scheme::kLoRaPhy, Scheme::kCic,        Scheme::kCicBec,
+          Scheme::kAlignTrack, Scheme::kAlignTrackBec};
+}
+
+rx::Receiver make_receiver(Scheme s, const lora::Params& p,
+                           std::optional<rx::ImplicitHeader> implicit) {
+  rx::ReceiverOptions opt;
+  opt.implicit_header = implicit;
+  switch (s) {
+    case Scheme::kTnB:
+      break;  // defaults: Thrive + history + BEC + two passes
+    case Scheme::kThrive:
+      opt.use_bec = false;
+      break;
+    case Scheme::kSibling:
+      opt.use_bec = false;
+      opt.use_history = false;
+      break;
+    case Scheme::kLoRaPhy:
+      opt.use_bec = false;
+      opt.two_pass = false;
+      break;
+    case Scheme::kCic:
+      opt.use_bec = false;
+      break;
+    case Scheme::kCicBec:
+      break;
+    case Scheme::kAlignTrack:
+      opt.use_bec = false;
+      break;
+    case Scheme::kAlignTrackBec:
+      break;
+  }
+  rx::Receiver receiver(p, opt);
+  switch (s) {
+    case Scheme::kLoRaPhy:
+      receiver.set_assigner_factory(
+          [p]() { return std::make_unique<ArgmaxAssigner>(p); });
+      break;
+    case Scheme::kCic:
+    case Scheme::kCicBec:
+      receiver.set_assigner_factory(
+          [p]() { return std::make_unique<CicAssigner>(p); });
+      break;
+    case Scheme::kAlignTrack:
+    case Scheme::kAlignTrackBec:
+      receiver.set_assigner_factory(
+          [p]() { return std::make_unique<AlignTrackStar>(p); });
+      break;
+    default:
+      break;  // Thrive family uses the receiver's default factory
+  }
+  return receiver;
+}
+
+}  // namespace tnb::base

@@ -1,0 +1,40 @@
+// Preconfigured receivers for every scheme in the paper's evaluation
+// (Section 8.2 and 8.5): TnB, Thrive (TnB without BEC), Sibling (Thrive
+// without the history cost), LoRaPHY, CIC, CIC+BEC, AlignTrack*, and
+// AlignTrack*+BEC. All share the same detection / synchronization /
+// checking-point machinery, differing only in the peak assigner and the
+// error-correction decoder — mirroring how the paper lends its packet
+// detection to the compared schemes so the comparison isolates the
+// assignment and decoding algorithms.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/receiver.hpp"
+
+namespace tnb::base {
+
+enum class Scheme {
+  kTnB,            ///< Thrive + BEC, two passes
+  kThrive,         ///< Thrive + default decoder
+  kSibling,        ///< sibling cost only + default decoder
+  kLoRaPhy,        ///< per-symbol argmax + default decoder, single pass
+  kCic,            ///< CIC assignment + default decoder
+  kCicBec,         ///< CIC assignment + BEC ("CIC+")
+  kAlignTrack,     ///< AlignTrack* assignment + default decoder
+  kAlignTrackBec,  ///< AlignTrack* assignment + BEC ("AlignTrack*+")
+};
+
+/// Human-readable scheme name as used in the paper's figures.
+std::string scheme_name(Scheme s);
+
+/// All schemes, in the order the paper lists them.
+std::vector<Scheme> all_schemes();
+
+/// Builds a fully configured receiver for the scheme. `implicit` switches
+/// every scheme to LoRa implicit-header operation.
+rx::Receiver make_receiver(Scheme s, const lora::Params& p,
+                           std::optional<rx::ImplicitHeader> implicit = {});
+
+}  // namespace tnb::base

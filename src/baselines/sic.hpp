@@ -1,0 +1,52 @@
+// Successive interference cancellation, in the style of mLoRa (Wang et
+// al., ICNP 2019) — an extension baseline beyond the paper's evaluation
+// set (its related work, Section 2).
+//
+// Rounds: detect packets, decode the strongest one the vanilla way
+// (per-symbol argmax + default Hamming decoding), re-synthesize its
+// waveform from the decoded bits, estimate a per-symbol complex gain by
+// correlation, subtract, and repeat on the residual. Works when packets
+// are separable by power ordering; degrades when powers are comparable —
+// the weakness that motivates joint approaches like TnB.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/receiver.hpp"
+
+namespace tnb::base {
+
+struct SicOptions {
+  int max_rounds = 6;      ///< cancellation rounds (packets decoded)
+  rx::ReceiverOptions vanilla;  ///< per-round decoder configuration
+
+  SicOptions() {
+    vanilla.use_bec = false;
+    vanilla.two_pass = false;
+  }
+};
+
+class SicDecoder {
+ public:
+  explicit SicDecoder(lora::Params p, SicOptions opt = {});
+
+  /// Decodes by successive cancellation. Each round removes every packet
+  /// decoded so far from the residual before re-detecting.
+  std::vector<sim::DecodedPacket> decode(std::span<const cfloat> trace,
+                                         Rng& rng) const;
+
+ private:
+  /// Subtracts the reconstructed waveform of a decoded packet from `work`.
+  /// The packet's symbols are re-encoded from `app_payload`; the complex
+  /// gain is estimated per symbol by correlating `work` against the
+  /// unit-amplitude reference.
+  void cancel(IqBuffer& work, const sim::DecodedPacket& pkt,
+              double cfo_hz) const;
+
+  lora::Params p_;
+  SicOptions opt_;
+};
+
+}  // namespace tnb::base

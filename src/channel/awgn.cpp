@@ -1,0 +1,16 @@
+#include "channel/awgn.hpp"
+
+#include "common/math_util.hpp"
+
+namespace tnb::chan {
+
+void add_awgn(std::span<cfloat> buf, double noise_power, Rng& rng) {
+  if (noise_power <= 0.0) return;
+  for (cfloat& v : buf) v += rng.complex_normal(noise_power);
+}
+
+double fullband_noise_power(unsigned osf) { return static_cast<double>(osf); }
+
+double amplitude_for_snr_db(double snr_db) { return db_to_amplitude(snr_db); }
+
+}  // namespace tnb::chan

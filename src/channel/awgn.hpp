@@ -1,0 +1,28 @@
+// Additive white Gaussian noise.
+//
+// Convention used across the simulator: the *in-band* noise power (within
+// the LoRa signal bandwidth BW) is 1.0, so a packet at SNR gamma is
+// transmitted with amplitude sqrt(gamma). Because the receiver samples at
+// OSF x BW, white noise of per-sample variance OSF carries unit power per
+// BW of bandwidth.
+#pragma once
+
+#include <span>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace tnb::chan {
+
+/// Adds complex Gaussian noise of per-sample variance `noise_power`.
+void add_awgn(std::span<cfloat> buf, double noise_power, Rng& rng);
+
+/// Per-sample noise variance that realizes unit in-band noise power at
+/// oversampling factor `osf`.
+double fullband_noise_power(unsigned osf);
+
+/// Transmit amplitude for a target SNR (dB) under the unit in-band noise
+/// convention.
+double amplitude_for_snr_db(double snr_db);
+
+}  // namespace tnb::chan

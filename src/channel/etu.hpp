@@ -1,0 +1,27 @@
+// LTE Extended Typical Urban (ETU) multipath channel.
+//
+// Tapped-delay-line model from 3GPP TS 36.101 Annex B.2: nine Rayleigh taps
+// with excess delays up to 5 us, each fading independently with a Jakes
+// Doppler spectrum. The paper uses ETU with a 5 Hz Doppler to stress TnB
+// with strong multipath and fluctuation (Section 8.5). EPA/EVA siblings
+// and the generic tapped-delay-line live in tdl.hpp.
+#pragma once
+
+#include "channel/tdl.hpp"
+
+namespace tnb::chan {
+
+class EtuChannel final : public Channel {
+ public:
+  explicit EtuChannel(double doppler_hz = 5.0, unsigned n_oscillators = 16)
+      : tdl_(etu_profile(), doppler_hz, n_oscillators) {}
+
+  void apply(IqBuffer& iq, double sample_rate_hz, Rng& rng) const override {
+    tdl_.apply(iq, sample_rate_hz, rng);
+  }
+
+ private:
+  TdlChannel tdl_;
+};
+
+}  // namespace tnb::chan

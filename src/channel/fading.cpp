@@ -1,0 +1,57 @@
+#include "channel/fading.hpp"
+
+#include <cmath>
+
+#include "common/math_util.hpp"
+
+namespace tnb::chan {
+
+SlowFlatFadingChannel::SlowFlatFadingChannel(double sigma_db,
+                                             double coherence_time_s)
+    : sigma_db_(sigma_db), coherence_time_s_(coherence_time_s) {}
+
+void SlowFlatFadingChannel::apply(IqBuffer& iq, double sample_rate_hz,
+                                  Rng& rng) const {
+  if (iq.empty()) return;
+  const std::size_t step =
+      std::max<std::size_t>(1, static_cast<std::size_t>(coherence_time_s_ *
+                                                        sample_rate_hz));
+  const std::size_t n_steps = iq.size() / step + 2;
+
+  // Gain (dB) random walk, linearly interpolated between step boundaries.
+  std::vector<double> gain_db(n_steps);
+  gain_db[0] = rng.normal(0.0, sigma_db_);
+  for (std::size_t k = 1; k < n_steps; ++k) {
+    gain_db[k] = gain_db[k - 1] + rng.normal(0.0, sigma_db_);
+  }
+  for (std::size_t i = 0; i < iq.size(); ++i) {
+    const std::size_t k = i / step;
+    const double frac = static_cast<double>(i % step) / static_cast<double>(step);
+    const double db = gain_db[k] * (1.0 - frac) + gain_db[k + 1] * frac;
+    iq[i] *= static_cast<float>(db_to_amplitude(db));
+  }
+}
+
+JakesProcess::JakesProcess(double doppler_hz, Rng& rng, unsigned n_oscillators) {
+  osc_.resize(n_oscillators);
+  for (unsigned m = 0; m < n_oscillators; ++m) {
+    // Random arrival angles give a stationary approximation of the Jakes
+    // spectrum (Monte-Carlo sum-of-sinusoids).
+    const double alpha = rng.uniform(0.0, kTwoPi);
+    osc_[m].freq_hz = doppler_hz * std::cos(alpha);
+    osc_[m].phase = rng.uniform(0.0, kTwoPi);
+  }
+  norm_ = 1.0 / std::sqrt(static_cast<double>(n_oscillators));
+}
+
+cfloat JakesProcess::at(double t_s) const {
+  double re = 0.0, im = 0.0;
+  for (const Osc& o : osc_) {
+    const double ph = kTwoPi * o.freq_hz * t_s + o.phase;
+    re += std::cos(ph);
+    im += std::sin(ph);
+  }
+  return {static_cast<float>(re * norm_), static_cast<float>(im * norm_)};
+}
+
+}  // namespace tnb::chan

@@ -1,0 +1,69 @@
+// Fading processes: per-packet channels applied to a clean packet waveform.
+//
+// Two models are used in the evaluation:
+//  * SlowFlatFadingChannel — a slowly drifting log-amplitude (AR(1) at
+//    symbol granularity), reproducing the gentle per-packet peak-height
+//    fluctuation visible in the paper's experimental traces (Fig. 6).
+//  * JakesProcess — a classical sum-of-sinusoids Rayleigh fader with the
+//    Jakes Doppler spectrum; the building block of the ETU channel.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace tnb::chan {
+
+/// Abstract per-packet channel. Implementations transform the packet IQ in
+/// place; time 0 is the first sample of the buffer.
+class Channel {
+ public:
+  virtual ~Channel() = default;
+
+  /// Applies the channel. `sample_rate_hz` is the receiver rate; `rng`
+  /// provides the realization (each call draws an independent one).
+  virtual void apply(IqBuffer& iq, double sample_rate_hz, Rng& rng) const = 0;
+};
+
+/// No-op channel (AWGN-only operation).
+class IdentityChannel final : public Channel {
+ public:
+  void apply(IqBuffer&, double, Rng&) const override {}
+};
+
+/// Random-walk log-amplitude fluctuation, constant phase.
+class SlowFlatFadingChannel final : public Channel {
+ public:
+  /// `sigma_db` — standard deviation of the per-coherence-step amplitude
+  /// increment; `coherence_time_s` — duration of one step.
+  SlowFlatFadingChannel(double sigma_db, double coherence_time_s);
+
+  void apply(IqBuffer& iq, double sample_rate_hz, Rng& rng) const override;
+
+ private:
+  double sigma_db_;
+  double coherence_time_s_;
+};
+
+/// Sum-of-sinusoids Rayleigh fading process with Jakes Doppler spectrum.
+/// One instance describes one realization of one tap; E[|g|^2] = 1.
+class JakesProcess {
+ public:
+  /// `n_oscillators` trades fidelity of the Doppler spectrum for speed.
+  JakesProcess(double doppler_hz, Rng& rng, unsigned n_oscillators = 16);
+
+  /// Complex gain at time t (seconds).
+  cfloat at(double t_s) const;
+
+ private:
+  struct Osc {
+    double freq_hz;   // Doppler shift of this path
+    double phase;     // random initial phase
+  };
+  std::vector<Osc> osc_;
+  double norm_;
+};
+
+}  // namespace tnb::chan

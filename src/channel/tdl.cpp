@@ -1,0 +1,92 @@
+#include "channel/tdl.hpp"
+
+#include <cmath>
+#include <cstddef>
+
+#include "common/math_util.hpp"
+
+namespace tnb::chan {
+
+TdlProfile epa_profile() {
+  return {"EPA",
+          {0e-9, 30e-9, 70e-9, 90e-9, 110e-9, 190e-9, 410e-9},
+          {0.0, -1.0, -2.0, -3.0, -8.0, -17.2, -20.8}};
+}
+
+TdlProfile eva_profile() {
+  return {"EVA",
+          {0e-9, 30e-9, 150e-9, 310e-9, 370e-9, 710e-9, 1090e-9, 1730e-9,
+           2510e-9},
+          {0.0, -1.5, -1.4, -3.6, -0.6, -9.1, -7.0, -12.0, -16.9}};
+}
+
+TdlProfile etu_profile() {
+  return {"ETU",
+          {0e-9, 50e-9, 120e-9, 200e-9, 230e-9, 500e-9, 1600e-9, 2300e-9,
+           5000e-9},
+          {-1.0, -1.0, -1.0, 0.0, 0.0, 0.0, -3.0, -5.0, -7.0}};
+}
+
+TdlChannel::TdlChannel(TdlProfile profile, double doppler_hz,
+                       unsigned n_oscillators)
+    : profile_(std::move(profile)),
+      doppler_hz_(doppler_hz),
+      n_oscillators_(n_oscillators) {}
+
+void TdlChannel::apply(IqBuffer& iq, double sample_rate_hz, Rng& rng) const {
+  if (iq.empty()) return;
+
+  // Discrete tap set: each physical tap lands at a fractional sample delay
+  // and is split across the two neighbouring integer delays.
+  struct DiscreteTap {
+    std::size_t delay;
+    double amplitude;
+    JakesProcess fader;
+  };
+  std::vector<DiscreteTap> taps;
+  for (std::size_t t = 0; t < profile_.delays_s.size(); ++t) {
+    const double power = db_to_linear(profile_.powers_db[t]);
+    const double d = profile_.delays_s[t] * sample_rate_hz;
+    const std::size_t d0 = static_cast<std::size_t>(d);
+    const double frac = d - static_cast<double>(d0);
+    const double amp = std::sqrt(power);
+    if (frac < 1e-9) {
+      taps.push_back({d0, amp, JakesProcess(doppler_hz_, rng, n_oscillators_)});
+    } else {
+      taps.push_back(
+          {d0, amp * (1.0 - frac), JakesProcess(doppler_hz_, rng, n_oscillators_)});
+      taps.push_back(
+          {d0 + 1, amp * frac, JakesProcess(doppler_hz_, rng, n_oscillators_)});
+    }
+  }
+  // Normalize by the realized discrete-tap power.
+  double total_power = 0.0;
+  for (const DiscreteTap& tap : taps) total_power += tap.amplitude * tap.amplitude;
+  const double norm = 1.0 / std::sqrt(total_power);
+
+  // Fader gains sampled at coherence-block boundaries, linearly
+  // interpolated in between (stepping the phase mid-symbol would splatter
+  // the dechirped tone).
+  const std::size_t block =
+      std::max<std::size_t>(1, static_cast<std::size_t>(sample_rate_hz /
+                                                        (doppler_hz_ * 256.0 + 1.0)));
+  const IqBuffer in = iq;
+  std::fill(iq.begin(), iq.end(), cfloat{0.0f, 0.0f});
+  const std::size_t n_blocks = in.size() / block + 2;
+  std::vector<cfloat> gains(n_blocks);
+  for (const DiscreteTap& tap : taps) {
+    const float a = static_cast<float>(tap.amplitude * norm);
+    for (std::size_t b = 0; b < n_blocks; ++b) {
+      gains[b] = tap.fader.at(static_cast<double>(b * block) / sample_rate_hz);
+    }
+    for (std::size_t i = 0; i + tap.delay < in.size(); ++i) {
+      const std::size_t b = i / block;
+      const float frac =
+          static_cast<float>(i % block) / static_cast<float>(block);
+      const cfloat gain = (1.0f - frac) * gains[b] + frac * gains[b + 1];
+      iq[i + tap.delay] += a * gain * in[i];
+    }
+  }
+}
+
+}  // namespace tnb::chan

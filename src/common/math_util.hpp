@@ -1,0 +1,49 @@
+// Small numeric helpers used throughout TnB.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+namespace tnb {
+
+inline constexpr double kPi = std::numbers::pi;
+inline constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+/// Euclidean (always non-negative) modulo for signed integers.
+constexpr std::int64_t floor_mod(std::int64_t a, std::int64_t m) {
+  std::int64_t r = a % m;
+  return r < 0 ? r + m : r;
+}
+
+/// Euclidean modulo for doubles; result in [0, m).
+inline double floor_mod(double a, double m) {
+  double r = std::fmod(a, m);
+  return r < 0 ? r + m : r;
+}
+
+/// Wrap a value into the symmetric interval [-m/2, m/2).
+inline double wrap_half(double a, double m) {
+  return floor_mod(a + m / 2.0, m) - m / 2.0;
+}
+
+inline double db_to_linear(double db) { return std::pow(10.0, db / 10.0); }
+inline double linear_to_db(double lin) { return 10.0 * std::log10(lin); }
+
+/// Amplitude scale factor corresponding to a power ratio in dB.
+inline double db_to_amplitude(double db) { return std::pow(10.0, db / 20.0); }
+
+/// True if x is a power of two (and nonzero).
+constexpr bool is_pow2(std::size_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// log2 of a power of two.
+constexpr unsigned log2_pow2(std::size_t x) {
+  unsigned l = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++l;
+  }
+  return l;
+}
+
+}  // namespace tnb

@@ -1,0 +1,86 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/math_util.hpp"
+
+namespace tnb {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  // splitmix64 expansion guarantees a non-zero state for any seed.
+  for (auto& s : s_) s = splitmix64(seed);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  // Lemire-style rejection-free for our purposes: bias is negligible for
+  // n << 2^64, but use rejection to keep exactness.
+  std::uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    std::uint64_t r = next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  cached_normal_ = r * std::sin(kTwoPi * u2);
+  has_cached_normal_ = true;
+  return r * std::cos(kTwoPi * u2);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+cfloat Rng::complex_normal(double variance) {
+  const double sigma = std::sqrt(variance / 2.0);
+  return {static_cast<float>(normal() * sigma),
+          static_cast<float>(normal() * sigma)};
+}
+
+Rng Rng::fork() { return Rng(next()); }
+
+}  // namespace tnb

@@ -1,0 +1,58 @@
+// Deterministic, fast random number generation.
+//
+// TnB's simulator and the Monte-Carlo analyses need reproducible streams that
+// are cheap to fork (one independent stream per node / per channel tap).
+// xoshiro256++ is used as the core generator; splitmix64 seeds it.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace tnb {
+
+/// xoshiro256++ PRNG with Gaussian / uniform helpers.
+///
+/// Satisfies UniformRandomBitGenerator so it can also drive <random>
+/// distributions, but the members below avoid libstdc++'s unspecified
+/// distribution algorithms so results are stable across toolchains.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Standard normal via Box-Muller (cached second deviate).
+  double normal();
+
+  /// Normal with given mean / standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Circularly-symmetric complex Gaussian with E[|z|^2] = variance.
+  cfloat complex_normal(double variance = 1.0);
+
+  /// Fork an independent generator (jump via reseeding from this stream).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace tnb

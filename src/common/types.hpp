@@ -1,0 +1,20 @@
+// Fundamental value types shared across the TnB libraries.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace tnb {
+
+/// Baseband IQ sample. Single precision keeps 30 s traces (~30 M samples at
+/// 1 Msps) within a few hundred MB and matches the 16-bit USRP source data.
+using cfloat = std::complex<float>;
+
+/// A contiguous run of IQ samples (one trace, one packet, one symbol...).
+using IqBuffer = std::vector<cfloat>;
+
+/// Power spectrum of one dechirped symbol, length 2^SF ("signal vector").
+using SignalVector = std::vector<float>;
+
+}  // namespace tnb

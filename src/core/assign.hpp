@@ -1,0 +1,55 @@
+// Peak-assignment strategy interface.
+//
+// At every checking point the receiver hands the intersecting data symbols
+// to a PeakAssigner, which decides which FFT peak belongs to which packet.
+// Thrive (the paper's algorithm), AlignTrack* and the argmax baseline all
+// implement this interface, so they can be swapped inside the same receiver
+// — exactly how the paper evaluates them (Section 8.2).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/history.hpp"
+#include "core/packet_context.hpp"
+
+namespace tnb::rx {
+
+/// One data symbol intersecting the current checking point.
+struct ActiveSymbol {
+  int packet = 0;             ///< index into the receiver's context array
+  int data_idx = 0;           ///< data symbol index within that packet
+  double window_start = 0.0;  ///< receiver-sample start of the symbol window
+};
+
+/// The decision for one symbol.
+struct Assignment {
+  int packet = 0;
+  int data_idx = 0;
+  int bin = -1;        ///< assigned peak bin; -1 if nothing assignable
+  double height = 0.0; ///< height of the assigned peak (history update)
+};
+
+/// Everything a strategy may consult. Spans index by the same packet ids as
+/// ActiveSymbol::packet.
+struct AssignInput {
+  std::span<const ActiveSymbol> symbols;            ///< sorted by window_start
+  std::span<const PacketContext> contexts;
+  /// Per active symbol: bins of known peaks (preamble overlaps, packets
+  /// already decoded) that must not be assigned.
+  std::span<const std::vector<double>> masked_bins;
+  SigCalc* sig = nullptr;
+  /// Peak-height history per packet (may be empty when histories are off).
+  std::span<PeakHistory> history;
+  bool second_pass = false;
+};
+
+class PeakAssigner {
+ public:
+  virtual ~PeakAssigner() = default;
+
+  /// Returns one Assignment per entry of `in.symbols`, in the same order.
+  virtual std::vector<Assignment> assign(const AssignInput& in) = 0;
+};
+
+}  // namespace tnb::rx

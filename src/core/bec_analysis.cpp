@@ -1,0 +1,40 @@
+#include "core/bec_analysis.hpp"
+
+#include <cmath>
+
+namespace tnb::rx {
+namespace {
+
+double binom(unsigned n, unsigned k) {
+  double r = 1.0;
+  for (unsigned i = 1; i <= k; ++i) {
+    r *= static_cast<double>(n - k + i) / static_cast<double>(i);
+  }
+  return r;
+}
+
+}  // namespace
+
+std::vector<double> bec_psi(unsigned sf, unsigned max_x) {
+  std::vector<double> psi(max_x + 1, 0.0);
+  for (unsigned x = 1; x <= max_x; ++x) {
+    double v = std::pow(static_cast<double>(x) / 8.0, static_cast<double>(sf));
+    for (unsigned y = 1; y < x; ++y) {
+      v -= binom(x, y) * psi[y];
+    }
+    psi[x] = v;
+  }
+  return psi;
+}
+
+double bec_cr4_3col_error_probability(unsigned sf) {
+  const std::vector<double> psi = bec_psi(sf, 4);
+  return psi[1] + 7.0 * psi[2] + 9.0 * psi[3] + 3.0 * psi[4] +
+         std::pow(2.0, -static_cast<double>(sf));
+}
+
+double bec_cr3_2col_error_probability(unsigned sf) {
+  return std::pow(2.0, -static_cast<double>(sf));
+}
+
+}  // namespace tnb::rx

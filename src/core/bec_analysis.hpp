@@ -1,0 +1,24 @@
+// Closed-form decoding-error analysis of BEC (paper Appendix A.7).
+//
+// Under the independence assumption (each bit of an error column flips with
+// probability 1/2), the probability that exactly x distinct error
+// combinations appear across the SF rows follows the recursion
+//   Psi_x = (x/8)^SF - sum_{y<x} C(x,y) Psi_y,
+// and Lemma 4 gives the CR-4 three-error-column decoding error probability
+//   Psi_1 + 7 Psi_2 + 9 Psi_3 + 3 Psi_4 + 2^-SF.
+#pragma once
+
+#include <vector>
+
+namespace tnb::rx {
+
+/// Psi_x for x = 1..max_x at the given SF (index 0 unused).
+std::vector<double> bec_psi(unsigned sf, unsigned max_x);
+
+/// Lemma 4: decoding error probability of CR 4 with 3 error columns.
+double bec_cr4_3col_error_probability(unsigned sf);
+
+/// Appendix A.5: CR 3 with 2 error columns fails with probability 2^-SF.
+double bec_cr3_2col_error_probability(unsigned sf);
+
+}  // namespace tnb::rx

@@ -1,0 +1,189 @@
+#include "core/frac_sync.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/window.hpp"
+
+#include "common/math_util.hpp"
+
+namespace tnb::rx {
+namespace {
+
+/// Band-average power gain of the linear interpolator used for fractional
+/// window extraction, as a function of the sub-sample offset theta. Q must
+/// be normalized by this, or the interpolation loss (maximal at theta=0.5)
+/// would bias the timing search toward integer offsets.
+double interp_gain(double theta, unsigned osf) {
+  theta -= std::floor(theta);
+  const double x = kPi / static_cast<double>(osf);
+  const double band_mean_cos = osf == 1 ? 0.0 : std::sin(x) / x;
+  return (1.0 - theta) * (1.0 - theta) + theta * theta +
+         2.0 * theta * (1.0 - theta) * band_mean_cos;
+}
+
+}  // namespace
+
+FracSync::FracSync(lora::Params p) : p_(p), demod_(p) { p_.validate(); }
+
+double FracSync::q(std::span<const cfloat> trace, double t0, double cfo_cycles,
+                   double dt, double df, bool gate) const {
+  const std::size_t sps = p_.sps();
+  const std::size_t n = p_.n_bins();
+  const double cfo = cfo_cycles + df;
+
+  std::vector<cfloat> window(sps);
+  std::vector<cfloat> up_sum(sps, cfloat{0.0f, 0.0f});
+  std::vector<cfloat> down_sum(sps, cfloat{0.0f, 0.0f});
+
+  // The correction must be phase-continuous across the whole preamble: the
+  // dechirped tone of symbol m carries the CFO phase accumulated since the
+  // packet start (2 pi cfo m), and only a correction with the same global
+  // phase makes the coherent sum collapse unless cfo is exact — which is
+  // precisely the sensitivity Q relies on. dechirp_fft restarts its phasor
+  // per window, so the inter-symbol part is applied here.
+  auto add_with_symbol_phase = [&](std::vector<cfloat>& sum,
+                                   std::vector<cfloat> spec, int m) {
+    const double ph = -kTwoPi * cfo * static_cast<double>(m);
+    const cfloat rot{static_cast<float>(std::cos(ph)),
+                     static_cast<float>(std::sin(ph))};
+    for (std::size_t k = 0; k < sps; ++k) sum[k] += spec[k] * rot;
+  };
+  for (int m = 0; m < static_cast<int>(lora::kPreambleUpchirps); ++m) {
+    const double start = t0 + dt + static_cast<double>(m) * static_cast<double>(sps);
+    extract_window(trace, start, window);
+    add_with_symbol_phase(up_sum, demod_.dechirp_fft(window, cfo, /*up=*/true), m);
+  }
+  for (int m = 10; m <= 11; ++m) {
+    const double start = t0 + dt + static_cast<double>(m) * static_cast<double>(sps);
+    extract_window(trace, start, window);
+    add_with_symbol_phase(down_sum, demod_.dechirp_fft(window, cfo, /*up=*/false), m);
+  }
+
+  SignalVector up_sv, down_sv;
+  demod_.fold(up_sum, up_sv);
+  demod_.fold(down_sum, down_sv);
+  const std::size_t up_peak = lora::Demodulator::argmax(up_sv);
+  const std::size_t down_peak = lora::Demodulator::argmax(down_sv);
+  if (gate && (up_peak != 0 || down_peak != 0)) return 0.0;
+  (void)n;
+  const double gain = interp_gain(t0 + dt, p_.osf);
+  return (static_cast<double>(up_sv[up_peak]) +
+          static_cast<double>(down_sv[down_peak])) /
+         gain;
+}
+
+FracSyncResult FracSync::refine(std::span<const cfloat> trace, double t0,
+                                double cfo_cycles) const {
+  // Phase 1: df along dt = 0, from -1 to 0 in steps of 1/16 (17 points),
+  // ungated Q. Finds the correct fractional CFO or one off by +/-1.
+  //
+  // Optimization: the 10 window spectra are computed once; each df
+  // candidate only re-weights them by the inter-symbol phase rotation
+  // e^{-j 2 pi df m}, which is the term that makes the coherent sum
+  // collapse off the correct-CFO line (the intra-symbol scalloping of df
+  // affects all candidates' peaks almost equally and is ignored here;
+  // phases 2-3 use the exact objective).
+  const std::size_t sps = p_.sps();
+  std::vector<std::vector<cfloat>> up_spec, down_spec;
+  {
+    std::vector<cfloat> window(sps);
+    for (int m = 0; m < static_cast<int>(lora::kPreambleUpchirps); ++m) {
+      extract_window(trace, t0 + m * static_cast<double>(sps), window);
+      up_spec.push_back(demod_.dechirp_fft(window, cfo_cycles, true));
+    }
+    for (int m = 10; m <= 11; ++m) {
+      extract_window(trace, t0 + m * static_cast<double>(sps), window);
+      down_spec.push_back(demod_.dechirp_fft(window, cfo_cycles, false));
+    }
+  }
+  double best_q = -1.0, df_star = 0.0;
+  std::vector<cfloat> up_sum(sps), down_sum(sps);
+  SignalVector up_sv, down_sv;
+  for (int i = 0; i <= 16; ++i) {
+    const double df = -1.0 + static_cast<double>(i) / 16.0;
+    std::fill(up_sum.begin(), up_sum.end(), cfloat{0.0f, 0.0f});
+    std::fill(down_sum.begin(), down_sum.end(), cfloat{0.0f, 0.0f});
+    auto rotate_add = [&](std::vector<cfloat>& sum,
+                          const std::vector<cfloat>& spec, int m) {
+      // Same phase-continuity as q(): the full correction (coarse + df)
+      // determines the inter-symbol rotation.
+      const double ph = -kTwoPi * (cfo_cycles + df) * static_cast<double>(m);
+      const cfloat rot{static_cast<float>(std::cos(ph)),
+                       static_cast<float>(std::sin(ph))};
+      for (std::size_t k = 0; k < sps; ++k) sum[k] += spec[k] * rot;
+    };
+    for (int m = 0; m < static_cast<int>(up_spec.size()); ++m) {
+      rotate_add(up_sum, up_spec[static_cast<std::size_t>(m)], m);
+    }
+    for (int m = 0; m < static_cast<int>(down_spec.size()); ++m) {
+      rotate_add(down_sum, down_spec[static_cast<std::size_t>(m)], 10 + m);
+    }
+    demod_.fold(up_sum, up_sv);
+    demod_.fold(down_sum, down_sv);
+    const double v =
+        static_cast<double>(up_sv[lora::Demodulator::argmax(up_sv)]) +
+        static_cast<double>(down_sv[lora::Demodulator::argmax(down_sv)]);
+    if (v > best_q) {
+      best_q = v;
+      df_star = df;
+    }
+  }
+
+  // Phase 2: 10 points of gated Q* on two CFO lines (df*, df*+1), dt from
+  // -1 to 1 receiver samples in steps of 1/2.
+  double best_q2 = 0.0, dt_hat = 0.0, df_hat = df_star;
+  bool gated = false;
+  for (int line = 0; line < 2; ++line) {
+    const double df = df_star + static_cast<double>(line);
+    for (int i = -2; i <= 2; ++i) {
+      const double dt = static_cast<double>(i) / 2.0;
+      const double v = q(trace, t0, cfo_cycles, dt, df, /*gate=*/true);
+      if (v > best_q2) {
+        best_q2 = v;
+        dt_hat = dt;
+        df_hat = df;
+        gated = true;
+      }
+    }
+  }
+  if (!gated) {
+    // The Q* gate never passed (heavy collision on the preamble): fall
+    // back to the ungated objective on the same grid.
+    for (int line = 0; line < 2; ++line) {
+      const double df = df_star + static_cast<double>(line);
+      for (int i = -2; i <= 2; ++i) {
+        const double dt = static_cast<double>(i) / 2.0;
+        const double v = q(trace, t0, cfo_cycles, dt, df, /*gate=*/false);
+        if (v > best_q2) {
+          best_q2 = v;
+          dt_hat = dt;
+          df_hat = df;
+        }
+      }
+    }
+  }
+
+  // Phase 3: OSF+1 points along dt in [dt_hat - 1/2, dt_hat + 1/2] at the
+  // chosen CFO line.
+  double best_q3 = best_q2, dt_fin = dt_hat;
+  for (unsigned i = 0; i <= p_.osf; ++i) {
+    const double dt =
+        dt_hat - 0.5 + static_cast<double>(i) / static_cast<double>(p_.osf);
+    const double v = q(trace, t0, cfo_cycles, dt, df_hat, gated);
+    if (v > best_q3) {
+      best_q3 = v;
+      dt_fin = dt;
+    }
+  }
+
+  FracSyncResult r;
+  r.dt = dt_fin;
+  r.df = df_hat;
+  r.q = best_q3;
+  r.gated = gated;
+  return r;
+}
+
+}  // namespace tnb::rx

@@ -1,0 +1,48 @@
+// Fractional timing / CFO estimation (paper Section 7, step 4).
+//
+// After coarse synchronization the residual timing error is below one
+// receiver sample and the residual CFO below one bin. The estimator
+// evaluates Q(dt, df) — the coherent peak energy of the preamble when the
+// windows are shifted by dt receiver samples and the CFO correction is
+// offset by df cycles — over a three-phase search of 17 + 10 + (OSF+1)
+// points, exploiting that Q is high along the correct-CFO line (possibly
+// off by +/-1 cycle) and that Q* (Q gated on the peaks being at location 1)
+// rejects the off-by-one lines.
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+#include "lora/demodulator.hpp"
+#include "lora/params.hpp"
+
+namespace tnb::rx {
+
+struct FracSyncResult {
+  double dt = 0.0;      ///< timing refinement, receiver samples
+  double df = 0.0;      ///< CFO refinement, cycles per symbol
+  double q = 0.0;       ///< objective at the chosen point
+  bool gated = true;    ///< false if the Q* gate never passed (fallback used)
+};
+
+class FracSync {
+ public:
+  explicit FracSync(lora::Params p);
+
+  /// Refines (t0, cfo) of a coarsely-synchronized packet whose preamble
+  /// starts at `t0` in `trace`. Add the returned dt/df to the coarse values.
+  FracSyncResult refine(std::span<const cfloat> trace, double t0,
+                        double cfo_cycles) const;
+
+  /// The search objective (exposed for tests and the Fig. 8 bench).
+  /// Returns the preamble peak energy; if `gate` is set, returns 0 unless
+  /// both the upchirp-sum and downchirp-sum peaks are at bin 0.
+  double q(std::span<const cfloat> trace, double t0, double cfo_cycles,
+           double dt, double df, bool gate) const;
+
+ private:
+  lora::Params p_;
+  lora::Demodulator demod_;
+};
+
+}  // namespace tnb::rx

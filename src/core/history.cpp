@@ -1,0 +1,53 @@
+#include "core/history.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "dsp/smoother.hpp"
+
+namespace tnb::rx {
+
+void PeakHistory::bootstrap(std::span<const double> preamble_heights) {
+  for (double h : preamble_heights) {
+    heights_.push_back(h);
+    positions_.push_back(-1);
+  }
+}
+
+void PeakHistory::record(int data_idx, double height) {
+  heights_.push_back(height);
+  positions_.push_back(data_idx);
+}
+
+PeakHistory::Estimate PeakHistory::estimate_for(int data_idx,
+                                                bool second_pass) const {
+  Estimate e;
+  if (heights_.empty()) return e;
+
+  if (!second_pass) {
+    // Fit over everything observed so far; extrapolate from the last point.
+    const std::vector<double> fit = dsp::smooth_fit(heights_);
+    e.a = fit.back();
+    e.d = dsp::median_abs_dev(heights_, fit);
+    return e;
+  }
+
+  // Second pass: fit over the full series and read the value at the sample
+  // recorded for this symbol (or the nearest recorded neighbour).
+  const std::vector<double> fit = dsp::smooth_fit(heights_);
+  std::size_t best = heights_.size() - 1;
+  int best_gap = std::numeric_limits<int>::max();
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    if (positions_[i] < 0) continue;
+    const int gap = std::abs(positions_[i] - data_idx);
+    if (gap < best_gap) {
+      best_gap = gap;
+      best = i;
+    }
+  }
+  e.a = fit[best];
+  e.d = dsp::median_abs_dev(heights_, fit);
+  return e;
+}
+
+}  // namespace tnb::rx

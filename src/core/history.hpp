@@ -1,0 +1,48 @@
+// Peak-height history tracking for Thrive's history cost (paper 5.3.3).
+//
+// For each packet the receiver keeps the heights of the peaks it has seen
+// (the 8 preamble upchirps bootstrap the series, then every assigned data
+// symbol appends one sample). A moving-mean curve fit through the series
+// gives the expected height A and the median absolute deviation D; the
+// upper/lower estimates are U = A + 4D and L = max(0, A - 4D) (Fig. 6).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tnb::rx {
+
+class PeakHistory {
+ public:
+  /// Seeds the series with the preamble peak heights.
+  void bootstrap(std::span<const double> preamble_heights);
+
+  /// Records the height assigned to data symbol `data_idx`. Symbols are
+  /// recorded in increasing order as checking points advance; gaps (symbols
+  /// that received no assignment) are simply absent from the series.
+  void record(int data_idx, double height);
+
+  struct Estimate {
+    double a = 0.0;  ///< expected peak height
+    double d = 0.0;  ///< deviation (median |data - fit|)
+    double upper() const { return a + 4.0 * d; }
+    double lower() const { return a - 4.0 * d > 0.0 ? a - 4.0 * d : 0.0; }
+  };
+
+  /// Estimate for data symbol `data_idx`. In the first pass the fit runs on
+  /// the samples observed so far and A is the fitted value at the last
+  /// observed symbol (S_i^{-1}); in the second pass the fit runs on the
+  /// whole series and A is the fitted value at S_i itself.
+  Estimate estimate_for(int data_idx, bool second_pass) const;
+
+  bool empty() const { return heights_.empty(); }
+  std::size_t size() const { return heights_.size(); }
+  std::span<const double> heights() const { return heights_; }
+
+ private:
+  std::vector<double> heights_;   // series values in arrival order
+  std::vector<int> positions_;    // data_idx per sample (-1 for preamble)
+};
+
+}  // namespace tnb::rx

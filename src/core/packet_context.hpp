@@ -1,0 +1,111 @@
+// Per-packet geometry and the signal calculation component (paper Fig. 3).
+//
+// A PacketContext pins down one detected packet's timeline on the receiver
+// grid: where each preamble slot and each data symbol window starts, given
+// the packet's synchronized t0 and CFO. SigCalc computes and caches the
+// aligned, CFO-corrected signal vectors of those windows — summed over
+// antennas when more than one is supplied (paper Section 3).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/detect.hpp"
+#include "dsp/peak_finder.hpp"
+#include "lora/demodulator.hpp"
+#include "lora/params.hpp"
+
+namespace tnb::rx {
+
+class PacketContext {
+ public:
+  PacketContext(const lora::Params& p, const DetectedPacket& det);
+
+  double t0() const { return t0_; }
+  double cfo_cycles() const { return cfo_; }
+
+  /// Start (receiver samples) of the data section: t0 + 12.25 T.
+  double data_start() const { return data_start_; }
+
+  /// Window start of data symbol d.
+  double data_symbol_start(int d) const {
+    return data_start_ + static_cast<double>(d) * sps_;
+  }
+
+  /// Data symbol whose window contains trace position `pos`, or nullopt if
+  /// `pos` falls in the preamble / outside the packet. `n_data_symbols` < 0
+  /// means the payload length is still unknown (header not yet decoded):
+  /// any non-negative index is accepted.
+  std::optional<int> data_symbol_at(double pos, int n_data_symbols) const;
+
+  /// True if `pos` lies within the packet's preamble section.
+  bool in_preamble(double pos) const {
+    return pos >= t0_ && pos < data_start_;
+  }
+
+  /// Boundary offset used by Thrive's alpha: the packet's symbol boundary
+  /// position in chirp samples minus its CFO in cycles. Two windows W_i and
+  /// W_k observe the same physical tone at bins differing by
+  /// (W_i - W_k)/OSF - (cfo_i - cfo_k); see DESIGN.md.
+  double alpha_at(double window_start) const {
+    return window_start / osf_ - cfo_;
+  }
+
+  /// Number of data symbols, once known (-1 before header decode).
+  int n_data_symbols = -1;
+
+ private:
+  double t0_;
+  double cfo_;
+  double sps_;
+  double osf_;
+  double data_start_;
+};
+
+/// Cached symbol view: power signal vector plus its candidate peaks.
+struct SymbolView {
+  SignalVector sv;
+  std::vector<dsp::Peak> peaks;  ///< circular peak-finder output, by height
+  double median = 0.0;           ///< noise-floor proxy of sv
+};
+
+class SigCalc {
+ public:
+  /// `antennas` must all have the same length; signal vectors are summed
+  /// across them.
+  SigCalc(const lora::Params& p,
+          std::vector<std::span<const cfloat>> antennas);
+
+  const lora::Params& params() const { return p_; }
+  std::span<const cfloat> antenna(std::size_t a) const { return antennas_[a]; }
+  std::size_t n_antennas() const { return antennas_.size(); }
+  std::size_t trace_len() const { return antennas_[0].size(); }
+
+  /// Signal vector + peaks of data symbol `d` of packet `pkt` (cached).
+  const SymbolView& data_symbol(int pkt_index, const PacketContext& ctx, int d);
+
+  /// Uncached signal vector of an arbitrary window aligned to `cfo_cycles`.
+  SignalVector vector_at(double window_start, double cfo_cycles, bool up) const;
+
+  /// Heights of the 8 preamble upchirp peaks (folded power at bin 0),
+  /// bootstrapping the packet's peak history.
+  std::vector<double> preamble_heights(const PacketContext& ctx) const;
+
+  /// Drops cached symbols of packet `pkt_index` (end of packet / memory).
+  void evict(int pkt_index);
+
+  /// Maximum peaks the cached peak finder keeps per symbol.
+  static constexpr std::size_t kMaxPeaks = 32;
+
+ private:
+  lora::Params p_;
+  std::vector<std::span<const cfloat>> antennas_;
+  lora::Demodulator demod_;
+  std::map<std::pair<int, int>, SymbolView> cache_;
+};
+
+}  // namespace tnb::rx

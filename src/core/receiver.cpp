@@ -1,0 +1,372 @@
+#include "core/receiver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.hpp"
+#include "core/sibling.hpp"
+#include "core/snr.hpp"
+#include "lora/frame.hpp"
+#include "lora/gray.hpp"
+
+namespace tnb::rx {
+namespace {
+
+/// Receiver-side tracking state of one detected packet.
+struct Tracked {
+  const lora::Params* params = nullptr;
+  PacketContext ctx;
+  bool dead = false;         ///< header failed / gave up
+  bool decoded = false;
+  lora::Header header;
+  bool have_header = false;
+  std::size_t header_syms = lora::kHeaderSymbols;  ///< 0 in implicit mode
+  std::vector<int> bins;     ///< assigned peak bin per data symbol (-1 unset)
+  std::vector<std::uint8_t> payload;  ///< app bytes once decoded
+  std::size_t rescued = 0;
+
+  Tracked(const lora::Params& p, PacketContext c)
+      : params(&p), ctx(std::move(c)) {}
+
+  std::uint32_t value_at(int d) const {
+    return params->value_for_shift(
+        static_cast<std::uint32_t>(bins[static_cast<std::size_t>(d)]));
+  }
+};
+
+}  // namespace
+
+Receiver::Receiver(lora::Params p, ReceiverOptions opt)
+    : p_(p), opt_(opt) {
+  p_.validate();
+  ThriveOptions topt = opt_.thrive;
+  topt.use_history = opt_.use_history;
+  const lora::Params params = p_;
+  factory_ = [params, topt]() -> std::unique_ptr<PeakAssigner> {
+    return std::make_unique<Thrive>(params, topt);
+  };
+}
+
+void Receiver::set_assigner_factory(AssignerFactory factory) {
+  factory_ = std::move(factory);
+}
+
+std::vector<sim::DecodedPacket> Receiver::decode(
+    std::span<const cfloat> trace, Rng& rng, ReceiverStats* stats) const {
+  return decode_multi({trace}, rng, stats);
+}
+
+std::vector<DetectedPacket> Receiver::detect(
+    std::vector<std::span<const cfloat>> antennas) const {
+  std::vector<DetectedPacket> detections;
+  if (antennas.empty() || antennas[0].empty()) return detections;
+  const Detector detector(p_, opt_.detector);
+  const FracSync fsync(p_);
+
+  // Detect on every antenna: a packet faded on one antenna during its
+  // preamble is often clean on another (the diversity TnB2ant relies on).
+  for (const auto& ant : antennas) {
+    std::vector<DetectedPacket> found = detector.detect(ant);
+    if (opt_.use_frac_sync) {
+      for (DetectedPacket& det : found) {
+        const FracSyncResult r = fsync.refine(ant, det.t0, det.cfo_cycles);
+        // Only trust the refinement when the Q* gate confirmed it: with a
+        // heavily collided preamble the ungated fallback can be steered by
+        // an interferer, and the coarse estimate is then the safer choice.
+        if (r.gated) {
+          det.t0 += r.dt;
+          det.cfo_cycles += r.df;
+        }
+      }
+    }
+    detections.insert(detections.end(), found.begin(), found.end());
+  }
+  if (antennas.size() > 1) {
+    // Merge duplicates across antennas (same packet, near-equal timing/CFO).
+    std::sort(detections.begin(), detections.end(),
+              [](const DetectedPacket& a, const DetectedPacket& b) {
+                return a.t0 < b.t0;
+              });
+    std::vector<DetectedPacket> merged;
+    const double t_tol = 0.25 * static_cast<double>(p_.sps());
+    for (const DetectedPacket& det : detections) {
+      bool dup = false;
+      for (DetectedPacket& kept : merged) {
+        if (std::abs(kept.t0 - det.t0) < t_tol &&
+            std::abs(kept.cfo_cycles - det.cfo_cycles) < 2.0) {
+          if (det.validation_score > kept.validation_score ||
+              (det.validation_score == kept.validation_score &&
+               det.strength > kept.strength)) {
+            kept = det;
+          }
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) merged.push_back(det);
+    }
+    detections = std::move(merged);
+  }
+  return detections;
+}
+
+std::vector<sim::DecodedPacket> Receiver::decode_multi(
+    std::vector<std::span<const cfloat>> antennas, Rng& rng,
+    ReceiverStats* stats) const {
+  return decode_with_detections(antennas, detect(antennas), rng, stats);
+}
+
+std::vector<sim::DecodedPacket> Receiver::decode_with_detections(
+    std::vector<std::span<const cfloat>> antennas,
+    std::vector<DetectedPacket> detections, Rng& rng,
+    ReceiverStats* stats) const {
+  std::vector<sim::DecodedPacket> out;
+  if (antennas.empty() || antennas[0].empty()) return out;
+  if (stats != nullptr) stats->detected = detections.size();
+  if (detections.empty()) return out;
+
+  SigCalc sig(p_, antennas);
+
+  std::vector<Tracked> pkts;
+  std::vector<PacketContext> contexts;
+  pkts.reserve(detections.size());
+  for (const DetectedPacket& det : detections) {
+    PacketContext ctx(p_, det);
+    pkts.emplace_back(p_, ctx);
+    Tracked& t = pkts.back();
+    if (opt_.implicit_header.has_value()) {
+      t.header.payload_len = opt_.implicit_header->payload_len;
+      t.header.cr = opt_.implicit_header->cr;
+      t.header.has_crc = true;
+      t.have_header = true;
+      t.header_syms = 0;
+      lora::Params pp = p_;
+      pp.cr = t.header.cr;
+      t.ctx.n_data_symbols = static_cast<int>(
+          lora::num_payload_symbols(pp, t.header.payload_len));
+    }
+    contexts.push_back(t.ctx);
+  }
+
+  std::vector<PeakHistory> history(pkts.size());
+  for (std::size_t i = 0; i < pkts.size(); ++i) {
+    const std::vector<double> pre = sig.preamble_heights(pkts[i].ctx);
+    history[i].bootstrap(pre);
+  }
+
+  const double sps = static_cast<double>(p_.sps());
+  const std::size_t n_checkpoints = sig.trace_len() / p_.sps() + 2;
+  std::unique_ptr<PeakAssigner> assigner = factory_();
+
+  // Decodes header / payload of packet `pi` as soon as enough symbols are
+  // assigned. Returns true if the packet reached a terminal state.
+  auto try_decode = [&](std::size_t pi, bool second_pass) {
+    Tracked& t = pkts[pi];
+    if (t.dead || t.decoded) return;
+
+    // Header: first 8 data symbols (skipped in implicit-header mode).
+    if (!t.have_header) {
+      if (t.bins.size() < lora::kHeaderSymbols) return;
+      bool complete = true;
+      std::vector<std::uint32_t> hs(lora::kHeaderSymbols);
+      for (std::size_t d = 0; d < lora::kHeaderSymbols; ++d) {
+        if (t.bins[d] < 0) {
+          complete = false;
+          break;
+        }
+        hs[d] = t.value_at(static_cast<int>(d));
+      }
+      if (!complete) return;
+      std::optional<lora::Header> hdr;
+      if (opt_.use_bec) {
+        hdr = decode_header_bec(p_, hs, stats != nullptr ? &stats->bec : nullptr);
+      } else {
+        hdr = lora::decode_header_default(p_, hs);
+      }
+      if (!hdr.has_value()) {
+        if (static_cast<int>(t.bins.size()) >= opt_.max_tracked_symbols) {
+          t.dead = true;
+        }
+        // Header may still resolve on the second pass with better masking.
+        if (!second_pass && !opt_.two_pass) t.dead = true;
+        if (second_pass) t.dead = true;
+        return;
+      }
+      t.header = *hdr;
+      t.have_header = true;
+      lora::Params pp = p_;
+      pp.cr = t.header.cr;
+      const int n_data = static_cast<int>(
+          t.header_syms +
+          lora::num_payload_symbols(pp, t.header.payload_len));
+      t.ctx.n_data_symbols = n_data;
+      contexts[pi].n_data_symbols = n_data;
+      if (stats != nullptr) ++stats->header_ok;
+    }
+
+    // Payload: all remaining symbols.
+    const int n_data = t.ctx.n_data_symbols;
+    if (static_cast<int>(t.bins.size()) < n_data) return;
+    for (int d = static_cast<int>(t.header_syms); d < n_data; ++d) {
+      if (t.bins[static_cast<std::size_t>(d)] < 0) return;
+    }
+    std::vector<std::uint32_t> ps;
+    ps.reserve(static_cast<std::size_t>(n_data) - t.header_syms);
+    for (int d = static_cast<int>(t.header_syms); d < n_data; ++d) {
+      ps.push_back(t.value_at(d));
+    }
+    lora::Params pp = p_;
+    pp.cr = t.header.cr;
+    bool ok = false;
+    std::vector<std::uint8_t> payload;
+    std::size_t rescued = 0;
+    if (opt_.use_bec) {
+      BecPacketResult r = decode_payload_bec(
+          pp, ps, t.header.payload_len, rng,
+          stats != nullptr ? &stats->bec : nullptr);
+      ok = r.ok;
+      payload = std::move(r.payload);
+      rescued = r.rescued_codewords;
+    } else {
+      auto r = lora::decode_payload_default(pp, ps, t.header.payload_len);
+      ok = r.has_value();
+      if (ok) payload = std::move(*r);
+    }
+    if (!ok) {
+      if (second_pass || !opt_.two_pass) t.dead = true;
+      return;
+    }
+    t.decoded = true;
+    t.rescued = rescued;
+    // Strip the CRC16: the application payload is what gets reported.
+    payload.resize(payload.size() >= 2 ? payload.size() - 2 : 0);
+    t.payload = std::move(payload);
+    if (stats != nullptr) {
+      ++stats->crc_ok;
+      if (second_pass) {
+        ++stats->decoded_second_pass;
+      } else {
+        ++stats->decoded_first_pass;
+      }
+      stats->rescued_per_packet.push_back(rescued);
+    }
+  };
+
+  // Known-peak masks for symbol (pi, window W): preamble overlaps of every
+  // other packet plus assigned bins of decoded packets.
+  auto masks_for = [&](std::size_t pi, double w) {
+    std::vector<double> masks;
+    const double alpha_i = pkts[pi].ctx.alpha_at(w);
+    const std::size_t n = p_.n_bins();
+    for (std::size_t k = 0; k < pkts.size(); ++k) {
+      if (k == pi) continue;
+      const Tracked& other = pkts[k];
+      const double t0k = other.ctx.t0();
+      const double w_end = w + sps;
+      // Preamble upchirps [t0, t0+8T).
+      const double up_end = t0k + 8.0 * sps;
+      if (w < up_end && w_end > t0k) {
+        masks.push_back(map_bin(0.0, other.ctx.alpha_at(t0k), alpha_i, n));
+      }
+      // Sync symbols at slots 8 and 9 (shifts 8 and 16).
+      for (int s = 0; s < 2; ++s) {
+        const double ss = t0k + (8.0 + s) * sps;
+        if (w < ss + sps && w_end > ss) {
+          const double shift = s == 0 ? lora::kSyncShift1 : lora::kSyncShift2;
+          masks.push_back(map_bin(shift, other.ctx.alpha_at(ss), alpha_i, n));
+        }
+      }
+      // Assigned bins of decoded packets.
+      if (other.decoded) {
+        const double ds = other.ctx.data_start();
+        const int d0 = static_cast<int>(std::floor((w - ds) / sps));
+        for (int d = d0; d <= d0 + 1; ++d) {
+          if (d < 0 || d >= static_cast<int>(other.bins.size())) continue;
+          const int bin = other.bins[static_cast<std::size_t>(d)];
+          if (bin < 0) continue;
+          const double slot_start = other.ctx.data_symbol_start(d);
+          if (w < slot_start + sps && w_end > slot_start) {
+            masks.push_back(map_bin(static_cast<double>(bin),
+                                    other.ctx.alpha_at(slot_start), alpha_i, n));
+          }
+        }
+      }
+    }
+    return masks;
+  };
+
+  auto run_pass = [&](bool second_pass) {
+    for (std::size_t j = 0; j < n_checkpoints; ++j) {
+      const double c = static_cast<double>(j) * sps;
+      std::vector<ActiveSymbol> active;
+      for (std::size_t pi = 0; pi < pkts.size(); ++pi) {
+        Tracked& t = pkts[pi];
+        if (t.dead || t.decoded) continue;
+        int limit = t.ctx.n_data_symbols;
+        if (limit < 0) limit = opt_.max_tracked_symbols;
+        const auto d = t.ctx.data_symbol_at(c, limit);
+        if (!d.has_value()) continue;
+        active.push_back({static_cast<int>(pi), *d,
+                          t.ctx.data_symbol_start(*d)});
+      }
+      if (active.empty()) continue;
+      std::sort(active.begin(), active.end(),
+                [](const ActiveSymbol& a, const ActiveSymbol& b) {
+                  return a.window_start < b.window_start;
+                });
+
+      std::vector<std::vector<double>> masks(active.size());
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        masks[i] = masks_for(static_cast<std::size_t>(active[i].packet),
+                             active[i].window_start);
+      }
+
+      AssignInput in;
+      in.symbols = active;
+      in.contexts = contexts;
+      in.masked_bins = masks;
+      in.sig = &sig;
+      in.history = history;
+      in.second_pass = second_pass;
+      const std::vector<Assignment> assignments = assigner->assign(in);
+
+      for (const Assignment& a : assignments) {
+        Tracked& t = pkts[static_cast<std::size_t>(a.packet)];
+        if (t.bins.size() <= static_cast<std::size_t>(a.data_idx)) {
+          t.bins.resize(static_cast<std::size_t>(a.data_idx) + 1, -1);
+        }
+        t.bins[static_cast<std::size_t>(a.data_idx)] = a.bin;
+        if (!second_pass) {
+          history[static_cast<std::size_t>(a.packet)].record(a.data_idx,
+                                                             a.height);
+        }
+        try_decode(static_cast<std::size_t>(a.packet), second_pass);
+      }
+    }
+  };
+
+  run_pass(/*second_pass=*/false);
+
+  if (opt_.two_pass) {
+    bool any_failed = false;
+    for (Tracked& t : pkts) {
+      if (!t.decoded) {
+        any_failed = true;
+        t.dead = false;        // give failed packets another chance
+        std::fill(t.bins.begin(), t.bins.end(), -1);
+      }
+    }
+    if (any_failed) run_pass(/*second_pass=*/true);
+  }
+
+  for (const Tracked& t : pkts) {
+    if (t.decoded) {
+      out.push_back({t.payload, t.ctx.t0(),
+                     estimate_snr_db(t.ctx, sig),
+                     p_.cfo_cycles_to_hz(t.ctx.cfo_cycles())});
+    }
+  }
+  return out;
+}
+
+}  // namespace tnb::rx

@@ -1,0 +1,102 @@
+// The TnB receiver (paper Fig. 3 and Section 4).
+//
+// Pipeline: detect packets (+ fractional sync) -> walk checking points
+// every 2^SF chirp samples, collecting the data symbols that intersect each
+// -> hand them to the peak assigner (Thrive by default; AlignTrack* and the
+// argmax baseline are drop-in) with known peaks masked -> decode the PHY
+// header once its 8 symbols are assigned, then the payload once complete,
+// with BEC or the default Hamming decoder. Packets that fail get a second
+// pass in which correctly-decoded packets' peaks are masked and the peak
+// history is fitted over the whole packet.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/assign.hpp"
+#include "core/bec.hpp"
+#include "core/detect.hpp"
+#include "core/frac_sync.hpp"
+#include "core/thrive.hpp"
+#include "sim/metrics.hpp"
+
+namespace tnb::rx {
+
+/// Implicit-header operation: the receiver knows the payload length and
+/// coding rate a priori and packets carry no PHY header symbols (LoRa's
+/// implicit header mode).
+struct ImplicitHeader {
+  std::uint8_t payload_len = 0;  ///< on-air bytes including CRC16
+  std::uint8_t cr = 4;
+};
+
+struct ReceiverOptions {
+  bool use_bec = true;      ///< false = default Hamming decoder ("Thrive")
+  bool use_history = true;  ///< false = sibling cost only ("Sibling")
+  bool two_pass = true;
+  bool use_frac_sync = true;
+  DetectorOptions detector;
+  ThriveOptions thrive;
+  /// Engaged when set: no header symbols are expected or decoded.
+  std::optional<ImplicitHeader> implicit_header;
+  /// Stop tracking a packet whose header has not resolved after this many
+  /// data symbols (robustness against false detections).
+  int max_tracked_symbols = 96;
+};
+
+struct ReceiverStats {
+  std::size_t detected = 0;
+  std::size_t header_ok = 0;
+  std::size_t crc_ok = 0;
+  std::size_t decoded_first_pass = 0;
+  std::size_t decoded_second_pass = 0;
+  BecStats bec;
+  /// Rescued-codeword count of each decoded packet (paper Fig. 16).
+  std::vector<std::size_t> rescued_per_packet;
+};
+
+class Receiver {
+ public:
+  explicit Receiver(lora::Params p, ReceiverOptions opt = {});
+
+  /// Installs a peak-assignment strategy factory (called once per decode).
+  /// Default: Thrive with the configured options.
+  using AssignerFactory = std::function<std::unique_ptr<PeakAssigner>()>;
+  void set_assigner_factory(AssignerFactory factory);
+
+  /// Decodes a single-antenna trace.
+  std::vector<sim::DecodedPacket> decode(std::span<const cfloat> trace,
+                                         Rng& rng,
+                                         ReceiverStats* stats = nullptr) const;
+
+  /// Decodes a multi-antenna trace (signal vectors summed across antennas;
+  /// detection runs on antenna 0).
+  std::vector<sim::DecodedPacket> decode_multi(
+      std::vector<std::span<const cfloat>> antennas, Rng& rng,
+      ReceiverStats* stats = nullptr) const;
+
+  /// Runs detection + fractional sync only. The result can be fed to
+  /// decode_with_detections — e.g. to decode the same trace with several
+  /// schemes without re-detecting (all schemes share TnB's detector, as in
+  /// the paper's methodology).
+  std::vector<DetectedPacket> detect(
+      std::vector<std::span<const cfloat>> antennas) const;
+
+  /// Decodes with externally supplied (already refined) detections.
+  std::vector<sim::DecodedPacket> decode_with_detections(
+      std::vector<std::span<const cfloat>> antennas,
+      std::vector<DetectedPacket> detections, Rng& rng,
+      ReceiverStats* stats = nullptr) const;
+
+  const lora::Params& params() const { return p_; }
+  const ReceiverOptions& options() const { return opt_; }
+
+ private:
+  lora::Params p_;
+  ReceiverOptions opt_;
+  AssignerFactory factory_;
+};
+
+}  // namespace tnb::rx

@@ -1,0 +1,40 @@
+// Sibling-window geometry shared by Thrive and AlignTrack*.
+//
+// A tone transmitted inside symbol S_i of packet i also appears, at a
+// predictable bin offset, in the (at most) two consecutive symbol windows
+// of every other packet that overlap S_i (paper 5.3.2-5.3.3). The bin
+// mapping uses alpha = window_start/OSF - cfo: a peak at bin b observed in
+// a window with alpha_a sits at bin b + (alpha_b - alpha_a) (mod 2^SF) in a
+// window with alpha_b.
+#pragma once
+
+#include <vector>
+
+#include "core/assign.hpp"
+
+namespace tnb::rx {
+
+struct SiblingWindow {
+  int packet = 0;
+  int data_idx = 0;
+  double window_start = 0.0;
+};
+
+/// Maps bin `b` from a window with `alpha_from` to the window with
+/// `alpha_to`; returns a fractional bin in [0, n).
+double map_bin(double b, double alpha_from, double alpha_to, std::size_t n);
+
+/// The symbol windows of *other* packets overlapping `in.symbols[sym_idx]`:
+/// for each other active symbol, itself plus its neighbour on the
+/// overlapping side. Windows outside the packet's data section are skipped.
+std::vector<SiblingWindow> sibling_windows(const AssignInput& in,
+                                           std::size_t sym_idx);
+
+/// Height of the sibling of a peak expected at (fractional) bin
+/// `expected_bin` in window `w`: the height of a found peak within `tol`
+/// bins, or the raw signal-vector value at the rounded expected bin when no
+/// peak was identified there (paper 5.3.3).
+double sibling_height(const AssignInput& in, const SiblingWindow& w,
+                      double expected_bin, double tol);
+
+}  // namespace tnb::rx

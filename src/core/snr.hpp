@@ -1,0 +1,19 @@
+// Per-packet SNR estimation from preamble peak heights.
+//
+// The paper's artifact reports an estimated SNR for every decoded packet,
+// derived from the peak heights of its decoded symbols. The folded peak of
+// a clean upchirp at amplitude A is (sps*A)^2 while a noise bin averages
+// sps*sigma^2, so the in-band SNR A^2/(sigma^2/OSF) equals
+// peak / (noise_bin_mean * 2^SF). The noise mean is taken from the median
+// of the signal vector (median of an exponential = ln 2 times its mean).
+#pragma once
+
+#include "core/packet_context.hpp"
+
+namespace tnb::rx {
+
+/// Estimated in-band SNR (dB) of a detected packet, from the median of its
+/// preamble upchirp peaks against the noise floor of its signal vectors.
+double estimate_snr_db(const PacketContext& ctx, const SigCalc& sig);
+
+}  // namespace tnb::rx

@@ -1,0 +1,34 @@
+#include "core/window.hpp"
+
+#include <cmath>
+
+namespace tnb::rx {
+
+void extract_window(std::span<const cfloat> trace, double start,
+                    std::span<cfloat> out) {
+  const double floor_start = std::floor(start);
+  const std::ptrdiff_t i0 = static_cast<std::ptrdiff_t>(floor_start);
+  const float frac = static_cast<float>(start - floor_start);
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(trace.size());
+
+  if (frac == 0.0f) {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      const std::ptrdiff_t idx = i0 + static_cast<std::ptrdiff_t>(i);
+      out[i] = (idx >= 0 && idx < n) ? trace[static_cast<std::size_t>(idx)]
+                                     : cfloat{0.0f, 0.0f};
+    }
+    return;
+  }
+  const float w0 = 1.0f - frac;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const std::ptrdiff_t idx = i0 + static_cast<std::ptrdiff_t>(i);
+    const cfloat a = (idx >= 0 && idx < n) ? trace[static_cast<std::size_t>(idx)]
+                                           : cfloat{0.0f, 0.0f};
+    const cfloat b = (idx + 1 >= 0 && idx + 1 < n)
+                         ? trace[static_cast<std::size_t>(idx + 1)]
+                         : cfloat{0.0f, 0.0f};
+    out[i] = w0 * a + frac * b;
+  }
+}
+
+}  // namespace tnb::rx

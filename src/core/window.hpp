@@ -1,0 +1,18 @@
+// Fractional-sample window extraction from a trace.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "common/types.hpp"
+
+namespace tnb::rx {
+
+/// Copies `out.size()` samples starting at the (possibly fractional)
+/// position `start` of `trace` into `out`, using linear interpolation for
+/// the sub-sample offset. Samples outside the trace read as zero, so
+/// windows at the trace edges are implicitly zero-padded.
+void extract_window(std::span<const cfloat> trace, double start,
+                    std::span<cfloat> out);
+
+}  // namespace tnb::rx

@@ -1,0 +1,115 @@
+#include "dsp/fft.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+#include "common/math_util.hpp"
+
+namespace tnb::dsp {
+
+FftPlan::FftPlan(std::size_t n) : n_(n) {
+  if (!is_pow2(n)) {
+    throw std::invalid_argument("FftPlan: size must be a power of two");
+  }
+  log2n_ = log2_pow2(n);
+
+  bitrev_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint32_t r = 0;
+    std::size_t x = i;
+    for (unsigned b = 0; b < log2n_; ++b) {
+      r = (r << 1) | (x & 1);
+      x >>= 1;
+    }
+    bitrev_[i] = r;
+  }
+
+  twiddle_fwd_.resize(n / 2);
+  twiddle_inv_.resize(n / 2);
+  for (std::size_t k = 0; k < n / 2; ++k) {
+    const double ang = -kTwoPi * static_cast<double>(k) / static_cast<double>(n);
+    twiddle_fwd_[k] = {static_cast<float>(std::cos(ang)),
+                       static_cast<float>(std::sin(ang))};
+    twiddle_inv_[k] = std::conj(twiddle_fwd_[k]);
+  }
+}
+
+void FftPlan::transform(std::span<cfloat> data, bool inverse) const {
+  if (data.size() != n_) {
+    throw std::invalid_argument("FftPlan: buffer size mismatch");
+  }
+  cfloat* a = data.data();
+
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::size_t j = bitrev_[i];
+    if (i < j) std::swap(a[i], a[j]);
+  }
+
+  const std::vector<cfloat>& tw = inverse ? twiddle_inv_ : twiddle_fwd_;
+  for (std::size_t len = 2; len <= n_; len <<= 1) {
+    const std::size_t half = len >> 1;
+    const std::size_t step = n_ / len;  // twiddle stride for this stage
+    for (std::size_t block = 0; block < n_; block += len) {
+      std::size_t tw_idx = 0;
+      for (std::size_t k = 0; k < half; ++k, tw_idx += step) {
+        const cfloat w = tw[tw_idx];
+        const cfloat u = a[block + k];
+        const cfloat v = a[block + k + half] * w;
+        a[block + k] = u + v;
+        a[block + k + half] = u - v;
+      }
+    }
+  }
+
+  if (inverse) {
+    const float scale = 1.0f / static_cast<float>(n_);
+    for (std::size_t i = 0; i < n_; ++i) a[i] *= scale;
+  }
+}
+
+void FftPlan::forward(std::span<cfloat> data) const { transform(data, false); }
+
+void FftPlan::inverse(std::span<cfloat> data) const { transform(data, true); }
+
+void FftPlan::forward(std::span<const cfloat> in, std::span<cfloat> out) const {
+  if (out.size() != n_ || in.size() > n_) {
+    throw std::invalid_argument("FftPlan: buffer size mismatch");
+  }
+  std::copy(in.begin(), in.end(), out.begin());
+  std::fill(out.begin() + static_cast<std::ptrdiff_t>(in.size()), out.end(),
+            cfloat{0.0f, 0.0f});
+  transform(out, false);
+}
+
+const FftPlan& fft_plan(std::size_t n) {
+  static std::mutex mutex;
+  static std::map<std::size_t, std::unique_ptr<FftPlan>> cache;
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    it = cache.emplace(n, std::make_unique<FftPlan>(n)).first;
+  }
+  return *it->second;
+}
+
+void fft_inplace(std::span<cfloat> data) { fft_plan(data.size()).forward(data); }
+
+void ifft_inplace(std::span<cfloat> data) { fft_plan(data.size()).inverse(data); }
+
+std::vector<cfloat> fft(std::span<const cfloat> data) {
+  std::vector<cfloat> out(data.begin(), data.end());
+  fft_inplace(out);
+  return out;
+}
+
+std::vector<cfloat> ifft(std::span<const cfloat> data) {
+  std::vector<cfloat> out(data.begin(), data.end());
+  ifft_inplace(out);
+  return out;
+}
+
+}  // namespace tnb::dsp

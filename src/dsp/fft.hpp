@@ -1,0 +1,59 @@
+// Radix-2 complex FFT with a per-size plan cache.
+//
+// Every transform in TnB has power-of-two length (2^SF, or 2^SF * OSF for
+// oversampled symbols, at most 2^12 * 8 = 32768), so an iterative
+// Cooley-Tukey radix-2 transform with precomputed twiddles is sufficient and
+// keeps the library dependency-free.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace tnb::dsp {
+
+/// Precomputed transform of one fixed power-of-two size.
+///
+/// A plan is immutable after construction and safe to share across threads
+/// for concurrent `forward`/`inverse` calls on distinct buffers.
+class FftPlan {
+ public:
+  /// Creates a plan for transforms of length `n`. Throws std::invalid_argument
+  /// if `n` is not a power of two.
+  explicit FftPlan(std::size_t n);
+
+  std::size_t size() const { return n_; }
+
+  /// In-place forward DFT (engineering sign convention: X[k] = sum x[n] e^{-j2pi nk/N}).
+  void forward(std::span<cfloat> data) const;
+
+  /// In-place inverse DFT, normalized by 1/N.
+  void inverse(std::span<cfloat> data) const;
+
+  /// Out-of-place forward transform. `out` must have the plan's size;
+  /// `in` may be shorter and is zero-padded.
+  void forward(std::span<const cfloat> in, std::span<cfloat> out) const;
+
+ private:
+  void transform(std::span<cfloat> data, bool inverse) const;
+
+  std::size_t n_;
+  unsigned log2n_;
+  std::vector<std::uint32_t> bitrev_;
+  std::vector<cfloat> twiddle_fwd_;  // e^{-j 2 pi k / N}, k in [0, N/2)
+  std::vector<cfloat> twiddle_inv_;
+};
+
+/// Returns a shared plan for length `n`, creating it on first use.
+/// Thread-safe. Plans live for the lifetime of the process.
+const FftPlan& fft_plan(std::size_t n);
+
+/// Convenience wrappers over the plan cache.
+void fft_inplace(std::span<cfloat> data);
+void ifft_inplace(std::span<cfloat> data);
+std::vector<cfloat> fft(std::span<const cfloat> data);
+std::vector<cfloat> ifft(std::span<const cfloat> data);
+
+}  // namespace tnb::dsp

@@ -1,0 +1,40 @@
+// Selectivity-based peak finder.
+//
+// A C++ port of the algorithm in Nathanael Yoder's MATLAB `peakfinder`
+// (MATLAB Central #25500), which the TnB paper uses to locate peaks in LoRa
+// signal vectors. A local maximum is reported as a peak only if it rises by
+// at least `sel` above the surrounding valleys, which suppresses noise
+// ripple without a hard amplitude threshold.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tnb::dsp {
+
+struct Peak {
+  std::size_t index = 0;   ///< sample index of the maximum
+  float value = 0.0f;      ///< height at the maximum
+  double frac_index = 0.0; ///< parabolic-interpolated fractional location
+};
+
+struct PeakFinderOptions {
+  /// Minimum rise above surrounding valleys for a maximum to count as a peak.
+  /// If negative (default), uses (max - min) / 4 as in Yoder's peakfinder.
+  double sel = -1.0;
+  /// Peaks strictly below this value are discarded. Default: no threshold.
+  double threshold = 0.0;
+  bool use_threshold = false;
+  /// Treat the input as circular (LoRa signal vectors are: bin 0 is adjacent
+  /// to bin N-1, so a peak may straddle the wrap point).
+  bool circular = false;
+  /// Keep at most this many peaks (the highest ones). 0 = unlimited.
+  std::size_t max_peaks = 0;
+};
+
+/// Finds peaks in `x`. Returned peaks are sorted by descending height.
+std::vector<Peak> find_peaks(std::span<const float> x,
+                             const PeakFinderOptions& opt = {});
+
+}  // namespace tnb::dsp

@@ -1,0 +1,32 @@
+#include "lora/crc.hpp"
+
+namespace tnb::lora {
+
+std::uint16_t crc16(std::span<const std::uint8_t> bytes) {
+  std::uint16_t crc = 0xFFFF;
+  for (std::uint8_t b : bytes) {
+    crc ^= static_cast<std::uint16_t>(b) << 8;
+    for (int i = 0; i < 8; ++i) {
+      if (crc & 0x8000) {
+        crc = static_cast<std::uint16_t>((crc << 1) ^ 0x1021);
+      } else {
+        crc = static_cast<std::uint16_t>(crc << 1);
+      }
+    }
+  }
+  return crc;
+}
+
+std::uint8_t header_checksum(std::uint8_t payload_len, std::uint8_t cr,
+                             bool has_crc) {
+  // XOR-fold the 12 content bits with distinct rotations so single-field
+  // changes always change the checksum.
+  std::uint8_t c = 0xA5;
+  c ^= payload_len;
+  c ^= static_cast<std::uint8_t>((payload_len << 3) | (payload_len >> 5));
+  c ^= static_cast<std::uint8_t>(cr << 1);
+  c ^= static_cast<std::uint8_t>(has_crc ? 0x80 : 0x00);
+  return c;
+}
+
+}  // namespace tnb::lora

@@ -1,0 +1,19 @@
+// Packet-level CRC-16 and the PHY-header checksum.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace tnb::lora {
+
+/// CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF) over `bytes`.
+/// Used as the packet-level CRC that arbitrates between BEC-fixed blocks.
+std::uint16_t crc16(std::span<const std::uint8_t> bytes);
+
+/// 8-bit checksum protecting the PHY header fields (XOR-fold of the header
+/// content bits). Lets the receiver select among BEC candidates for the
+/// header block the same way the payload CRC does for payload blocks.
+std::uint8_t header_checksum(std::uint8_t payload_len, std::uint8_t cr,
+                             bool has_crc);
+
+}  // namespace tnb::lora

@@ -1,0 +1,86 @@
+#include "lora/demodulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/math_util.hpp"
+#include "dsp/fft.hpp"
+#include "lora/chirp.hpp"
+#include "lora/gray.hpp"
+
+namespace tnb::lora {
+
+Demodulator::Demodulator(Params p)
+    : p_(p), downchirp_(make_downchirp(p_)), upchirp_(make_upchirp(p_)) {
+  p_.validate();
+}
+
+std::vector<cfloat> Demodulator::dechirp_fft(std::span<const cfloat> window,
+                                             double cfo_cycles, bool up) const {
+  const std::size_t sps = p_.sps();
+  if (window.size() > sps) {
+    throw std::invalid_argument("dechirp_fft: window longer than a symbol");
+  }
+  std::vector<cfloat> buf(sps, cfloat{0.0f, 0.0f});
+
+  const std::vector<cfloat>& ref = up ? downchirp_ : upchirp_;
+  // CFO correction by incremental phasor: rot_{i+1} = rot_i * step, where
+  // step = e^{-j 2 pi cfo / (N * OSF)} removes `cfo_cycles` cycles/symbol.
+  const double dphi = -kTwoPi * cfo_cycles / static_cast<double>(sps);
+  const cfloat step{static_cast<float>(std::cos(dphi)),
+                    static_cast<float>(std::sin(dphi))};
+  cfloat rot{1.0f, 0.0f};
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    buf[i] = window[i] * ref[i] * rot;
+    rot *= step;
+    if ((i & 0x3FF) == 0x3FF) rot /= std::abs(rot);  // renormalize drift
+  }
+  dsp::fft_inplace(buf);
+  return buf;
+}
+
+void Demodulator::fold(std::span<const cfloat> spectrum, SignalVector& out) const {
+  const std::size_t n = p_.n_bins();
+  if (spectrum.size() != p_.sps()) {
+    throw std::invalid_argument("fold: spectrum length must be sps");
+  }
+  out.resize(n);
+  if (p_.osf == 1) {
+    for (std::size_t k = 0; k < n; ++k) out[k] = std::norm(spectrum[k]);
+    return;
+  }
+  const std::size_t image = n * (p_.osf - 1);
+  for (std::size_t k = 0; k < n; ++k) {
+    out[k] = std::norm(spectrum[k]) + std::norm(spectrum[k + image]);
+  }
+}
+
+double Demodulator::folded_power_at(std::span<const cfloat> spectrum,
+                                    std::size_t bin) const {
+  const std::size_t n = p_.n_bins();
+  double e = std::norm(spectrum[bin]);
+  if (p_.osf > 1) e += std::norm(spectrum[bin + n * (p_.osf - 1)]);
+  return e;
+}
+
+SignalVector Demodulator::signal_vector(std::span<const cfloat> window,
+                                        double cfo_cycles, bool up) const {
+  const std::vector<cfloat> spec = dechirp_fft(window, cfo_cycles, up);
+  SignalVector sv;
+  fold(spec, sv);
+  return sv;
+}
+
+std::size_t Demodulator::argmax(std::span<const float> sv) {
+  return static_cast<std::size_t>(
+      std::max_element(sv.begin(), sv.end()) - sv.begin());
+}
+
+std::uint32_t Demodulator::demod_value(std::span<const cfloat> window,
+                                       double cfo_cycles) const {
+  const SignalVector sv = signal_vector(window, cfo_cycles);
+  return p_.value_for_shift(static_cast<std::uint32_t>(argmax(sv)));
+}
+
+}  // namespace tnb::lora

@@ -1,0 +1,56 @@
+// Symbol demodulation: dechirp + FFT + oversampling fold.
+//
+// The signal vector of a symbol window is Y = |FFT(window .* C')|^2 with the
+// two spectral images of each tone (an artifact of oversampling by OSF)
+// folded together, yielding a 2^SF-long power vector with a peak at the
+// transmitted cyclic shift (paper Section 3, Fig. 1).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "lora/params.hpp"
+
+namespace tnb::lora {
+
+class Demodulator {
+ public:
+  explicit Demodulator(Params p);
+
+  const Params& params() const { return p_; }
+
+  /// Complex spectrum (length sps) of one symbol window after dechirping
+  /// and CFO correction. `up` selects the dechirping reference: true
+  /// multiplies by the downchirp (demodulates upchirp symbols), false by
+  /// the upchirp (demodulates the preamble downchirps). Windows shorter
+  /// than sps are zero-padded (partial symbols at trace edges).
+  std::vector<cfloat> dechirp_fft(std::span<const cfloat> window,
+                                  double cfo_cycles, bool up = true) const;
+
+  /// Folded power signal vector (length 2^SF).
+  SignalVector signal_vector(std::span<const cfloat> window,
+                             double cfo_cycles, bool up = true) const;
+
+  /// Folds an sps-long complex spectrum into the 2^SF-long power vector:
+  /// out[k] = |X[k]|^2 + |X[k + N*(OSF-1)]|^2.
+  void fold(std::span<const cfloat> spectrum, SignalVector& out) const;
+
+  /// Folded power at a single bin of a complex spectrum (for Q()).
+  double folded_power_at(std::span<const cfloat> spectrum, std::size_t bin) const;
+
+  /// Index of the highest element of a signal vector.
+  static std::size_t argmax(std::span<const float> sv);
+
+  /// Demodulated data symbol value: Gray(argmax of the signal vector).
+  std::uint32_t demod_value(std::span<const cfloat> window,
+                            double cfo_cycles) const;
+
+ private:
+  Params p_;
+  std::vector<cfloat> downchirp_;  // conj(C), oversampled
+  std::vector<cfloat> upchirp_;    // C, oversampled
+};
+
+}  // namespace tnb::lora

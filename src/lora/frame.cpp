@@ -1,0 +1,159 @@
+#include "lora/frame.hpp"
+
+#include <stdexcept>
+
+#include "lora/crc.hpp"
+#include "lora/hamming.hpp"
+#include "lora/interleaver.hpp"
+#include "lora/whitening.hpp"
+
+namespace tnb::lora {
+
+std::vector<std::uint8_t> bytes_to_nibbles(std::span<const std::uint8_t> bytes) {
+  std::vector<std::uint8_t> nibbles;
+  nibbles.reserve(bytes.size() * 2);
+  for (std::uint8_t b : bytes) {
+    nibbles.push_back(b & 0x0F);
+    nibbles.push_back(static_cast<std::uint8_t>(b >> 4));
+  }
+  return nibbles;
+}
+
+std::vector<std::uint8_t> nibbles_to_bytes(std::span<const std::uint8_t> nibbles) {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(nibbles.size() / 2);
+  for (std::size_t i = 0; i + 1 < nibbles.size(); i += 2) {
+    bytes.push_back(
+        static_cast<std::uint8_t>((nibbles[i] & 0x0F) | (nibbles[i + 1] << 4)));
+  }
+  return bytes;
+}
+
+std::size_t num_payload_blocks(unsigned sf, std::size_t payload_bytes) {
+  const std::size_t nibbles = payload_bytes * 2;
+  return (nibbles + sf - 1) / sf;
+}
+
+std::size_t num_payload_symbols(const Params& p, std::size_t payload_bytes) {
+  return num_payload_blocks(p.bits_per_symbol(), payload_bytes) * p.codeword_len();
+}
+
+std::size_t num_packet_symbols(const Params& p, std::size_t payload_bytes) {
+  return kHeaderSymbols + num_payload_symbols(p, payload_bytes);
+}
+
+std::vector<std::uint8_t> assemble_payload(std::span<const std::uint8_t> app_bytes) {
+  std::vector<std::uint8_t> payload(app_bytes.begin(), app_bytes.end());
+  const std::uint16_t crc = crc16(app_bytes);
+  payload.push_back(static_cast<std::uint8_t>(crc >> 8));
+  payload.push_back(static_cast<std::uint8_t>(crc & 0xFF));
+  return payload;
+}
+
+bool check_payload_crc(std::span<const std::uint8_t> payload) {
+  if (payload.size() < 3) return false;
+  const std::uint16_t crc = crc16(payload.first(payload.size() - 2));
+  return payload[payload.size() - 2] == static_cast<std::uint8_t>(crc >> 8) &&
+         payload[payload.size() - 1] == static_cast<std::uint8_t>(crc & 0xFF);
+}
+
+std::vector<std::uint32_t> encode_payload_symbols(
+    const Params& p, std::span<const std::uint8_t> payload) {
+  p.validate();
+  std::vector<std::uint8_t> whitened(payload.begin(), payload.end());
+  whiten(whitened);
+  std::vector<std::uint8_t> nibbles = bytes_to_nibbles(whitened);
+  nibbles.resize(num_payload_blocks(p.bits_per_symbol(), payload.size()) * p.bits_per_symbol(), 0);
+
+  std::vector<std::uint32_t> symbols;
+  symbols.reserve(nibbles.size() / p.bits_per_symbol() * p.codeword_len());
+  std::vector<std::uint8_t> rows(p.bits_per_symbol());
+  for (std::size_t blk = 0; blk * p.bits_per_symbol() < nibbles.size(); ++blk) {
+    for (unsigned r = 0; r < p.bits_per_symbol(); ++r) {
+      rows[r] = encode_cr(nibbles[blk * p.bits_per_symbol() + r], p.cr);
+    }
+    const std::vector<std::uint32_t> blk_syms = interleave_block(rows, p.bits_per_symbol(), p.cr);
+    symbols.insert(symbols.end(), blk_syms.begin(), blk_syms.end());
+  }
+  return symbols;
+}
+
+std::vector<std::uint32_t> make_packet_symbols(
+    const Params& p, std::span<const std::uint8_t> app_bytes) {
+  const std::vector<std::uint8_t> payload = assemble_payload(app_bytes);
+  if (payload.size() > 255) {
+    throw std::invalid_argument("make_packet_symbols: payload too long");
+  }
+  Header h;
+  h.payload_len = static_cast<std::uint8_t>(payload.size());
+  h.cr = static_cast<std::uint8_t>(p.cr);
+  h.has_crc = true;
+  std::vector<std::uint32_t> symbols = encode_header_symbols(p, h);
+  const std::vector<std::uint32_t> pay = encode_payload_symbols(p, payload);
+  symbols.insert(symbols.end(), pay.begin(), pay.end());
+  return symbols;
+}
+
+std::vector<std::vector<std::uint8_t>> payload_blocks_from_symbols(
+    const Params& p, std::span<const std::uint32_t> symbols) {
+  const std::size_t cols = p.codeword_len();
+  if (symbols.size() % cols != 0) {
+    throw std::invalid_argument(
+        "payload_blocks_from_symbols: symbol count not a multiple of 4+CR");
+  }
+  std::vector<std::vector<std::uint8_t>> blocks;
+  blocks.reserve(symbols.size() / cols);
+  for (std::size_t i = 0; i < symbols.size(); i += cols) {
+    blocks.push_back(deinterleave_block(symbols.subspan(i, cols), p.bits_per_symbol(), p.cr));
+  }
+  return blocks;
+}
+
+std::vector<std::uint8_t> payload_from_block_nibbles(
+    const Params& p, std::span<const std::vector<std::uint8_t>> block_nibbles,
+    std::size_t payload_len) {
+  std::vector<std::uint8_t> nibbles;
+  nibbles.reserve(block_nibbles.size() * p.bits_per_symbol());
+  for (const auto& blk : block_nibbles) {
+    nibbles.insert(nibbles.end(), blk.begin(), blk.end());
+  }
+  nibbles.resize(payload_len * 2);
+  std::vector<std::uint8_t> bytes = nibbles_to_bytes(nibbles);
+  whiten(bytes);  // whitening is an involution
+  return bytes;
+}
+
+std::optional<std::vector<std::uint8_t>> decode_payload_default(
+    const Params& p, std::span<const std::uint32_t> symbols,
+    std::size_t payload_len) {
+  if (symbols.size() < num_payload_symbols(p, payload_len)) return std::nullopt;
+  const auto blocks = payload_blocks_from_symbols(
+      p, symbols.first(num_payload_symbols(p, payload_len)));
+  std::vector<std::vector<std::uint8_t>> nibbles;
+  nibbles.reserve(blocks.size());
+  for (const auto& blk : blocks) {
+    std::vector<std::uint8_t> data(p.bits_per_symbol());
+    for (unsigned r = 0; r < p.bits_per_symbol(); ++r) {
+      data[r] = default_decode(blk[r], p.cr).data;
+    }
+    nibbles.push_back(std::move(data));
+  }
+  std::vector<std::uint8_t> payload =
+      payload_from_block_nibbles(p, nibbles, payload_len);
+  if (!check_payload_crc(payload)) return std::nullopt;
+  return payload;
+}
+
+std::optional<Header> decode_header_default(
+    const Params& p, std::span<const std::uint32_t> header_symbols) {
+  if (header_symbols.size() < kHeaderSymbols) return std::nullopt;
+  const std::vector<std::uint8_t> rows =
+      deinterleave_block(header_symbols.first(kHeaderSymbols), p.bits_per_symbol(), 4);
+  std::vector<std::uint8_t> nibbles(p.bits_per_symbol());
+  for (unsigned r = 0; r < p.bits_per_symbol(); ++r) {
+    nibbles[r] = default_decode(rows[r], 4).data;
+  }
+  return header_from_nibbles(nibbles);
+}
+
+}  // namespace tnb::lora

@@ -1,0 +1,73 @@
+// Frame assembly: application bytes <-> on-air data symbol values.
+//
+// Transmit chain: payload bytes -> append CRC16 -> whiten -> nibbles ->
+// Hamming(CR) -> diagonal interleave per SF x (4+CR) block -> data symbol
+// values. The PHY header (always CR 4) precedes the payload blocks.
+// The receive chain inverts every step; `decode_payload_default` is the
+// vanilla LoRaPHY path (per-row nearest-codeword decoding), while BEC
+// replaces the per-block decode step in the TnB receiver.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "lora/header.hpp"
+#include "lora/params.hpp"
+
+namespace tnb::lora {
+
+/// Nibble split of a byte sequence, low nibble first.
+std::vector<std::uint8_t> bytes_to_nibbles(std::span<const std::uint8_t> bytes);
+
+/// Inverse of bytes_to_nibbles. Trailing odd nibble is dropped.
+std::vector<std::uint8_t> nibbles_to_bytes(std::span<const std::uint8_t> nibbles);
+
+/// Number of SF-row code blocks needed for `payload_bytes` on-air bytes.
+std::size_t num_payload_blocks(unsigned sf, std::size_t payload_bytes);
+
+/// Number of payload data symbols: blocks * (4 + CR).
+std::size_t num_payload_symbols(const Params& p, std::size_t payload_bytes);
+
+/// Total data symbols of a packet (header + payload).
+std::size_t num_packet_symbols(const Params& p, std::size_t payload_bytes);
+
+/// Appends CRC16 (big-endian) to application bytes, producing the on-air
+/// payload.
+std::vector<std::uint8_t> assemble_payload(std::span<const std::uint8_t> app_bytes);
+
+/// True if `payload` (>= 3 bytes) ends with a valid CRC16 of its prefix.
+bool check_payload_crc(std::span<const std::uint8_t> payload);
+
+/// Encodes the on-air payload (already CRC-suffixed) into data symbol values.
+std::vector<std::uint32_t> encode_payload_symbols(
+    const Params& p, std::span<const std::uint8_t> payload);
+
+/// Full packet: header symbols followed by payload symbols.
+/// `app_bytes` excludes the CRC; it is appended here.
+std::vector<std::uint32_t> make_packet_symbols(
+    const Params& p, std::span<const std::uint8_t> app_bytes);
+
+/// Deinterleaves payload symbols into per-block received rows.
+/// symbols.size() must be a multiple of 4+CR.
+std::vector<std::vector<std::uint8_t>> payload_blocks_from_symbols(
+    const Params& p, std::span<const std::uint32_t> symbols);
+
+/// Reassembles payload bytes from decoded data nibbles (one vector of SF
+/// nibbles per block), dewhitening and trimming to `payload_len`.
+std::vector<std::uint8_t> payload_from_block_nibbles(
+    const Params& p, std::span<const std::vector<std::uint8_t>> block_nibbles,
+    std::size_t payload_len);
+
+/// Vanilla decode of payload symbols with the default Hamming decoder.
+/// Returns the payload bytes if the CRC passes, nullopt otherwise.
+std::optional<std::vector<std::uint8_t>> decode_payload_default(
+    const Params& p, std::span<const std::uint32_t> symbols,
+    std::size_t payload_len);
+
+/// Vanilla decode of the 8 header symbols with the default decoder.
+std::optional<Header> decode_header_default(
+    const Params& p, std::span<const std::uint32_t> header_symbols);
+
+}  // namespace tnb::lora

@@ -1,0 +1,90 @@
+#include "lora/hamming.hpp"
+
+#include <bit>
+#include <limits>
+#include <stdexcept>
+
+namespace tnb::lora {
+namespace {
+
+constexpr std::uint8_t bit(std::uint8_t v, unsigned i) { return (v >> i) & 1u; }
+
+std::array<std::uint8_t, 16> make_table(unsigned cr) {
+  std::array<std::uint8_t, 16> t{};
+  for (std::uint8_t d = 0; d < 16; ++d) t[d] = encode_cr(d, cr);
+  return t;
+}
+
+}  // namespace
+
+std::uint8_t hamming_encode8(std::uint8_t nibble) {
+  const std::uint8_t d1 = bit(nibble, 0), d2 = bit(nibble, 1), d3 = bit(nibble, 2),
+                     d4 = bit(nibble, 3);
+  const std::uint8_t p1 = d1 ^ d2 ^ d3;
+  const std::uint8_t p2 = d2 ^ d3 ^ d4;
+  const std::uint8_t p3 = d1 ^ d2 ^ d4;
+  const std::uint8_t p4 = d1 ^ d3 ^ d4;
+  return static_cast<std::uint8_t>((nibble & 0x0F) | (p1 << 4) | (p2 << 5) |
+                                   (p3 << 6) | (p4 << 7));
+}
+
+std::uint8_t encode_cr(std::uint8_t nibble, unsigned cr) {
+  if (cr < 1 || cr > 4) throw std::invalid_argument("encode_cr: CR must be 1..4");
+  nibble &= 0x0F;
+  if (cr == 1) {
+    const std::uint8_t parity = static_cast<std::uint8_t>(
+        std::popcount(static_cast<unsigned>(nibble)) & 1);
+    return static_cast<std::uint8_t>(nibble | (parity << 4));
+  }
+  const std::uint8_t full = hamming_encode8(nibble);
+  const std::uint8_t mask = static_cast<std::uint8_t>((1u << (4 + cr)) - 1u);
+  return static_cast<std::uint8_t>(full & mask);
+}
+
+const std::array<std::uint8_t, 16>& codewords(unsigned cr) {
+  static const std::array<std::uint8_t, 16> t1 = make_table(1);
+  static const std::array<std::uint8_t, 16> t2 = make_table(2);
+  static const std::array<std::uint8_t, 16> t3 = make_table(3);
+  static const std::array<std::uint8_t, 16> t4 = make_table(4);
+  switch (cr) {
+    case 1: return t1;
+    case 2: return t2;
+    case 3: return t3;
+    case 4: return t4;
+    default: throw std::invalid_argument("codewords: CR must be 1..4");
+  }
+}
+
+unsigned min_distance(unsigned cr) {
+  switch (cr) {
+    case 1: return 2;
+    case 2: return 2;
+    case 3: return 3;
+    case 4: return 4;
+    default: throw std::invalid_argument("min_distance: CR must be 1..4");
+  }
+}
+
+DefaultDecodeResult default_decode(std::uint8_t row, unsigned cr) {
+  const auto& table = codewords(cr);
+  DefaultDecodeResult best;
+  unsigned best_dist = std::numeric_limits<unsigned>::max();
+  bool unique = true;
+  for (unsigned d = 0; d < 16; ++d) {
+    const unsigned dist = static_cast<unsigned>(
+        std::popcount(static_cast<unsigned>(row ^ table[d])));
+    if (dist < best_dist) {
+      best_dist = dist;
+      best.codeword = table[d];
+      best.data = static_cast<std::uint8_t>(d);
+      unique = true;
+    } else if (dist == best_dist) {
+      unique = false;
+    }
+  }
+  best.distance = best_dist;
+  best.unique = unique;
+  return best;
+}
+
+}  // namespace tnb::lora

@@ -1,0 +1,45 @@
+// LoRa's (8,4) Hamming code, its punctured CR 1..3 variants, and the
+// default per-codeword minimum-distance decoder.
+//
+// Generator matrix (paper Section 3):
+//   [ 1 0 0 0 | 1 0 1 1 ]
+//   [ 0 1 0 0 | 1 1 1 0 ]
+//   [ 0 0 1 0 | 1 1 0 1 ]
+//   [ 0 0 0 1 | 0 1 1 1 ]
+// A codeword is stored LSB-first: bit (c-1) of the byte is the paper's
+// column c. With CR in {2,3,4} the first CR parity bits are transmitted;
+// with CR 1 the single parity bit is the checksum (XOR) of the data bits.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace tnb::lora {
+
+/// Full 8-bit codeword for a data nibble (bits 0..3 = data).
+std::uint8_t hamming_encode8(std::uint8_t nibble);
+
+/// Codeword as transmitted at coding rate `cr` (length 4+cr bits).
+std::uint8_t encode_cr(std::uint8_t nibble, unsigned cr);
+
+/// All 16 transmitted codewords at coding rate `cr`, indexed by data nibble.
+const std::array<std::uint8_t, 16>& codewords(unsigned cr);
+
+/// Minimum Hamming distance of the CR-punctured code
+/// (CR1: 2, CR2: 2, CR3: 3, CR4: 4).
+unsigned min_distance(unsigned cr);
+
+/// Result of nearest-codeword decoding of one received row.
+struct DefaultDecodeResult {
+  std::uint8_t codeword = 0;  ///< closest valid codeword (4+cr bits)
+  std::uint8_t data = 0;      ///< its data nibble
+  unsigned distance = 0;      ///< Hamming distance from the received row
+  bool unique = true;         ///< false if another codeword ties
+};
+
+/// The "default decoder": snaps a received row to the nearest codeword.
+/// Ties are resolved toward the smallest data nibble (a deterministic stand-
+/// in for the paper's "arbitrary" choice).
+DefaultDecodeResult default_decode(std::uint8_t row, unsigned cr);
+
+}  // namespace tnb::lora

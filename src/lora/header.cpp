@@ -1,0 +1,52 @@
+#include "lora/header.hpp"
+
+#include <stdexcept>
+
+#include "lora/crc.hpp"
+#include "lora/hamming.hpp"
+#include "lora/interleaver.hpp"
+
+namespace tnb::lora {
+
+std::vector<std::uint8_t> header_to_nibbles(const Header& h, unsigned sf) {
+  if (sf < 6) throw std::invalid_argument("header_to_nibbles: SF too small");
+  if (h.cr < 1 || h.cr > 4) throw std::invalid_argument("header_to_nibbles: bad CR");
+  std::vector<std::uint8_t> nibbles(sf, 0);
+  const std::uint8_t checksum = header_checksum(h.payload_len, h.cr, h.has_crc);
+  nibbles[0] = h.payload_len & 0x0F;
+  nibbles[1] = (h.payload_len >> 4) & 0x0F;
+  nibbles[2] = static_cast<std::uint8_t>((h.cr & 0x07) | (h.has_crc ? 0x08 : 0x00));
+  nibbles[3] = checksum & 0x0F;
+  nibbles[4] = (checksum >> 4) & 0x0F;
+  return nibbles;
+}
+
+std::optional<Header> header_from_nibbles(std::span<const std::uint8_t> nibbles) {
+  if (nibbles.size() < 5) return std::nullopt;
+  Header h;
+  h.payload_len = static_cast<std::uint8_t>((nibbles[0] & 0x0F) |
+                                            ((nibbles[1] & 0x0F) << 4));
+  h.cr = nibbles[2] & 0x07;
+  h.has_crc = (nibbles[2] & 0x08) != 0;
+  const std::uint8_t checksum = static_cast<std::uint8_t>(
+      (nibbles[3] & 0x0F) | ((nibbles[4] & 0x0F) << 4));
+  if (h.cr < 1 || h.cr > 4) return std::nullopt;
+  if (checksum != header_checksum(h.payload_len, h.cr, h.has_crc)) {
+    return std::nullopt;
+  }
+  // Padding nibbles must be zero; a nonzero one indicates corruption the
+  // checksum did not cover.
+  for (std::size_t i = 5; i < nibbles.size(); ++i) {
+    if (nibbles[i] != 0) return std::nullopt;
+  }
+  return h;
+}
+
+std::vector<std::uint32_t> encode_header_symbols(const Params& p, const Header& h) {
+  const std::vector<std::uint8_t> nibbles = header_to_nibbles(h, p.bits_per_symbol());
+  std::vector<std::uint8_t> rows(p.bits_per_symbol());
+  for (unsigned r = 0; r < p.bits_per_symbol(); ++r) rows[r] = encode_cr(nibbles[r], 4);
+  return interleave_block(rows, p.bits_per_symbol(), 4);
+}
+
+}  // namespace tnb::lora

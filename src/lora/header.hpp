@@ -1,0 +1,37 @@
+// PHY header: carried in the first 8 symbols of every packet at CR 4.
+//
+// The header tells the receiver the payload length and coding rate. It is
+// one CR-4 code block (SF codewords), of which the first five data nibbles
+// carry content and the rest are zero padding. An 8-bit checksum lets the
+// receiver reject corrupted headers and arbitrate between BEC candidates.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "lora/params.hpp"
+
+namespace tnb::lora {
+
+struct Header {
+  std::uint8_t payload_len = 0;  ///< on-air payload bytes, including CRC16
+  std::uint8_t cr = 4;           ///< coding rate of the payload blocks
+  bool has_crc = true;
+
+  friend bool operator==(const Header&, const Header&) = default;
+};
+
+/// Packs the header into SF data nibbles (content + zero padding).
+std::vector<std::uint8_t> header_to_nibbles(const Header& h, unsigned sf);
+
+/// Parses and validates header nibbles. Returns nullopt if the checksum
+/// fails or fields are out of range.
+std::optional<Header> header_from_nibbles(std::span<const std::uint8_t> nibbles);
+
+/// Encodes the header into its 8 on-air data symbol values (CR 4 block:
+/// Hamming-encode each nibble, diagonal-interleave).
+std::vector<std::uint32_t> encode_header_symbols(const Params& p, const Header& h);
+
+}  // namespace tnb::lora

@@ -1,0 +1,43 @@
+#include "lora/interleaver.hpp"
+
+#include <stdexcept>
+
+namespace tnb::lora {
+
+std::vector<std::uint32_t> interleave_block(std::span<const std::uint8_t> rows,
+                                            unsigned sf, unsigned cr) {
+  if (rows.size() != sf) {
+    throw std::invalid_argument("interleave_block: need SF codeword rows");
+  }
+  const unsigned cols = 4 + cr;
+  std::vector<std::uint32_t> symbols(cols, 0);
+  for (unsigned c = 0; c < cols; ++c) {
+    std::uint32_t v = 0;
+    for (unsigned r = 0; r < sf; ++r) {
+      const unsigned src_row = (r + c) % sf;  // diagonal rotation
+      const std::uint32_t b = (rows[src_row] >> c) & 1u;
+      v |= b << r;
+    }
+    symbols[c] = v;
+  }
+  return symbols;
+}
+
+std::vector<std::uint8_t> deinterleave_block(
+    std::span<const std::uint32_t> symbols, unsigned sf, unsigned cr) {
+  const unsigned cols = 4 + cr;
+  if (symbols.size() != cols) {
+    throw std::invalid_argument("deinterleave_block: need 4+CR symbols");
+  }
+  std::vector<std::uint8_t> rows(sf, 0);
+  for (unsigned c = 0; c < cols; ++c) {
+    for (unsigned r = 0; r < sf; ++r) {
+      const unsigned dst_row = (r + c) % sf;
+      const std::uint32_t b = (symbols[c] >> r) & 1u;
+      rows[dst_row] |= static_cast<std::uint8_t>(b << c);
+    }
+  }
+  return rows;
+}
+
+}  // namespace tnb::lora

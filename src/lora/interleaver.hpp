@@ -1,0 +1,27 @@
+// Diagonal block interleaver.
+//
+// A code block is an SF x (4+CR) binary matrix: row r is codeword r, and
+// column c holds the bits carried by symbol c (paper Fig. 2). LoRa's
+// diagonal interleaver additionally rotates each column by its index so a
+// burst within one symbol spreads across codeword rows — but the defining
+// property for BEC is preserved: one corrupted symbol corrupts exactly one
+// column of the deinterleaved block.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace tnb::lora {
+
+/// Interleaves one block: `rows` holds SF codewords (each 4+cr bits,
+/// LSB-first). Returns 4+cr data symbol values of SF bits each.
+std::vector<std::uint32_t> interleave_block(std::span<const std::uint8_t> rows,
+                                            unsigned sf, unsigned cr);
+
+/// Inverse of interleave_block: 4+cr received symbol values -> SF rows of
+/// the received block.
+std::vector<std::uint8_t> deinterleave_block(
+    std::span<const std::uint32_t> symbols, unsigned sf, unsigned cr);
+
+}  // namespace tnb::lora

@@ -1,0 +1,27 @@
+#include "lora/whitening.hpp"
+
+namespace tnb::lora {
+
+std::vector<std::uint8_t> whitening_sequence(std::size_t n) {
+  std::vector<std::uint8_t> seq(n);
+  std::uint16_t state = 0x1FF;  // 9-bit LFSR, all ones
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint8_t byte = 0;
+    for (int b = 0; b < 8; ++b) {
+      const std::uint8_t out = state & 1u;
+      byte |= static_cast<std::uint8_t>(out << b);
+      // x^9 + x^5 + 1: feedback from taps 0 and 4 of the shifted register.
+      const std::uint16_t fb = ((state >> 0) ^ (state >> 4)) & 1u;
+      state = static_cast<std::uint16_t>((state >> 1) | (fb << 8));
+    }
+    seq[i] = byte;
+  }
+  return seq;
+}
+
+void whiten(std::span<std::uint8_t> bytes) {
+  const std::vector<std::uint8_t> seq = whitening_sequence(bytes.size());
+  for (std::size_t i = 0; i < bytes.size(); ++i) bytes[i] ^= seq[i];
+}
+
+}  // namespace tnb::lora

@@ -1,0 +1,21 @@
+// Payload whitening.
+//
+// LoRa XORs the payload with a PN9 pseudo-noise sequence so the on-air bits
+// look random regardless of payload content. Whitening is an involution:
+// applying it twice restores the original bytes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace tnb::lora {
+
+/// The first `n` bytes of the PN9 whitening sequence (x^9 + x^5 + 1,
+/// all-ones initial state).
+std::vector<std::uint8_t> whitening_sequence(std::size_t n);
+
+/// XORs `bytes` in place with the whitening sequence.
+void whiten(std::span<std::uint8_t> bytes);
+
+}  // namespace tnb::lora

@@ -1,0 +1,64 @@
+#include "sim/deployment.hpp"
+
+#include <algorithm>
+
+namespace tnb::sim {
+
+std::vector<NodeConfig> Deployment::draw_nodes(Rng& rng) const {
+  std::vector<NodeConfig> nodes(n_nodes);
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    nodes[i].id = static_cast<std::uint16_t>(i + 1);
+    if (snr_stddev_db > 0.0) {
+      nodes[i].snr_db = std::clamp(rng.normal(snr_mean_db, snr_stddev_db),
+                                   snr_min_db, snr_max_db);
+    } else {
+      nodes[i].snr_db = rng.uniform(snr_min_db, snr_max_db);
+    }
+    nodes[i].cfo_hz = rng.uniform(-kMaxCfoHz, kMaxCfoHz);
+  }
+  return nodes;
+}
+
+Deployment indoor_deployment() {
+  return Deployment{.name = "Indoor",
+                    .n_nodes = 19,
+                    .snr_mean_db = 15.0,
+                    .snr_stddev_db = 6.0,
+                    .snr_min_db = -2.0,
+                    .snr_max_db = 28.0};
+}
+
+Deployment outdoor1_deployment() {
+  return Deployment{.name = "Outdoor 1",
+                    .n_nodes = 25,
+                    .snr_mean_db = 8.0,
+                    .snr_stddev_db = 7.0,
+                    .snr_min_db = -6.0,
+                    .snr_max_db = 25.0};
+}
+
+Deployment outdoor2_deployment() {
+  return Deployment{.name = "Outdoor 2",
+                    .n_nodes = 25,
+                    .snr_mean_db = 12.0,
+                    .snr_stddev_db = 8.0,
+                    .snr_min_db = -5.0,
+                    .snr_max_db = 28.0};
+}
+
+Deployment etu_deployment(unsigned sf, std::size_t n_nodes) {
+  Deployment d;
+  d.name = "ETU";
+  d.n_nodes = n_nodes;
+  d.snr_stddev_db = 0.0;  // uniform draw between min and max
+  if (sf >= 10) {
+    d.snr_min_db = -6.0;
+    d.snr_max_db = 14.0;
+  } else {
+    d.snr_min_db = 0.0;
+    d.snr_max_db = 20.0;
+  }
+  return d;
+}
+
+}  // namespace tnb::sim

@@ -1,0 +1,54 @@
+#include "sim/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tnb::sim {
+
+double Series::mean() const {
+  if (values.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : values) s += v;
+  return s / static_cast<double>(values.size());
+}
+
+double Series::stddev() const {
+  if (values.size() < 2) return 0.0;
+  const double m = mean();
+  double s = 0.0;
+  for (double v : values) s += (v - m) * (v - m);
+  return std::sqrt(s / static_cast<double>(values.size() - 1));
+}
+
+double Series::min() const {
+  if (values.empty()) return 0.0;
+  return *std::min_element(values.begin(), values.end());
+}
+
+double Series::max() const {
+  if (values.empty()) return 0.0;
+  return *std::max_element(values.begin(), values.end());
+}
+
+Series run_repeated(const Scenario& scenario, int runs, std::uint64_t seed,
+                    const std::function<double(const Trace&, int)>& score) {
+  if (runs < 1) throw std::invalid_argument("run_repeated: runs must be >= 1");
+  Series series;
+  series.values.reserve(static_cast<std::size_t>(runs));
+  for (int r = 0; r < runs; ++r) {
+    Rng rng(seed + static_cast<std::uint64_t>(r) * 0x9E3779B9ull);
+    TraceOptions opt;
+    opt.duration_s = scenario.duration_s;
+    opt.load_pps = scenario.load_pps;
+    opt.nodes = scenario.deployment.draw_nodes(rng);
+    opt.channel = scenario.channel;
+    opt.n_antennas = scenario.n_antennas;
+    opt.implicit_header = scenario.implicit_header;
+    const Trace trace = build_trace(scenario.params, opt, rng);
+    series.values.push_back(score(trace, r));
+  }
+  return series;
+}
+
+}  // namespace tnb::sim

@@ -1,0 +1,44 @@
+// Repeated-run experiment orchestration.
+//
+// The paper repeats every (SF, CR, load) point three times ("runs") and
+// averages. This module generates R independent traces of one scenario and
+// aggregates an arbitrary per-trace score.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/deployment.hpp"
+#include "sim/trace_builder.hpp"
+
+namespace tnb::sim {
+
+/// Aggregate over repeated runs.
+struct Series {
+  std::vector<double> values;
+
+  double mean() const;
+  double stddev() const;  ///< sample standard deviation (n-1); 0 if n < 2
+  double min() const;
+  double max() const;
+};
+
+/// One experiment point: a deployment driven at a load.
+struct Scenario {
+  lora::Params params;
+  Deployment deployment;
+  double load_pps = 10.0;
+  double duration_s = 2.0;
+  const chan::Channel* channel = nullptr;
+  unsigned n_antennas = 1;
+  bool implicit_header = false;
+};
+
+/// Builds `runs` independent traces of `scenario` (fresh node draw and
+/// traffic each run, seeds derived from `seed`) and scores each with
+/// `score`. The callback receives the trace and the run index.
+Series run_repeated(const Scenario& scenario, int runs, std::uint64_t seed,
+                    const std::function<double(const Trace&, int)>& score);
+
+}  // namespace tnb::sim

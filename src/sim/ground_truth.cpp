@@ -1,0 +1,98 @@
+#include "sim/ground_truth.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace tnb::sim {
+namespace {
+
+constexpr char kHeader[] =
+    "node_id,seq,start_sample,cfo_hz,snr_db,n_samples,n_data_symbols,"
+    "payload_hex";
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  throw std::runtime_error("hex_to_bytes: invalid hex digit");
+}
+
+}  // namespace
+
+std::string bytes_to_hex(std::span<const std::uint8_t> bytes) {
+  static const char digits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (std::uint8_t b : bytes) {
+    out.push_back(digits[b >> 4]);
+    out.push_back(digits[b & 0x0F]);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> hex_to_bytes(const std::string& hex) {
+  if (hex.size() % 2 != 0) {
+    throw std::runtime_error("hex_to_bytes: odd-length hex string");
+  }
+  std::vector<std::uint8_t> out(hex.size() / 2);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<std::uint8_t>((hex_digit(hex[2 * i]) << 4) |
+                                       hex_digit(hex[2 * i + 1]));
+  }
+  return out;
+}
+
+void write_ground_truth_csv(const std::string& path,
+                            const std::vector<TxPacketRecord>& packets) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("write_ground_truth_csv: cannot open " + path);
+  }
+  out << kHeader << "\n";
+  out.precision(17);
+  for (const TxPacketRecord& p : packets) {
+    out << p.node_id << ',' << p.seq << ',' << p.start_sample << ','
+        << p.cfo_hz << ',' << p.snr_db << ',' << p.n_samples << ','
+        << p.n_data_symbols << ',' << bytes_to_hex(p.app_payload) << "\n";
+  }
+  if (!out) {
+    throw std::runtime_error("write_ground_truth_csv: write failed: " + path);
+  }
+}
+
+std::vector<TxPacketRecord> read_ground_truth_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("read_ground_truth_csv: cannot open " + path);
+  }
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) {
+    throw std::runtime_error("read_ground_truth_csv: bad header in " + path);
+  }
+  std::vector<TxPacketRecord> packets;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ss(line);
+    std::string field;
+    TxPacketRecord rec;
+    auto next = [&]() -> std::string {
+      if (!std::getline(ss, field, ',')) {
+        throw std::runtime_error("read_ground_truth_csv: truncated row");
+      }
+      return field;
+    };
+    rec.node_id = static_cast<std::uint16_t>(std::stoul(next()));
+    rec.seq = static_cast<std::uint16_t>(std::stoul(next()));
+    rec.start_sample = std::stod(next());
+    rec.cfo_hz = std::stod(next());
+    rec.snr_db = std::stod(next());
+    rec.n_samples = std::stoul(next());
+    rec.n_data_symbols = std::stoul(next());
+    rec.app_payload = hex_to_bytes(next());
+    packets.push_back(std::move(rec));
+  }
+  return packets;
+}
+
+}  // namespace tnb::sim

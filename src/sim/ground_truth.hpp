@@ -1,0 +1,30 @@
+// Ground-truth serialization for trace corpora.
+//
+// A generated trace is stored as a raw IQ file (trace_io.hpp) plus a CSV
+// ground-truth file with one row per transmitted packet; tnb_eval (and any
+// external tool) can then score a decoder without access to the simulator
+// state. The CSV is self-describing via its header row.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/trace_builder.hpp"
+
+namespace tnb::sim {
+
+/// Writes packets as CSV: node_id,seq,start_sample,cfo_hz,snr_db,
+/// n_samples,n_data_symbols,payload_hex. Throws std::runtime_error on I/O
+/// failure.
+void write_ground_truth_csv(const std::string& path,
+                            const std::vector<TxPacketRecord>& packets);
+
+/// Reads the CSV written by write_ground_truth_csv. Throws
+/// std::runtime_error on I/O or parse failure.
+std::vector<TxPacketRecord> read_ground_truth_csv(const std::string& path);
+
+/// Hex helpers (lowercase, two digits per byte).
+std::string bytes_to_hex(std::span<const std::uint8_t> bytes);
+std::vector<std::uint8_t> hex_to_bytes(const std::string& hex);
+
+}  // namespace tnb::sim

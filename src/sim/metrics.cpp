@@ -1,0 +1,158 @@
+#include "sim/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace tnb::sim {
+namespace {
+
+/// Finds the ground-truth record matching a decoded payload, or nullptr.
+const TxPacketRecord* match(const Trace& trace, const DecodedPacket& pkt) {
+  std::uint16_t node = 0, seq = 0;
+  if (!parse_app_payload(pkt.payload, node, seq)) return nullptr;
+  for (const TxPacketRecord& rec : trace.packets) {
+    if (rec.node_id == node && rec.seq == seq) {
+      if (rec.app_payload.size() == pkt.payload.size() &&
+          std::equal(rec.app_payload.begin(), rec.app_payload.end(),
+                     pkt.payload.begin())) {
+        return &rec;
+      }
+      return nullptr;  // id matches but content differs: corrupted decode
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+EvalResult evaluate(const Trace& trace, std::span<const DecodedPacket> decoded) {
+  EvalResult r;
+  r.transmitted = trace.packets.size();
+  r.decoded_raw = decoded.size();
+  std::set<std::pair<std::uint16_t, std::uint16_t>> seen;
+  for (const DecodedPacket& pkt : decoded) {
+    const TxPacketRecord* rec = match(trace, pkt);
+    if (rec == nullptr) {
+      ++r.false_packets;
+      continue;
+    }
+    seen.insert({rec->node_id, rec->seq});
+  }
+  r.decoded_unique = seen.size();
+  r.prr = r.transmitted == 0
+              ? 0.0
+              : static_cast<double>(r.decoded_unique) /
+                    static_cast<double>(r.transmitted);
+  return r;
+}
+
+std::map<std::uint16_t, double> per_node_prr(
+    const Trace& trace, std::span<const DecodedPacket> decoded) {
+  std::map<std::uint16_t, std::size_t> sent;
+  for (const TxPacketRecord& rec : trace.packets) sent[rec.node_id]++;
+
+  std::map<std::uint16_t, std::set<std::uint16_t>> got;
+  for (const DecodedPacket& pkt : decoded) {
+    const TxPacketRecord* rec = match(trace, pkt);
+    if (rec != nullptr) got[rec->node_id].insert(rec->seq);
+  }
+
+  std::map<std::uint16_t, double> prr;
+  for (const auto& [node, count] : sent) {
+    const auto it = got.find(node);
+    const std::size_t ok = it == got.end() ? 0 : it->second.size();
+    prr[node] = static_cast<double>(ok) / static_cast<double>(count);
+  }
+  return prr;
+}
+
+std::vector<int> medium_usage_timeline(const Trace& trace, double bin_s) {
+  const double rate = trace.params.sample_rate_hz();
+  const double total_s = static_cast<double>(trace.iq.size()) / rate;
+  const std::size_t n_bins = static_cast<std::size_t>(std::ceil(total_s / bin_s));
+  std::vector<int> usage(n_bins, 0);
+  for (const TxPacketRecord& rec : trace.packets) {
+    const double t0 = rec.start_sample / rate;
+    const double t1 = (rec.start_sample + static_cast<double>(rec.n_samples)) / rate;
+    const std::size_t b0 = static_cast<std::size_t>(t0 / bin_s);
+    const std::size_t b1 =
+        std::min(n_bins - 1, static_cast<std::size_t>(t1 / bin_s));
+    for (std::size_t b = b0; b <= b1 && b < n_bins; ++b) usage[b]++;
+  }
+  return usage;
+}
+
+int collision_level(const Trace& trace, std::size_t idx) {
+  const TxPacketRecord& me = trace.packets.at(idx);
+  const double my_start = me.start_sample;
+  const double my_end = my_start + static_cast<double>(me.n_samples);
+
+  // Sweep the overlap interval: collision level is the max number of other
+  // packets concurrently on the air at any instant of my transmission.
+  struct Event {
+    double t;
+    int delta;
+  };
+  std::vector<Event> events;
+  for (std::size_t i = 0; i < trace.packets.size(); ++i) {
+    if (i == idx) continue;
+    const TxPacketRecord& other = trace.packets[i];
+    const double s = std::max(other.start_sample, my_start);
+    const double e = std::min(
+        other.start_sample + static_cast<double>(other.n_samples), my_end);
+    if (s < e) {
+      events.push_back({s, +1});
+      events.push_back({e, -1});
+    }
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    return a.t < b.t || (a.t == b.t && a.delta < b.delta);
+  });
+  int level = 0, best = 0;
+  for (const Event& ev : events) {
+    level += ev.delta;
+    best = std::max(best, level);
+  }
+  return best;
+}
+
+std::vector<std::size_t> collision_level_histogram(
+    const Trace& trace, std::span<const DecodedPacket> decoded,
+    std::size_t max_level) {
+  std::vector<std::size_t> counts(max_level + 1, 0);
+  std::set<std::pair<std::uint16_t, std::uint16_t>> seen;
+  for (const DecodedPacket& pkt : decoded) {
+    const TxPacketRecord* rec = match(trace, pkt);
+    if (rec == nullptr) continue;
+    if (!seen.insert({rec->node_id, rec->seq}).second) continue;
+    const std::size_t idx = static_cast<std::size_t>(rec - trace.packets.data());
+    const int lvl = collision_level(trace, idx);
+    counts[std::min<std::size_t>(static_cast<std::size_t>(lvl), max_level)]++;
+  }
+  return counts;
+}
+
+std::vector<std::pair<double, double>> prr_by_snr(
+    const Trace& trace, std::span<const DecodedPacket> decoded,
+    double bucket_db) {
+  std::map<std::uint16_t, double> node_snr;
+  for (const TxPacketRecord& rec : trace.packets) node_snr[rec.node_id] = rec.snr_db;
+  const auto prr = per_node_prr(trace, decoded);
+
+  std::map<long, std::pair<double, std::size_t>> buckets;  // edge -> (sum, n)
+  for (const auto& [node, p] : prr) {
+    const long b = static_cast<long>(std::floor(node_snr[node] / bucket_db));
+    buckets[b].first += p;
+    buckets[b].second += 1;
+  }
+  std::vector<std::pair<double, double>> out;
+  out.reserve(buckets.size());
+  for (const auto& [b, sum_n] : buckets) {
+    out.emplace_back(static_cast<double>(b) * bucket_db,
+                     sum_n.first / static_cast<double>(sum_n.second));
+  }
+  return out;
+}
+
+}  // namespace tnb::sim

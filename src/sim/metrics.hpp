@@ -1,0 +1,64 @@
+// Evaluation metrics: throughput, PRR, medium usage, collision levels.
+//
+// A decoded packet is credited only if its (node id, sequence number) pair
+// matches a transmitted packet and the payload bytes are identical — the
+// same accounting the paper uses via the node id and sequence number
+// embedded in each packet's data.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "sim/trace_builder.hpp"
+
+namespace tnb::sim {
+
+/// One packet produced by any of the decoders under test.
+struct DecodedPacket {
+  std::vector<std::uint8_t> payload;  ///< app bytes (CRC stripped)
+  double start_sample = 0.0;          ///< detected packet start in the trace
+  double snr_db = 0.0;                ///< receiver-estimated SNR
+  double cfo_hz = 0.0;                ///< receiver-estimated CFO
+};
+
+struct EvalResult {
+  std::size_t transmitted = 0;
+  std::size_t decoded_unique = 0;  ///< distinct correct (node, seq) pairs
+  std::size_t decoded_raw = 0;     ///< CRC-passing outputs before dedup
+  std::size_t false_packets = 0;   ///< CRC-passed but no matching ground truth
+  double prr = 0.0;                ///< decoded_unique / transmitted
+};
+
+/// Scores decoder output against the trace ground truth.
+EvalResult evaluate(const Trace& trace, std::span<const DecodedPacket> decoded);
+
+/// Per-node packet receiving ratio, keyed by node id.
+std::map<std::uint16_t, double> per_node_prr(
+    const Trace& trace, std::span<const DecodedPacket> decoded);
+
+/// Number of packets on the air over time, one entry per `bin_s` seconds
+/// (paper Fig. 11; computed from ground truth, so it is exact here rather
+/// than the paper's lower bound).
+std::vector<int> medium_usage_timeline(const Trace& trace, double bin_s);
+
+/// Collision level of transmitted packet `idx`: the highest number of other
+/// packets simultaneously on the air during its transmission (paper Fig. 18).
+int collision_level(const Trace& trace, std::size_t idx);
+
+/// Collision level histogram restricted to a decoded subset: counts[k] =
+/// number of decoded packets whose collision level is k (last bucket
+/// aggregates >= counts.size()-1).
+std::vector<std::size_t> collision_level_histogram(
+    const Trace& trace, std::span<const DecodedPacket> decoded,
+    std::size_t max_level);
+
+/// Per-node PRR grouped into SNR buckets (paper Fig. 17). Returns pairs of
+/// (bucket lower edge, mean PRR of nodes falling in the bucket); buckets
+/// with no nodes are omitted.
+std::vector<std::pair<double, double>> prr_by_snr(
+    const Trace& trace, std::span<const DecodedPacket> decoded,
+    double bucket_db);
+
+}  // namespace tnb::sim

@@ -1,0 +1,53 @@
+#include "sim/trace_io.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace tnb::sim {
+namespace {
+
+std::int16_t clip_i16(double v) {
+  return static_cast<std::int16_t>(
+      std::clamp(v, -32768.0, 32767.0));
+}
+
+}  // namespace
+
+void write_trace_i16(const std::string& path, const IqBuffer& iq,
+                     double scale) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("write_trace_i16: cannot open " + path);
+  std::vector<std::int16_t> buf(2 * iq.size());
+  for (std::size_t i = 0; i < iq.size(); ++i) {
+    buf[2 * i] = clip_i16(iq[i].real() * scale);
+    buf[2 * i + 1] = clip_i16(iq[i].imag() * scale);
+  }
+  out.write(reinterpret_cast<const char*>(buf.data()),
+            static_cast<std::streamsize>(buf.size() * sizeof(std::int16_t)));
+  if (!out) throw std::runtime_error("write_trace_i16: write failed: " + path);
+}
+
+IqBuffer read_trace_i16(const std::string& path, double scale) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw std::runtime_error("read_trace_i16: cannot open " + path);
+  const std::streamsize bytes = in.tellg();
+  in.seekg(0);
+  const std::size_t n_values =
+      static_cast<std::size_t>(bytes) / sizeof(std::int16_t);
+  std::vector<std::int16_t> buf(n_values);
+  in.read(reinterpret_cast<char*>(buf.data()),
+          static_cast<std::streamsize>(n_values * sizeof(std::int16_t)));
+  if (!in) throw std::runtime_error("read_trace_i16: read failed: " + path);
+
+  IqBuffer iq(n_values / 2);
+  const float inv = static_cast<float>(1.0 / scale);
+  for (std::size_t i = 0; i < iq.size(); ++i) {
+    iq[i] = {buf[2 * i] * inv, buf[2 * i + 1] * inv};
+  }
+  return iq;
+}
+
+}  // namespace tnb::sim

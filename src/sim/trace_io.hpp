@@ -1,0 +1,25 @@
+// Trace file I/O in the paper artifact's format.
+//
+// The published TnB traces are raw interleaved 16-bit integers: I, Q, I, Q,
+// ... sampled at OSF x BW (1 Msps in the paper). These helpers read and
+// write that format so synthetic traces can be exported and real USRP
+// captures decoded.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace tnb::sim {
+
+/// Writes IQ as interleaved int16 little-endian pairs. `scale` maps float
+/// amplitude 1.0 to this integer value (clipped to int16 range).
+/// Throws std::runtime_error on I/O failure.
+void write_trace_i16(const std::string& path, const IqBuffer& iq,
+                     double scale = 1024.0);
+
+/// Reads an interleaved int16 trace; the inverse of write_trace_i16 with
+/// the same scale. Throws std::runtime_error on I/O failure.
+IqBuffer read_trace_i16(const std::string& path, double scale = 1024.0);
+
+}  // namespace tnb::sim

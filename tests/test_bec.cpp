@@ -1,0 +1,396 @@
+#include "core/bec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <set>
+
+#include "common/rng.hpp"
+#include "lora/frame.hpp"
+#include "lora/hamming.hpp"
+#include "lora/header.hpp"
+#include "lora/interleaver.hpp"
+
+namespace tnb::rx {
+namespace {
+
+/// A random block of valid codewords.
+std::vector<std::uint8_t> random_block(unsigned sf, unsigned cr, Rng& rng) {
+  std::vector<std::uint8_t> rows(sf);
+  for (auto& r : rows) {
+    r = lora::codewords(cr)[rng.uniform_index(16)];
+  }
+  return rows;
+}
+
+/// Corrupts the given columns: each bit in an error column flips with
+/// probability 1/2, re-drawn until the column actually differs somewhere
+/// (otherwise it would not be an error column).
+std::vector<std::uint8_t> corrupt_columns(std::span<const std::uint8_t> rows,
+                                          std::span<const unsigned> cols,
+                                          Rng& rng) {
+  std::vector<std::uint8_t> out(rows.begin(), rows.end());
+  for (unsigned c : cols) {
+    bool any = false;
+    while (!any) {
+      for (std::size_t r = 0; r < out.size(); ++r) {
+        out[r] = static_cast<std::uint8_t>(out[r] & ~(1u << c));
+        const unsigned orig = (rows[r] >> c) & 1u;
+        const unsigned bit = rng.uniform() < 0.5 ? orig ^ 1u : orig;
+        out[r] |= static_cast<std::uint8_t>(bit << c);
+        if (bit != orig) any = true;
+      }
+    }
+  }
+  return out;
+}
+
+bool contains(const std::vector<std::vector<std::uint8_t>>& candidates,
+              const std::vector<std::uint8_t>& truth) {
+  for (const auto& c : candidates) {
+    if (c == truth) return true;
+  }
+  return false;
+}
+
+TEST(BecCompanions, Cr2PairsMatchPaper) {
+  // Paper A.1 (1-indexed): c1-c5, c2-c3, c4-c6. Zero-indexed: 0-4, 1-2, 3-5.
+  const Bec bec(8, 2);
+  const std::pair<unsigned, unsigned> pairs[] = {{0, 4}, {1, 2}, {3, 5}};
+  for (const auto& [a, b] : pairs) {
+    const auto ca = bec.companions(static_cast<std::uint8_t>(1u << a));
+    ASSERT_EQ(ca.size(), 1u) << "col " << a;
+    EXPECT_EQ(ca[0], static_cast<std::uint8_t>(1u << b));
+    const auto cb = bec.companions(static_cast<std::uint8_t>(1u << b));
+    ASSERT_EQ(cb.size(), 1u);
+    EXPECT_EQ(cb[0], static_cast<std::uint8_t>(1u << a));
+  }
+}
+
+TEST(BecCompanions, Cr3EveryPairHasUniqueSingleColumnCompanion) {
+  const Bec bec(8, 3);
+  for (unsigned a = 0; a < 7; ++a) {
+    for (unsigned b = a + 1; b < 7; ++b) {
+      const std::uint8_t mask = static_cast<std::uint8_t>((1u << a) | (1u << b));
+      const auto comps = bec.companions(mask);
+      ASSERT_EQ(comps.size(), 1u) << "pair " << a << "," << b;
+      EXPECT_EQ(std::popcount(static_cast<unsigned>(comps[0])), 1);
+      EXPECT_EQ(comps[0] & mask, 0);
+    }
+  }
+}
+
+TEST(BecCompanions, Cr4EveryPairHasThreeCompanions) {
+  // Paper A.1: |Pi| = 2 at CR 4 has 3 companions (the companion group).
+  const Bec bec(8, 4);
+  for (unsigned a = 0; a < 8; ++a) {
+    for (unsigned b = a + 1; b < 8; ++b) {
+      const std::uint8_t mask = static_cast<std::uint8_t>((1u << a) | (1u << b));
+      const auto comps = bec.companions(mask);
+      ASSERT_EQ(comps.size(), 3u) << "pair " << a << "," << b;
+      for (std::uint8_t c : comps) {
+        EXPECT_EQ(std::popcount(static_cast<unsigned>(c)), 2);
+        EXPECT_EQ(c & mask, 0);
+      }
+    }
+  }
+}
+
+TEST(BecCompanions, Cr4TripleHasUniqueCompanion) {
+  const Bec bec(8, 4);
+  unsigned checked = 0;
+  for (unsigned a = 0; a < 8; ++a) {
+    for (unsigned b = a + 1; b < 8; ++b) {
+      for (unsigned c = b + 1; c < 8; ++c) {
+        const std::uint8_t mask =
+            static_cast<std::uint8_t>((1u << a) | (1u << b) | (1u << c));
+        const auto comps = bec.companions(mask);
+        // Some triples are not inside any weight-4 codeword; when they are,
+        // the companion is a unique single column.
+        if (!comps.empty()) {
+          EXPECT_EQ(comps.size(), 1u);
+          EXPECT_EQ(std::popcount(static_cast<unsigned>(comps[0])), 1);
+          ++checked;
+        }
+      }
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(BecDecode, CleanBlockSingleCandidate) {
+  Rng rng(1);
+  for (unsigned cr = 1; cr <= 4; ++cr) {
+    const Bec bec(8, cr);
+    const auto rows = random_block(8, cr, rng);
+    const auto cands = bec.decode_block(rows);
+    ASSERT_EQ(cands.size(), 1u) << "cr=" << cr;
+    EXPECT_EQ(cands[0], rows);
+  }
+}
+
+TEST(BecDecode, GammaIsAlwaysFirstCandidate) {
+  Rng rng(2);
+  const Bec bec(8, 3);
+  const auto truth = random_block(8, 3, rng);
+  const unsigned cols[] = {1, 5};
+  const auto rx = corrupt_columns(truth, cols, rng);
+  const auto cands = bec.decode_block(rx);
+  ASSERT_FALSE(cands.empty());
+  // First candidate is the per-row default decode.
+  for (unsigned r = 0; r < 8; ++r) {
+    EXPECT_EQ(cands[0][r], lora::default_decode(rx[r], 3).codeword);
+  }
+}
+
+class BecSingleColumn : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BecSingleColumn, CorrectsOneColumnErrors) {
+  // Paper Table 1: BEC corrects 1-symbol errors at every CR.
+  const unsigned cr = GetParam();
+  Rng rng(cr * 17);
+  const Bec bec(8, cr);
+  int ok = 0;
+  const int trials = 300;
+  for (int t = 0; t < trials; ++t) {
+    const auto truth = random_block(8, cr, rng);
+    const unsigned col = static_cast<unsigned>(rng.uniform_index(4 + cr));
+    const unsigned cols[] = {col};
+    const auto rx = corrupt_columns(truth, cols, rng);
+    if (contains(bec.decode_block(rx), truth)) ++ok;
+  }
+  EXPECT_EQ(ok, trials) << "cr=" << cr;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCr, BecSingleColumn, ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(BecDecode, Cr3CorrectsTwoColumnErrors) {
+  // Paper: "almost all" 2-symbol errors at CR 3 (failure prob ~2^-SF when
+  // the diffs collapse onto the companion column alone).
+  Rng rng(5);
+  const Bec bec(8, 3);
+  int ok = 0;
+  const int trials = 500;
+  for (int t = 0; t < trials; ++t) {
+    const auto truth = random_block(8, 3, rng);
+    unsigned c1 = static_cast<unsigned>(rng.uniform_index(7));
+    unsigned c2 = static_cast<unsigned>(rng.uniform_index(7));
+    while (c2 == c1) c2 = static_cast<unsigned>(rng.uniform_index(7));
+    const unsigned cols[] = {c1, c2};
+    const auto rx = corrupt_columns(truth, cols, rng);
+    if (contains(bec.decode_block(rx), truth)) ++ok;
+  }
+  EXPECT_GE(ok, trials - 10);  // expected failures ~ trials * 2^-8
+}
+
+TEST(BecDecode, Cr4CorrectsAllTwoColumnErrors) {
+  // Paper Table 2: error probability 0 for CR 4 with 2 error columns.
+  Rng rng(6);
+  const Bec bec(8, 4);
+  const int trials = 500;
+  int ok = 0;
+  for (int t = 0; t < trials; ++t) {
+    const auto truth = random_block(8, 4, rng);
+    unsigned c1 = static_cast<unsigned>(rng.uniform_index(8));
+    unsigned c2 = static_cast<unsigned>(rng.uniform_index(8));
+    while (c2 == c1) c2 = static_cast<unsigned>(rng.uniform_index(8));
+    const unsigned cols[] = {c1, c2};
+    const auto rx = corrupt_columns(truth, cols, rng);
+    if (contains(bec.decode_block(rx), truth)) ++ok;
+  }
+  EXPECT_EQ(ok, trials);
+}
+
+class BecThreeColumn : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BecThreeColumn, Cr4CorrectsMostThreeColumnErrors) {
+  // Paper Fig. 20: decoding error < 0.04 at SF 7 and decreasing with SF.
+  const unsigned sf = GetParam();
+  Rng rng(sf * 31);
+  const Bec bec(sf, 4);
+  const int trials = 400;
+  int ok = 0;
+  for (int t = 0; t < trials; ++t) {
+    const auto truth = random_block(sf, 4, rng);
+    std::set<unsigned> cols_set;
+    while (cols_set.size() < 3) {
+      cols_set.insert(static_cast<unsigned>(rng.uniform_index(8)));
+    }
+    std::vector<unsigned> cols(cols_set.begin(), cols_set.end());
+    const auto rx = corrupt_columns(truth, cols, rng);
+    if (contains(bec.decode_block(rx), truth)) ++ok;
+  }
+  const double rate = static_cast<double>(ok) / trials;
+  EXPECT_GE(rate, 0.90) << "sf=" << sf;
+  if (sf >= 10) {
+    EXPECT_GE(rate, 0.95);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SfSweep, BecThreeColumn, ::testing::Values(7u, 8u, 10u, 12u));
+
+TEST(BecDecode, RejectsWrongRowCount) {
+  const Bec bec(8, 4);
+  std::vector<std::uint8_t> rows(7);
+  EXPECT_THROW(bec.decode_block(rows), std::invalid_argument);
+}
+
+TEST(BecDecode, InvalidParamsThrow) {
+  EXPECT_THROW(Bec(5, 4), std::invalid_argument);
+  EXPECT_THROW(Bec(8, 0), std::invalid_argument);
+  EXPECT_THROW(Bec(8, 5), std::invalid_argument);
+}
+
+TEST(BecDecode, StatsCountRepairs) {
+  Rng rng(7);
+  const Bec bec(8, 3);
+  BecStats stats;
+  const auto truth = random_block(8, 3, rng);
+  const unsigned cols[] = {0, 3};
+  const auto rx = corrupt_columns(truth, cols, rng);
+  bec.decode_block(rx, &stats);
+  EXPECT_GT(stats.delta1, 0u);       // CR3 2-col repairs use Delta_1
+  EXPECT_LE(stats.delta1, 3u);       // paper Table 2: 3 Delta_1
+  EXPECT_EQ(stats.delta2, 0u);
+  EXPECT_EQ(stats.delta3, 0u);
+}
+
+TEST(BecDecode, StatsAccumulate) {
+  BecStats a, b;
+  a.delta1 = 2;
+  a.crc_checks = 5;
+  b.delta1 = 3;
+  b.crc_checks = 7;
+  b.candidate_blocks = 1;
+  a += b;
+  EXPECT_EQ(a.delta1, 5u);
+  EXPECT_EQ(a.crc_checks, 12u);
+  EXPECT_EQ(a.candidate_blocks, 1u);
+}
+
+TEST(BecW, BudgetMatchesPaper) {
+  EXPECT_EQ(bec_w_budget(1), 125u);
+  EXPECT_EQ(bec_w_budget(2), 16u);
+  EXPECT_EQ(bec_w_budget(3), 16u);
+  EXPECT_EQ(bec_w_budget(4), 16u);
+}
+
+// ---- Packet level ----
+
+class BecPacket : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>> {};
+
+TEST_P(BecPacket, CorrectsSymbolCorruptionBeyondDefaultDecoder) {
+  const auto [sf, cr] = GetParam();
+  lora::Params p{.sf = sf, .cr = cr};
+  Rng rng(sf * 100 + cr);
+  int bec_ok = 0;
+  const int trials = 40;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<std::uint8_t> app(14);
+    for (auto& b : app) b = static_cast<std::uint8_t>(rng.uniform_index(256));
+    const auto payload = lora::assemble_payload(app);
+    auto symbols = lora::encode_payload_symbols(p, payload);
+
+    // Corrupt one symbol in each of two blocks (the paper's operating
+    // envelope: W = 125 = 5^3 covers up to three corrupted CR1 blocks).
+    const std::size_t cols = p.codeword_len();
+    const std::size_t n_blocks = symbols.size() / cols;
+    std::size_t b1 = rng.uniform_index(n_blocks);
+    std::size_t b2 = rng.uniform_index(n_blocks);
+    while (n_blocks > 1 && b2 == b1) b2 = rng.uniform_index(n_blocks);
+    for (std::size_t blk : {b1, b2}) {
+      const std::size_t victim = blk * cols + rng.uniform_index(cols);
+      symbols[victim] ^= static_cast<std::uint32_t>(
+          1 + rng.uniform_index((1u << sf) - 1));
+    }
+    BecPacketResult r =
+        decode_payload_bec(p, symbols, payload.size(), rng, nullptr);
+    if (r.ok) {
+      ++bec_ok;
+      EXPECT_EQ(r.payload, payload);
+    }
+  }
+  // One corrupted symbol per block is within BEC's 1-column capability at
+  // every CR, so every packet must decode.
+  EXPECT_EQ(bec_ok, trials);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SfCrGrid, BecPacket,
+    ::testing::Combine(::testing::Values(7u, 8u, 10u),
+                       ::testing::Values(1u, 2u, 3u, 4u)));
+
+TEST(BecPacketLevel, RescuedCodewordsCounted) {
+  lora::Params p{.sf = 8, .cr = 4};
+  Rng rng(11);
+  std::vector<std::uint8_t> app(14, 0x42);
+  const auto payload = lora::assemble_payload(app);
+  auto symbols = lora::encode_payload_symbols(p, payload);
+  // Two corrupted symbols in block 0: beyond the default decoder for some
+  // rows, so BEC must rescue at least one codeword.
+  symbols[0] ^= 0x55;
+  symbols[5] ^= 0x2A;
+  BecPacketResult r = decode_payload_bec(p, symbols, payload.size(), rng);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.payload, payload);
+  EXPECT_GT(r.rescued_codewords, 0u);
+}
+
+TEST(BecPacketLevel, CleanPacketZeroRescued) {
+  lora::Params p{.sf = 8, .cr = 2};
+  Rng rng(12);
+  std::vector<std::uint8_t> app(14, 0x24);
+  const auto payload = lora::assemble_payload(app);
+  const auto symbols = lora::encode_payload_symbols(p, payload);
+  BecPacketResult r = decode_payload_bec(p, symbols, payload.size(), rng);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.rescued_codewords, 0u);
+}
+
+TEST(BecPacketLevel, HopelessCorruptionFailsCleanly) {
+  lora::Params p{.sf = 8, .cr = 1};
+  Rng rng(13);
+  std::vector<std::uint8_t> app(14, 0x99);
+  const auto payload = lora::assemble_payload(app);
+  auto symbols = lora::encode_payload_symbols(p, payload);
+  for (auto& s : symbols) s ^= static_cast<std::uint32_t>(rng.uniform_index(256));
+  BecStats stats;
+  BecPacketResult r = decode_payload_bec(p, symbols, payload.size(), rng, &stats);
+  EXPECT_FALSE(r.ok);
+  EXPECT_LE(stats.crc_checks, bec_w_budget(1));
+}
+
+TEST(BecPacketLevel, ShortSymbolSpanFails) {
+  lora::Params p{.sf = 8, .cr = 4};
+  Rng rng(14);
+  std::vector<std::uint32_t> too_few(4, 0);
+  BecPacketResult r = decode_payload_bec(p, too_few, 16, rng);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(BecHeader, CorrectsCorruptedHeaderSymbol) {
+  lora::Params p{.sf = 8, .cr = 3};
+  lora::Header h{.payload_len = 16, .cr = 3, .has_crc = true};
+  auto symbols = lora::encode_header_symbols(p, h);
+  Rng rng(15);
+  int ok = 0;
+  const int trials = 100;
+  for (int t = 0; t < trials; ++t) {
+    auto corrupted = symbols;
+    const std::size_t victim = rng.uniform_index(corrupted.size());
+    corrupted[victim] ^= static_cast<std::uint32_t>(
+        1 + rng.uniform_index((1u << p.sf) - 1));
+    const auto hdr = decode_header_bec(p, corrupted);
+    if (hdr.has_value() && *hdr == h) ++ok;
+  }
+  EXPECT_EQ(ok, trials);  // 1-column errors always correctable at CR 4
+}
+
+TEST(BecHeader, TooFewSymbolsRejected) {
+  lora::Params p{.sf = 8, .cr = 4};
+  std::vector<std::uint32_t> syms(4, 0);
+  EXPECT_FALSE(decode_header_bec(p, syms).has_value());
+}
+
+}  // namespace
+}  // namespace tnb::rx

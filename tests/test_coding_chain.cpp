@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "lora/crc.hpp"
+#include "lora/frame.hpp"
+#include "lora/gray.hpp"
+#include "lora/header.hpp"
+#include "lora/interleaver.hpp"
+#include "lora/whitening.hpp"
+
+namespace tnb::lora {
+namespace {
+
+TEST(Gray, RoundTrip) {
+  for (std::uint32_t x = 0; x < 4096; ++x) {
+    EXPECT_EQ(gray_decode(gray_encode(x)), x);
+    EXPECT_EQ(gray_encode(gray_decode(x)), x);
+  }
+}
+
+TEST(Gray, AdjacentValuesDifferByOneBit) {
+  for (std::uint32_t x = 0; x < 1023; ++x) {
+    const std::uint32_t d = gray_encode(x) ^ gray_encode(x + 1);
+    EXPECT_EQ(d & (d - 1), 0u);  // power of two -> exactly one bit
+    EXPECT_NE(d, 0u);
+  }
+}
+
+TEST(Gray, ShiftValueMappingInverse) {
+  for (std::uint32_t v = 0; v < 1024; ++v) {
+    EXPECT_EQ(value_for_shift(shift_for_value(v)), v);
+  }
+}
+
+TEST(Whitening, IsInvolution) {
+  Rng rng(1);
+  std::vector<std::uint8_t> data(64);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.uniform_index(256));
+  std::vector<std::uint8_t> orig = data;
+  whiten(data);
+  EXPECT_NE(data, orig);  // sequence is nontrivial
+  whiten(data);
+  EXPECT_EQ(data, orig);
+}
+
+TEST(Whitening, SequenceIsDeterministicAndBalanced) {
+  auto a = whitening_sequence(512);
+  auto b = whitening_sequence(512);
+  EXPECT_EQ(a, b);
+  // A PN9 sequence is nearly balanced: count ones across bits.
+  std::size_t ones = 0;
+  for (std::uint8_t byte : a) ones += static_cast<std::size_t>(std::popcount(static_cast<unsigned>(byte)));
+  EXPECT_NEAR(static_cast<double>(ones), 512 * 4.0, 512 * 0.5);
+}
+
+TEST(Whitening, PrefixConsistency) {
+  auto longer = whitening_sequence(100);
+  auto shorter = whitening_sequence(10);
+  EXPECT_TRUE(std::equal(shorter.begin(), shorter.end(), longer.begin()));
+}
+
+class InterleaverRoundTrip
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>> {};
+
+TEST_P(InterleaverRoundTrip, Bijective) {
+  const auto [sf, cr] = GetParam();
+  Rng rng(sf * 10 + cr);
+  std::vector<std::uint8_t> rows(sf);
+  const std::uint8_t mask = static_cast<std::uint8_t>((1u << (4 + cr)) - 1u);
+  for (auto& r : rows) r = static_cast<std::uint8_t>(rng.uniform_index(256)) & mask;
+  const auto symbols = interleave_block(rows, sf, cr);
+  ASSERT_EQ(symbols.size(), 4 + cr);
+  for (std::uint32_t s : symbols) EXPECT_LT(s, 1u << sf);
+  const auto back = deinterleave_block(symbols, sf, cr);
+  EXPECT_EQ(back, rows);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SfCrGrid, InterleaverRoundTrip,
+    ::testing::Combine(::testing::Values(7u, 8u, 10u, 12u),
+                       ::testing::Values(1u, 2u, 3u, 4u)));
+
+TEST(Interleaver, OneSymbolCorruptsOneColumn) {
+  // The property BEC depends on: flipping bits of one received symbol
+  // changes exactly one column of the deinterleaved block.
+  const unsigned sf = 8, cr = 3;
+  Rng rng(77);
+  std::vector<std::uint8_t> rows(sf);
+  for (auto& r : rows) r = static_cast<std::uint8_t>(rng.uniform_index(128));
+  auto symbols = interleave_block(rows, sf, cr);
+  const unsigned victim = 5;
+  symbols[victim] ^= 0xA5 & ((1u << sf) - 1u);  // corrupt symbol 5
+  const auto back = deinterleave_block(symbols, sf, cr);
+  for (unsigned r = 0; r < sf; ++r) {
+    const std::uint8_t diff = back[r] ^ rows[r];
+    EXPECT_EQ(diff & static_cast<std::uint8_t>(~(1u << victim)), 0)
+        << "row " << r << " differs outside column " << victim;
+  }
+}
+
+TEST(Interleaver, SizeValidation) {
+  std::vector<std::uint8_t> rows(7);
+  EXPECT_THROW(interleave_block(rows, 8, 4), std::invalid_argument);
+  std::vector<std::uint32_t> syms(7);
+  EXPECT_THROW(deinterleave_block(syms, 8, 4), std::invalid_argument);
+}
+
+TEST(Crc16, KnownVector) {
+  // CRC-16/CCITT-FALSE("123456789") = 0x29B1.
+  const std::uint8_t msg[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc16(msg), 0x29B1);
+}
+
+TEST(Crc16, DetectsSingleBitFlip) {
+  Rng rng(9);
+  std::vector<std::uint8_t> msg(32);
+  for (auto& b : msg) b = static_cast<std::uint8_t>(rng.uniform_index(256));
+  const std::uint16_t good = crc16(msg);
+  for (std::size_t byte = 0; byte < msg.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      msg[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_NE(crc16(msg), good);
+      msg[byte] ^= static_cast<std::uint8_t>(1u << bit);
+    }
+  }
+}
+
+TEST(HeaderChecksum, SensitiveToEveryField) {
+  const std::uint8_t base = header_checksum(16, 3, true);
+  EXPECT_NE(header_checksum(17, 3, true), base);
+  EXPECT_NE(header_checksum(16, 4, true), base);
+  EXPECT_NE(header_checksum(16, 3, false), base);
+}
+
+TEST(Header, NibbleRoundTrip) {
+  for (unsigned sf : {7u, 8u, 10u, 12u}) {
+    for (unsigned cr = 1; cr <= 4; ++cr) {
+      Header h{.payload_len = 16, .cr = static_cast<std::uint8_t>(cr), .has_crc = true};
+      const auto nibbles = header_to_nibbles(h, sf);
+      ASSERT_EQ(nibbles.size(), sf);
+      const auto parsed = header_from_nibbles(nibbles);
+      ASSERT_TRUE(parsed.has_value());
+      EXPECT_EQ(*parsed, h);
+    }
+  }
+}
+
+TEST(Header, CorruptedChecksumRejected) {
+  Header h{.payload_len = 16, .cr = 3, .has_crc = true};
+  auto nibbles = header_to_nibbles(h, 8);
+  nibbles[0] ^= 0x1;  // corrupt the length field
+  EXPECT_FALSE(header_from_nibbles(nibbles).has_value());
+}
+
+TEST(Header, NonzeroPaddingRejected) {
+  Header h{.payload_len = 16, .cr = 3, .has_crc = true};
+  auto nibbles = header_to_nibbles(h, 8);
+  nibbles[6] = 0xF;
+  EXPECT_FALSE(header_from_nibbles(nibbles).has_value());
+}
+
+TEST(Header, SymbolRoundTripThroughDefaultDecode) {
+  Params p{.sf = 10, .cr = 2};
+  Header h{.payload_len = 18, .cr = 2, .has_crc = true};
+  const auto syms = encode_header_symbols(p, h);
+  ASSERT_EQ(syms.size(), kHeaderSymbols);
+  const auto parsed = decode_header_default(p, syms);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, h);
+}
+
+TEST(Frame, NibbleByteRoundTrip) {
+  std::vector<std::uint8_t> bytes{0x12, 0xAB, 0xF0, 0x07};
+  const auto nibbles = bytes_to_nibbles(bytes);
+  ASSERT_EQ(nibbles.size(), 8u);
+  EXPECT_EQ(nibbles[0], 0x2);
+  EXPECT_EQ(nibbles[1], 0x1);
+  EXPECT_EQ(nibbles_to_bytes(nibbles), bytes);
+}
+
+TEST(Frame, PayloadBlockCounts) {
+  // Paper: a 16-byte packet has 3 to 5 blocks depending on SF.
+  EXPECT_EQ(num_payload_blocks(8, 16), 4u);   // 32 nibbles / 8
+  EXPECT_EQ(num_payload_blocks(10, 16), 4u);  // ceil(32/10)
+  EXPECT_EQ(num_payload_blocks(12, 16), 3u);
+  EXPECT_EQ(num_payload_blocks(7, 16), 5u);
+}
+
+TEST(Frame, AssembleAndCheckCrc) {
+  std::vector<std::uint8_t> app{1, 2, 3, 4, 5};
+  auto payload = assemble_payload(app);
+  ASSERT_EQ(payload.size(), 7u);
+  EXPECT_TRUE(check_payload_crc(payload));
+  payload[2] ^= 0x40;
+  EXPECT_FALSE(check_payload_crc(payload));
+}
+
+TEST(Frame, CheckCrcRejectsTinyInputs) {
+  std::vector<std::uint8_t> two{1, 2};
+  EXPECT_FALSE(check_payload_crc(two));
+}
+
+class FrameRoundTrip
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>> {};
+
+TEST_P(FrameRoundTrip, EncodeDecodeClean) {
+  const auto [sf, cr] = GetParam();
+  Params p{.sf = sf, .cr = cr};
+  Rng rng(sf * 100 + cr);
+  std::vector<std::uint8_t> app(14);
+  for (auto& b : app) b = static_cast<std::uint8_t>(rng.uniform_index(256));
+
+  const auto symbols = make_packet_symbols(p, app);
+  ASSERT_EQ(symbols.size(), num_packet_symbols(p, app.size() + 2));
+
+  // Header first.
+  const auto hdr = decode_header_default(
+      p, std::span<const std::uint32_t>(symbols).first(kHeaderSymbols));
+  ASSERT_TRUE(hdr.has_value());
+  EXPECT_EQ(hdr->payload_len, app.size() + 2);
+  EXPECT_EQ(hdr->cr, cr);
+
+  const auto payload = decode_payload_default(
+      p, std::span<const std::uint32_t>(symbols).subspan(kHeaderSymbols),
+      hdr->payload_len);
+  ASSERT_TRUE(payload.has_value());
+  ASSERT_EQ(payload->size(), app.size() + 2);
+  EXPECT_TRUE(std::equal(app.begin(), app.end(), payload->begin()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SfCrGrid, FrameRoundTrip,
+    ::testing::Combine(::testing::Values(7u, 8u, 10u, 12u),
+                       ::testing::Values(1u, 2u, 3u, 4u)));
+
+TEST(Frame, DecodeSurvivesOneBitErrorPerCodewordAtCr4) {
+  Params p{.sf = 8, .cr = 4};
+  std::vector<std::uint8_t> app(14, 0x5A);
+  auto symbols = make_packet_symbols(p, app);
+  // Flip one bit in one payload symbol: lands in one column of one block;
+  // each affected codeword sees at most 1 bit error, correctable at CR4.
+  symbols[kHeaderSymbols + 2] ^= 1u;
+  const auto payload = decode_payload_default(
+      p, std::span<const std::uint32_t>(symbols).subspan(kHeaderSymbols), 16);
+  ASSERT_TRUE(payload.has_value());
+}
+
+TEST(Frame, DecodeFailsCrcOnHeavyCorruption) {
+  Params p{.sf = 8, .cr = 1};
+  std::vector<std::uint8_t> app(14, 0x33);
+  auto symbols = make_packet_symbols(p, app);
+  for (std::size_t i = kHeaderSymbols; i < symbols.size(); i += 2) {
+    symbols[i] ^= 0xFF;
+  }
+  const auto payload = decode_payload_default(
+      p, std::span<const std::uint32_t>(symbols).subspan(kHeaderSymbols), 16);
+  EXPECT_FALSE(payload.has_value());
+}
+
+TEST(Frame, PayloadTooLongThrows) {
+  Params p{.sf = 8, .cr = 4};
+  std::vector<std::uint8_t> app(300);
+  EXPECT_THROW(make_packet_symbols(p, app), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tnb::lora

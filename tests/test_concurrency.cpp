@@ -1,0 +1,71 @@
+// Thread-safety of the shared state (the FFT plan cache is the only
+// process-global): concurrent decodes on distinct traces must be safe and
+// produce the same results as sequential decodes.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/rng.hpp"
+#include "core/receiver.hpp"
+#include "dsp/fft.hpp"
+#include "sim/metrics.hpp"
+#include "sim/trace_builder.hpp"
+
+namespace tnb {
+namespace {
+
+TEST(Concurrency, PlanCacheUnderConcurrentCreation) {
+  std::vector<std::thread> threads;
+  std::vector<const dsp::FftPlan*> plans(8, nullptr);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([t, &plans] {
+      // Mix of new and repeated sizes from several threads.
+      const std::size_t n = t % 2 == 0 ? 4096 : 16384;
+      plans[static_cast<std::size_t>(t)] = &dsp::fft_plan(n);
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < 8; t += 2) {
+    EXPECT_EQ(plans[static_cast<std::size_t>(t)], plans[0]);
+  }
+  for (int t = 1; t < 8; t += 2) {
+    EXPECT_EQ(plans[static_cast<std::size_t>(t)], plans[1]);
+  }
+}
+
+TEST(Concurrency, ParallelDecodesMatchSequential) {
+  lora::Params p{.sf = 8, .cr = 4, .bandwidth_hz = 125e3, .osf = 2};
+  std::vector<sim::Trace> traces;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    Rng rng(seed);
+    sim::TraceOptions opt;
+    opt.duration_s = 1.0;
+    opt.load_pps = 5.0;
+    opt.nodes = {{1, 20.0, 900.0}, {2, 15.0, -1800.0}};
+    traces.push_back(sim::build_trace(p, opt, rng));
+  }
+
+  const rx::Receiver receiver(p);
+  std::vector<std::size_t> sequential;
+  for (const auto& trace : traces) {
+    Rng rng(99);
+    sequential.push_back(
+        sim::evaluate(trace, receiver.decode(trace.iq, rng)).decoded_unique);
+  }
+
+  std::vector<std::size_t> parallel(traces.size(), 0);
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    threads.emplace_back([&, i] {
+      Rng rng(99);
+      parallel[i] = sim::evaluate(traces[i],
+                                  receiver.decode(traces[i].iq, rng))
+                        .decoded_unique;
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(parallel, sequential);
+}
+
+}  // namespace
+}  // namespace tnb

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "core/bec_analysis.hpp"
+#include "core/packet_context.hpp"
+#include "core/window.hpp"
+#include "lora/chirp.hpp"
+
+namespace tnb::rx {
+namespace {
+
+TEST(ExtractWindow, IntegerOffsetCopies) {
+  IqBuffer trace(10);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    trace[i] = {static_cast<float>(i), 0.0f};
+  }
+  std::vector<cfloat> out(4);
+  extract_window(trace, 3.0, out);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].real(), static_cast<float>(3 + i));
+  }
+}
+
+TEST(ExtractWindow, FractionalOffsetInterpolates) {
+  IqBuffer trace{{0.0f, 0.0f}, {2.0f, 4.0f}, {4.0f, 8.0f}};
+  std::vector<cfloat> out(2);
+  extract_window(trace, 0.5, out);
+  EXPECT_NEAR(out[0].real(), 1.0f, 1e-6f);
+  EXPECT_NEAR(out[0].imag(), 2.0f, 1e-6f);
+  EXPECT_NEAR(out[1].real(), 3.0f, 1e-6f);
+  EXPECT_NEAR(out[1].imag(), 6.0f, 1e-6f);
+}
+
+TEST(ExtractWindow, OutOfRangeReadsZero) {
+  IqBuffer trace(4, cfloat{1.0f, 1.0f});
+  std::vector<cfloat> out(6);
+  extract_window(trace, -2.0, out);
+  EXPECT_EQ(out[0], (cfloat{0.0f, 0.0f}));
+  EXPECT_EQ(out[1], (cfloat{0.0f, 0.0f}));
+  EXPECT_EQ(out[2], (cfloat{1.0f, 1.0f}));
+  std::vector<cfloat> tail(4);
+  extract_window(trace, 2.0, tail);
+  EXPECT_EQ(tail[0], (cfloat{1.0f, 1.0f}));
+  EXPECT_EQ(tail[1], (cfloat{1.0f, 1.0f}));
+  EXPECT_EQ(tail[2], (cfloat{0.0f, 0.0f}));
+  EXPECT_EQ(tail[3], (cfloat{0.0f, 0.0f}));
+}
+
+TEST(ExtractWindow, NegativeFractionalNearStart) {
+  IqBuffer trace(4, cfloat{2.0f, 0.0f});
+  std::vector<cfloat> out(2);
+  extract_window(trace, -0.5, out);
+  // First sample interpolates between zero (outside) and trace[0].
+  EXPECT_NEAR(out[0].real(), 1.0f, 1e-6f);
+  EXPECT_NEAR(out[1].real(), 2.0f, 1e-6f);
+}
+
+lora::Params ctx_params() {
+  return lora::Params{.sf = 8, .cr = 4, .bandwidth_hz = 125e3, .osf = 4};
+}
+
+TEST(PacketContext, GeometryMatchesPreambleLayout) {
+  const lora::Params p = ctx_params();
+  PacketContext ctx(p, DetectedPacket{1000.0, 1.5, 0, 12});
+  EXPECT_EQ(ctx.t0(), 1000.0);
+  EXPECT_NEAR(ctx.data_start(), 1000.0 + 12.25 * static_cast<double>(p.sps()), 1e-9);
+  EXPECT_NEAR(ctx.data_symbol_start(3) - ctx.data_symbol_start(2),
+              static_cast<double>(p.sps()), 1e-9);
+}
+
+TEST(PacketContext, DataSymbolAtBoundaries) {
+  const lora::Params p = ctx_params();
+  PacketContext ctx(p, DetectedPacket{0.0, 0.0, 0, 12});
+  const double ds = ctx.data_start();
+  EXPECT_FALSE(ctx.data_symbol_at(ds - 1.0, 10).has_value());  // preamble
+  EXPECT_EQ(ctx.data_symbol_at(ds, 10).value_or(-1), 0);
+  EXPECT_EQ(ctx.data_symbol_at(ds + 9.5 * p.sps(), 10).value_or(-1), 9);
+  EXPECT_FALSE(ctx.data_symbol_at(ds + 10.0 * p.sps(), 10).has_value());
+  // Unknown length: any non-negative index allowed.
+  EXPECT_EQ(ctx.data_symbol_at(ds + 30.0 * p.sps(), -1).value_or(-1), 30);
+}
+
+TEST(PacketContext, InPreamble) {
+  const lora::Params p = ctx_params();
+  PacketContext ctx(p, DetectedPacket{500.0, 0.0, 0, 12});
+  EXPECT_FALSE(ctx.in_preamble(499.0));
+  EXPECT_TRUE(ctx.in_preamble(500.0));
+  EXPECT_TRUE(ctx.in_preamble(ctx.data_start() - 1.0));
+  EXPECT_FALSE(ctx.in_preamble(ctx.data_start()));
+}
+
+TEST(SigCalc, CacheReturnsSameView) {
+  const lora::Params p = ctx_params();
+  IqBuffer trace(40 * p.sps(), cfloat{0.1f, 0.0f});
+  SigCalc sig(p, {trace});
+  PacketContext ctx(p, DetectedPacket{0.0, 0.0, 0, 12});
+  const SymbolView& a = sig.data_symbol(0, ctx, 2);
+  const SymbolView& b = sig.data_symbol(0, ctx, 2);
+  EXPECT_EQ(&a, &b);  // cached: same object
+  const SignalVector saved = a.sv;
+  sig.evict(0);
+  const SymbolView& c = sig.data_symbol(0, ctx, 2);
+  EXPECT_EQ(c.sv, saved);  // recomputed identically after eviction
+}
+
+TEST(SigCalc, AntennaSumDoublesPower) {
+  const lora::Params p = ctx_params();
+  const auto sym = lora::make_upchirp(p, 30);
+  IqBuffer trace(40 * p.sps(), cfloat{0.0f, 0.0f});
+  const std::size_t off = static_cast<std::size_t>(12.25 * p.sps());
+  for (std::size_t i = 0; i < sym.size(); ++i) trace[off + i] = sym[i];
+
+  SigCalc one(p, {trace});
+  SigCalc two(p, {trace, trace});
+  PacketContext ctx(p, DetectedPacket{0.0, 0.0, 0, 12});
+  const SymbolView& va = one.data_symbol(0, ctx, 0);
+  const SymbolView& vb = two.data_symbol(0, ctx, 0);
+  EXPECT_NEAR(vb.sv[30] / va.sv[30], 2.0f, 0.01f);
+}
+
+TEST(SigCalc, MismatchedAntennaLengthThrows) {
+  const lora::Params p = ctx_params();
+  IqBuffer a(1000), b(999);
+  EXPECT_THROW(SigCalc(p, {a, b}), std::invalid_argument);
+  EXPECT_THROW(SigCalc(p, {}), std::invalid_argument);
+}
+
+TEST(SigCalc, PreambleHeightsNearlyEqualOnCleanPacket) {
+  const lora::Params p = ctx_params();
+  IqBuffer trace(40 * p.sps(), cfloat{0.0f, 0.0f});
+  const auto up = lora::make_upchirp(p, 0);
+  for (int m = 0; m < 8; ++m) {
+    for (std::size_t i = 0; i < up.size(); ++i) {
+      trace[static_cast<std::size_t>(m) * p.sps() + i] = up[i];
+    }
+  }
+  SigCalc sig(p, {trace});
+  PacketContext ctx(p, DetectedPacket{0.0, 0.0, 0, 12});
+  const auto heights = sig.preamble_heights(ctx);
+  ASSERT_EQ(heights.size(), 8u);
+  for (double h : heights) EXPECT_NEAR(h, heights[0], 0.01 * heights[0]);
+}
+
+TEST(BecAnalysis, PsiRecursionBasics) {
+  const auto psi = bec_psi(8, 4);
+  EXPECT_NEAR(psi[1], std::pow(1.0 / 8.0, 8.0), 1e-15);
+  for (unsigned x = 1; x <= 4; ++x) EXPECT_GE(psi[x], 0.0);
+  // Psi_x sums (over subsets) to the probability that rows use at most x
+  // combinations: sum_{y<=x} C(x,y) Psi_y = (x/8)^SF.
+  const double total = 4 * psi[1] + 6 * psi[2] + 4 * psi[3] + psi[4];
+  EXPECT_NEAR(total + 0.0, std::pow(4.0 / 8.0, 8.0) - 0.0, 1e-12);
+}
+
+TEST(BecAnalysis, ErrorProbabilityMatchesPaperFig20) {
+  // Paper: < 0.04 at SF 7 and decreasing with SF.
+  double prev = 1.0;
+  for (unsigned sf = 7; sf <= 12; ++sf) {
+    const double e = bec_cr4_3col_error_probability(sf);
+    EXPECT_GT(e, 0.0);
+    EXPECT_LT(e, 0.04) << "sf=" << sf;
+    EXPECT_LT(e, prev);
+    prev = e;
+  }
+  EXPECT_NEAR(bec_cr3_2col_error_probability(8), 1.0 / 256.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace tnb::rx

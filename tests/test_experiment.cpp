@@ -1,0 +1,70 @@
+#include "sim/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tnb::sim {
+namespace {
+
+TEST(Series, Statistics) {
+  Series s{{1.0, 2.0, 3.0, 4.0}};
+  EXPECT_NEAR(s.mean(), 2.5, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_EQ(s.min(), 1.0);
+  EXPECT_EQ(s.max(), 4.0);
+}
+
+TEST(Series, DegenerateCases) {
+  Series empty;
+  EXPECT_EQ(empty.mean(), 0.0);
+  EXPECT_EQ(empty.stddev(), 0.0);
+  Series one{{7.0}};
+  EXPECT_EQ(one.mean(), 7.0);
+  EXPECT_EQ(one.stddev(), 0.0);
+}
+
+TEST(Experiment, RunsProduceIndependentTraces) {
+  Scenario sc;
+  sc.params = lora::Params{.sf = 7, .cr = 4, .bandwidth_hz = 125e3, .osf = 2};
+  sc.deployment = indoor_deployment();
+  sc.deployment.n_nodes = 3;
+  sc.load_pps = 4.0;
+  sc.duration_s = 1.0;
+  std::vector<double> first_starts;
+  const Series s = run_repeated(sc, 3, 42, [&](const Trace& t, int run) {
+    EXPECT_EQ(t.packets.size(), 4u);
+    first_starts.push_back(t.packets[0].start_sample);
+    return static_cast<double>(run);
+  });
+  ASSERT_EQ(s.values.size(), 3u);
+  EXPECT_EQ(s.values[2], 2.0);
+  // Different runs draw different traffic.
+  EXPECT_NE(first_starts[0], first_starts[1]);
+}
+
+TEST(Experiment, DeterministicForSameSeed) {
+  Scenario sc;
+  sc.params = lora::Params{.sf = 7, .cr = 4, .bandwidth_hz = 125e3, .osf = 2};
+  sc.deployment = indoor_deployment();
+  sc.deployment.n_nodes = 2;
+  sc.load_pps = 2.0;
+  sc.duration_s = 1.0;
+  auto starts = [&](std::uint64_t seed) {
+    std::vector<double> v;
+    run_repeated(sc, 2, seed, [&](const Trace& t, int) {
+      v.push_back(t.packets[0].start_sample);
+      return 0.0;
+    });
+    return v;
+  };
+  EXPECT_EQ(starts(5), starts(5));
+  EXPECT_NE(starts(5), starts(6));
+}
+
+TEST(Experiment, RejectsZeroRuns) {
+  Scenario sc;
+  EXPECT_THROW(run_repeated(sc, 0, 1, [](const Trace&, int) { return 0.0; }),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tnb::sim

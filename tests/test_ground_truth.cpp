@@ -1,0 +1,82 @@
+#include "sim/ground_truth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/rng.hpp"
+
+namespace tnb::sim {
+namespace {
+
+TEST(Hex, RoundTrip) {
+  std::vector<std::uint8_t> bytes{0x00, 0x0F, 0xAB, 0xFF};
+  EXPECT_EQ(bytes_to_hex(bytes), "000fabff");
+  EXPECT_EQ(hex_to_bytes("000fabff"), bytes);
+  EXPECT_EQ(hex_to_bytes("000FABFF"), bytes);  // uppercase accepted
+}
+
+TEST(Hex, RejectsMalformed) {
+  EXPECT_THROW(hex_to_bytes("abc"), std::runtime_error);
+  EXPECT_THROW(hex_to_bytes("zz"), std::runtime_error);
+  EXPECT_TRUE(hex_to_bytes("").empty());
+}
+
+TEST(GroundTruth, CsvRoundTrip) {
+  Rng rng(1);
+  std::vector<TxPacketRecord> packets(3);
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    packets[i].node_id = static_cast<std::uint16_t>(i + 1);
+    packets[i].seq = static_cast<std::uint16_t>(10 * i);
+    packets[i].start_sample = 1234.5 + 1000.0 * static_cast<double>(i);
+    packets[i].cfo_hz = -2500.0 + 100.0 * static_cast<double>(i);
+    packets[i].snr_db = 7.25;
+    packets[i].n_samples = 55555;
+    packets[i].n_data_symbols = 40;
+    packets[i].app_payload = make_app_payload(
+        packets[i].node_id, packets[i].seq, 14, rng);
+  }
+  const std::string path = ::testing::TempDir() + "tnb_gt.csv";
+  write_ground_truth_csv(path, packets);
+  const auto back = read_ground_truth_csv(path);
+  ASSERT_EQ(back.size(), packets.size());
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    EXPECT_EQ(back[i].node_id, packets[i].node_id);
+    EXPECT_EQ(back[i].seq, packets[i].seq);
+    EXPECT_DOUBLE_EQ(back[i].start_sample, packets[i].start_sample);
+    EXPECT_DOUBLE_EQ(back[i].cfo_hz, packets[i].cfo_hz);
+    EXPECT_DOUBLE_EQ(back[i].snr_db, packets[i].snr_db);
+    EXPECT_EQ(back[i].n_samples, packets[i].n_samples);
+    EXPECT_EQ(back[i].n_data_symbols, packets[i].n_data_symbols);
+    EXPECT_EQ(back[i].app_payload, packets[i].app_payload);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(GroundTruth, RejectsBadHeader) {
+  const std::string path = ::testing::TempDir() + "tnb_bad.csv";
+  {
+    std::ofstream out(path);
+    out << "not,a,valid,header\n";
+  }
+  EXPECT_THROW(read_ground_truth_csv(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(GroundTruth, MissingFileThrows) {
+  EXPECT_THROW(read_ground_truth_csv("/nonexistent/gt.csv"), std::runtime_error);
+  std::vector<TxPacketRecord> none;
+  EXPECT_THROW(write_ground_truth_csv("/nonexistent/gt.csv", none),
+               std::runtime_error);
+}
+
+TEST(GroundTruth, EmptyListRoundTrips) {
+  const std::string path = ::testing::TempDir() + "tnb_empty_gt.csv";
+  write_ground_truth_csv(path, {});
+  EXPECT_TRUE(read_ground_truth_csv(path).empty());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tnb::sim

@@ -1,0 +1,159 @@
+#include "dsp/peak_finder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+
+namespace tnb::dsp {
+namespace {
+
+std::vector<float> gaussian_bumps(std::size_t n,
+                                  const std::vector<std::pair<double, double>>& bumps) {
+  std::vector<float> x(n, 0.0f);
+  for (std::size_t i = 0; i < n; ++i) {
+    double v = 0.0;
+    for (const auto& [center, height] : bumps) {
+      const double d = static_cast<double>(i) - center;
+      v += height * std::exp(-d * d / 8.0);
+    }
+    x[i] = static_cast<float>(v);
+  }
+  return x;
+}
+
+TEST(PeakFinder, FindsSingleBump) {
+  auto x = gaussian_bumps(100, {{50.0, 1.0}});
+  auto peaks = find_peaks(x);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_EQ(peaks[0].index, 50u);
+  EXPECT_NEAR(peaks[0].value, 1.0f, 1e-3f);
+}
+
+TEST(PeakFinder, FindsMultipleBumpsSortedByHeight) {
+  auto x = gaussian_bumps(200, {{40.0, 0.8}, {100.0, 1.0}, {160.0, 0.6}});
+  auto peaks = find_peaks(x);
+  ASSERT_EQ(peaks.size(), 3u);
+  EXPECT_EQ(peaks[0].index, 100u);
+  EXPECT_EQ(peaks[1].index, 40u);
+  EXPECT_EQ(peaks[2].index, 160u);
+}
+
+TEST(PeakFinder, SelectivitySuppressesRipple) {
+  // One big bump plus low-amplitude ripple everywhere.
+  std::vector<float> x = gaussian_bumps(200, {{100.0, 1.0}});
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] += 0.02f * static_cast<float>(std::sin(0.9 * static_cast<double>(i)));
+  }
+  PeakFinderOptions opt;
+  opt.sel = 0.2;
+  auto peaks = find_peaks(x, opt);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_NEAR(static_cast<double>(peaks[0].index), 100.0, 2.0);
+}
+
+TEST(PeakFinder, DefaultSelIsQuarterRange) {
+  // Two bumps: one at 1.0, one at 0.2. Default sel = range/4 ≈ 0.25 should
+  // drop the small one.
+  auto x = gaussian_bumps(200, {{60.0, 1.0}, {140.0, 0.2}});
+  auto peaks = find_peaks(x);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_EQ(peaks[0].index, 60u);
+}
+
+TEST(PeakFinder, ThresholdDiscardsLowPeaks) {
+  auto x = gaussian_bumps(200, {{60.0, 1.0}, {140.0, 0.5}});
+  PeakFinderOptions opt;
+  opt.sel = 0.1;
+  opt.use_threshold = true;
+  opt.threshold = 0.7;
+  auto peaks = find_peaks(x, opt);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_EQ(peaks[0].index, 60u);
+}
+
+TEST(PeakFinder, MaxPeaksLimitsOutput) {
+  auto x = gaussian_bumps(400, {{50.0, 1.0}, {150.0, 0.9}, {250.0, 0.8}, {350.0, 0.7}});
+  PeakFinderOptions opt;
+  opt.sel = 0.1;
+  opt.max_peaks = 2;
+  auto peaks = find_peaks(x, opt);
+  ASSERT_EQ(peaks.size(), 2u);
+  EXPECT_EQ(peaks[0].index, 50u);
+  EXPECT_EQ(peaks[1].index, 150u);
+}
+
+TEST(PeakFinder, CircularFindsPeakAtWrapPoint) {
+  // Peak centered at bin 0 of a circular vector: half the bump is at the
+  // end of the array, half at the start.
+  const std::size_t n = 128;
+  std::vector<float> x(n, 0.0f);
+  for (std::size_t i = 0; i < n; ++i) {
+    double d = static_cast<double>(i);
+    if (d > n / 2.0) d -= static_cast<double>(n);
+    x[i] = static_cast<float>(std::exp(-d * d / 4.0));
+  }
+  PeakFinderOptions opt;
+  opt.circular = true;
+  auto peaks = find_peaks(x, opt);
+  ASSERT_GE(peaks.size(), 1u);
+  EXPECT_EQ(peaks[0].index, 0u);
+}
+
+TEST(PeakFinder, EmptyAndTinyInputs) {
+  std::vector<float> empty;
+  EXPECT_TRUE(find_peaks(empty).empty());
+  std::vector<float> one{1.0f};
+  EXPECT_TRUE(find_peaks(one).empty());
+}
+
+TEST(PeakFinder, FlatInputHasNoPeaks) {
+  std::vector<float> x(100, 3.0f);
+  PeakFinderOptions opt;
+  opt.sel = 0.1;
+  EXPECT_TRUE(find_peaks(x, opt).empty());
+}
+
+TEST(PeakFinder, InterpolationRefinesOffCenterPeak) {
+  // Sample a Gaussian whose true maximum falls between samples 50 and 51.
+  const double center = 50.4;
+  std::vector<float> x(100);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double d = static_cast<double>(i) - center;
+    x[i] = static_cast<float>(std::exp(-d * d / 18.0));
+  }
+  auto peaks = find_peaks(x);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_EQ(peaks[0].index, 50u);
+  EXPECT_NEAR(peaks[0].frac_index, center, 0.05);
+}
+
+TEST(PeakFinder, NoisyMultiPeakRecovery) {
+  Rng rng(23);
+  auto x = gaussian_bumps(512, {{100.0, 5.0}, {300.0, 4.0}});
+  for (auto& v : x) v += static_cast<float>(rng.normal(0.0, 0.05));
+  PeakFinderOptions opt;
+  opt.sel = 1.0;
+  auto peaks = find_peaks(x, opt);
+  ASSERT_EQ(peaks.size(), 2u);
+  EXPECT_NEAR(static_cast<double>(peaks[0].index), 100.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(peaks[1].index), 300.0, 2.0);
+}
+
+TEST(PeakFinder, RisingEdgeCandidateAtEndIsKept) {
+  // Monotone rise that never descends: the final point rose by >= sel, so
+  // it is reported (signal vectors can have a peak at the last bin).
+  std::vector<float> x(50);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = static_cast<float>(i) * 0.1f;
+  PeakFinderOptions opt;
+  opt.sel = 1.0;
+  auto peaks = find_peaks(x, opt);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_EQ(peaks[0].index, 49u);
+}
+
+}  // namespace
+}  // namespace tnb::dsp

@@ -1,0 +1,189 @@
+#include "core/receiver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/factories.hpp"
+#include "channel/awgn.hpp"
+#include "common/rng.hpp"
+#include "sim/metrics.hpp"
+#include "sim/trace_builder.hpp"
+
+namespace tnb::rx {
+namespace {
+
+lora::Params fast_params(unsigned cr = 4) {
+  return lora::Params{.sf = 8, .cr = cr, .bandwidth_hz = 125e3, .osf = 4};
+}
+
+sim::Trace make_trace(const lora::Params& p, double load_pps, double duration_s,
+                      std::vector<sim::NodeConfig> nodes, Rng& rng,
+                      const chan::Channel* channel = nullptr) {
+  sim::TraceOptions opt;
+  opt.duration_s = duration_s;
+  opt.load_pps = load_pps;
+  opt.nodes = std::move(nodes);
+  opt.channel = channel;
+  return sim::build_trace(p, opt, rng);
+}
+
+TEST(Receiver, DecodesSinglePacketCleanly) {
+  const lora::Params p = fast_params();
+  Rng rng(1);
+  const sim::Trace trace =
+      make_trace(p, 2.0, 1.0, {{1, 20.0, 1000.0}}, rng);
+  Receiver receiver(p);
+  Rng rx_rng(2);
+  ReceiverStats stats;
+  const auto decoded = receiver.decode(trace.iq, rx_rng, &stats);
+  const auto result = sim::evaluate(trace, decoded);
+  EXPECT_EQ(result.decoded_unique, trace.packets.size());
+  EXPECT_EQ(result.false_packets, 0u);
+  EXPECT_EQ(stats.detected, trace.packets.size());
+  EXPECT_EQ(stats.header_ok, trace.packets.size());
+}
+
+class ReceiverCr : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ReceiverCr, DecodesAllCrValues) {
+  const lora::Params p = fast_params(GetParam());
+  // Random start times can overlap a single node's packets; find a
+  // collision-free layout so every CR must decode everything.
+  sim::Trace trace;
+  for (std::uint64_t seed = GetParam() * 11;; ++seed) {
+    Rng rng(seed);
+    trace = make_trace(p, 3.0, 1.2, {{1, 18.0, -2000.0}}, rng);
+    bool clean = true;
+    for (std::size_t i = 0; i < trace.packets.size(); ++i) {
+      if (sim::collision_level(trace, i) > 0) clean = false;
+    }
+    if (clean) break;
+    ASSERT_LT(seed, GetParam() * 11 + 50) << "no collision-free seed";
+  }
+  Receiver receiver(p);
+  Rng rx_rng(3);
+  const auto decoded = receiver.decode(trace.iq, rx_rng);
+  const auto result = sim::evaluate(trace, decoded);
+  EXPECT_EQ(result.decoded_unique, trace.packets.size()) << "cr=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCr, ReceiverCr, ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(Receiver, DecodesTwoCollidingPackets) {
+  const lora::Params p = fast_params();
+  Rng rng(4);
+  // Load high enough that the two nodes' packets overlap frequently.
+  const sim::Trace trace = make_trace(
+      p, 10.0, 1.5, {{1, 22.0, 1500.0}, {2, 16.0, -3000.0}}, rng);
+  Receiver receiver(p);
+  Rng rx_rng(5);
+  const auto decoded = receiver.decode(trace.iq, rx_rng);
+  const auto result = sim::evaluate(trace, decoded);
+  // TnB should decode the large majority despite collisions (the paper's
+  // own PRR under load is well below 1; the 4-way pileups in this trace are
+  // the genuinely hard cases).
+  EXPECT_GE(result.prr, 0.75) << result.decoded_unique << "/" << result.transmitted;
+}
+
+TEST(Receiver, OutperformsVanillaUnderCollisions) {
+  const lora::Params p = fast_params();
+  Rng rng(6);
+  const sim::Trace trace = make_trace(
+      p, 14.0, 2.0,
+      {{1, 24.0, 2500.0}, {2, 15.0, -1200.0}, {3, 19.0, 400.0}}, rng);
+
+  Rng rng_a(7), rng_b(7);
+  Receiver tnb_rx(p);
+  const auto tnb_result =
+      sim::evaluate(trace, tnb_rx.decode(trace.iq, rng_a));
+
+  rx::Receiver vanilla = base::make_receiver(base::Scheme::kLoRaPhy, p);
+  const auto vanilla_result =
+      sim::evaluate(trace, vanilla.decode(trace.iq, rng_b));
+
+  EXPECT_GE(tnb_result.decoded_unique, vanilla_result.decoded_unique);
+  EXPECT_GE(tnb_result.prr, 0.5);
+}
+
+TEST(Receiver, EmptyTraceDecodesNothing) {
+  const lora::Params p = fast_params();
+  IqBuffer trace(50 * p.sps(), cfloat{0.0f, 0.0f});
+  Rng rng(8);
+  chan::add_awgn(trace, chan::fullband_noise_power(p.osf), rng);
+  Receiver receiver(p);
+  ReceiverStats stats;
+  EXPECT_TRUE(receiver.decode(trace, rng, &stats).empty());
+  EXPECT_EQ(stats.detected, 0u);
+}
+
+TEST(Receiver, TruncatedTraceIsSafe) {
+  // A packet that runs past the end of the trace must not crash the
+  // receiver (windows zero-pad; CRC simply fails).
+  const lora::Params p = fast_params();
+  Rng rng(9);
+  const sim::Trace trace =
+      make_trace(p, 2.0, 1.0, {{1, 20.0, 0.0}}, rng);
+  IqBuffer cut(trace.iq.begin(),
+               trace.iq.begin() + static_cast<std::ptrdiff_t>(trace.iq.size() / 2));
+  Receiver receiver(p);
+  Rng rx_rng(10);
+  const auto decoded = receiver.decode(cut, rx_rng);  // must not crash
+  const auto result = sim::evaluate(trace, decoded);
+  EXPECT_EQ(result.false_packets, 0u);
+}
+
+TEST(Receiver, BecConfigRescuesMoreThanDefault) {
+  // At low SNR, symbol errors appear; TnB (with BEC) must decode at least
+  // as many packets as Thrive (without).
+  const lora::Params p = fast_params(3);
+  Rng rng(11);
+  const sim::Trace trace = make_trace(
+      p, 8.0, 2.0, {{1, 7.0, 1000.0}, {2, 6.0, -2000.0}}, rng);
+
+  Rng rng_a(12), rng_b(12);
+  rx::Receiver tnb_rx = base::make_receiver(base::Scheme::kTnB, p);
+  rx::Receiver thrive_rx = base::make_receiver(base::Scheme::kThrive, p);
+  const auto with_bec = sim::evaluate(trace, tnb_rx.decode(trace.iq, rng_a));
+  const auto without = sim::evaluate(trace, thrive_rx.decode(trace.iq, rng_b));
+  EXPECT_GE(with_bec.decoded_unique, without.decoded_unique);
+}
+
+TEST(Receiver, TwoAntennasBeatOneAtLowSnr) {
+  const lora::Params p = fast_params();
+  Rng rng(13);
+  sim::TraceOptions opt;
+  opt.duration_s = 2.0;
+  opt.load_pps = 6.0;
+  opt.nodes = {{1, -2.0, 1500.0}, {2, -3.0, -800.0}};
+  const sim::Trace trace = sim::build_trace(p, opt, rng);
+  // Second antenna: same packets, independent noise. Rebuild with the same
+  // node/packet layout is not possible through the public API, so emulate
+  // diversity by decoding the same trace twice vs once — here we just check
+  // the multi-antenna entry point functions with duplicated input.
+  Receiver receiver(p);
+  Rng rx_rng(14);
+  const auto decoded =
+      receiver.decode_multi({trace.iq, trace.iq}, rx_rng);
+  const auto result = sim::evaluate(trace, decoded);
+  Rng rx_rng2(14);
+  const auto single = receiver.decode(trace.iq, rx_rng2);
+  const auto single_result = sim::evaluate(trace, single);
+  EXPECT_GE(result.decoded_unique, single_result.decoded_unique);
+}
+
+TEST(Receiver, StatsAreConsistent) {
+  const lora::Params p = fast_params();
+  Rng rng(15);
+  const sim::Trace trace = make_trace(
+      p, 8.0, 2.0, {{1, 20.0, 500.0}, {2, 14.0, -1500.0}}, rng);
+  Receiver receiver(p);
+  Rng rx_rng(16);
+  ReceiverStats stats;
+  const auto decoded = receiver.decode(trace.iq, rx_rng, &stats);
+  EXPECT_EQ(stats.crc_ok, decoded.size());
+  EXPECT_EQ(stats.rescued_per_packet.size(), decoded.size());
+  EXPECT_EQ(stats.decoded_first_pass + stats.decoded_second_pass, decoded.size());
+  EXPECT_LE(stats.header_ok, stats.detected + stats.decoded_second_pass);
+}
+
+}  // namespace
+}  // namespace tnb::rx

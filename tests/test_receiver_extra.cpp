@@ -1,0 +1,182 @@
+// Additional receiver-level properties: detection reuse, extreme spreading
+// factors, CFO extremes, and multi-antenna consistency.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/receiver.hpp"
+#include "sim/metrics.hpp"
+#include "sim/trace_builder.hpp"
+
+namespace tnb::rx {
+namespace {
+
+sim::Trace build(const lora::Params& p, double load, double duration,
+                 std::vector<sim::NodeConfig> nodes, std::uint64_t seed,
+                 unsigned antennas = 1) {
+  Rng rng(seed);
+  sim::TraceOptions opt;
+  opt.duration_s = duration;
+  opt.load_pps = load;
+  opt.nodes = std::move(nodes);
+  opt.n_antennas = antennas;
+  return sim::build_trace(p, opt, rng);
+}
+
+TEST(ReceiverExtra, DecodeWithDetectionsMatchesDecode) {
+  lora::Params p{.sf = 8, .cr = 4, .bandwidth_hz = 125e3, .osf = 4};
+  const sim::Trace trace =
+      build(p, 8.0, 1.5, {{1, 20.0, 900.0}, {2, 15.0, -2100.0}}, 1);
+  Receiver receiver(p);
+
+  Rng ra(5), rb(5);
+  const auto direct = receiver.decode(trace.iq, ra);
+  const auto detections = receiver.detect({trace.iq});
+  const auto via_detections =
+      receiver.decode_with_detections({trace.iq}, detections, rb);
+
+  ASSERT_EQ(direct.size(), via_detections.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(direct[i].payload, via_detections[i].payload);
+  }
+}
+
+class ReceiverSf : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ReceiverSf, DecodesAcrossSpreadingFactors) {
+  const unsigned sf = GetParam();
+  lora::Params p{.sf = sf, .cr = 4, .bandwidth_hz = 125e3, .osf = 2};
+  const sim::Trace trace = build(p, 1.0, sf >= 11 ? 4.0 : 2.0,
+                                 {{1, 20.0, 700.0}}, sf);
+  Receiver receiver(p);
+  Rng rng(2);
+  const auto decoded = receiver.decode(trace.iq, rng);
+  const auto result = sim::evaluate(trace, decoded);
+  EXPECT_EQ(result.decoded_unique, result.transmitted) << "sf=" << sf;
+}
+
+INSTANTIATE_TEST_SUITE_P(SfSweep, ReceiverSf,
+                         ::testing::Values(7u, 9u, 11u, 12u));
+
+TEST(ReceiverExtra, HandlesMaxCfoMagnitude) {
+  lora::Params p{.sf = 8, .cr = 4, .bandwidth_hz = 125e3, .osf = 4};
+  for (double cfo : {-4880.0, 4880.0}) {
+    const sim::Trace trace = build(p, 2.0, 1.2, {{1, 18.0, cfo}},
+                                   static_cast<std::uint64_t>(cfo + 9000));
+    Receiver receiver(p);
+    Rng rng(3);
+    const auto result = sim::evaluate(trace, receiver.decode(trace.iq, rng));
+    EXPECT_EQ(result.decoded_unique, result.transmitted) << "cfo=" << cfo;
+  }
+}
+
+TEST(ReceiverExtra, TwoRealAntennasAtLowSnr) {
+  // With independent noise per antenna, diversity should never hurt.
+  lora::Params p{.sf = 8, .cr = 4, .bandwidth_hz = 125e3, .osf = 4};
+  const sim::Trace trace =
+      build(p, 6.0, 2.0, {{1, -1.0, 1200.0}, {2, 0.0, -800.0}}, 4,
+            /*antennas=*/2);
+  ASSERT_EQ(trace.extra_antennas.size(), 1u);
+  Receiver receiver(p);
+  Rng ra(6), rb(6);
+  const auto two = sim::evaluate(
+      trace, receiver.decode_multi(trace.antenna_spans(), ra));
+  const auto one = sim::evaluate(trace, receiver.decode(trace.iq, rb));
+  EXPECT_GE(two.decoded_unique + 1, one.decoded_unique);  // allow 1 flake
+}
+
+TEST(ReceiverExtra, NoisePowerConsistentAcrossAntennas) {
+  lora::Params p{.sf = 7, .cr = 4, .bandwidth_hz = 125e3, .osf = 2};
+  const sim::Trace trace = build(p, 2.0, 1.0, {{1, 10.0, 0.0}}, 7, 3);
+  ASSERT_EQ(trace.extra_antennas.size(), 2u);
+  double p0 = 0.0, p1 = 0.0;
+  for (std::size_t i = 0; i < 20000; ++i) {
+    p0 += std::norm(trace.iq[i]);
+    p1 += std::norm(trace.extra_antennas[0][i]);
+  }
+  EXPECT_NEAR(p1 / p0, 1.0, 0.25);
+  // Antennas are not identical copies (independent noise).
+  bool differs = false;
+  for (std::size_t i = 0; i < 100; ++i) {
+    if (trace.iq[i] != trace.extra_antennas[0][i]) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+
+TEST(ReceiverExtra, ImplicitHeaderModeRoundTrip) {
+  lora::Params p{.sf = 8, .cr = 3, .bandwidth_hz = 125e3, .osf = 4};
+  Rng rng(21);
+  sim::TraceOptions topt;
+  topt.duration_s = 1.5;
+  topt.load_pps = 4.0;
+  topt.nodes = {{1, 18.0, 1100.0}, {2, 14.0, -2400.0}};
+  topt.implicit_header = true;
+  const sim::Trace trace = sim::build_trace(p, topt, rng);
+
+  ReceiverOptions ropt;
+  ropt.implicit_header = ImplicitHeader{.payload_len = 16, .cr = 3};
+  Receiver receiver(p, ropt);
+  Rng rx_rng(22);
+  ReceiverStats stats;
+  const auto decoded = receiver.decode(trace.iq, rx_rng, &stats);
+  const auto result = sim::evaluate(trace, decoded);
+  EXPECT_GE(result.prr, 0.8) << result.decoded_unique << "/" << result.transmitted;
+  EXPECT_EQ(result.false_packets, 0u);
+}
+
+TEST(ReceiverExtra, ImplicitTraceIsShorterThanExplicit) {
+  lora::Params p{.sf = 8, .cr = 4, .bandwidth_hz = 125e3, .osf = 2};
+  Rng ra(23), rb(23);
+  sim::TraceOptions opt;
+  opt.duration_s = 1.0;
+  opt.load_pps = 2.0;
+  opt.nodes = {{1, 20.0, 0.0}};
+  const sim::Trace explicit_trace = sim::build_trace(p, opt, ra);
+  opt.implicit_header = true;
+  const sim::Trace implicit_trace = sim::build_trace(p, opt, rb);
+  // Implicit packets skip the 8 header symbols.
+  EXPECT_EQ(explicit_trace.packets[0].n_samples,
+            implicit_trace.packets[0].n_samples + 8 * p.sps());
+}
+
+TEST(ReceiverExtra, ExplicitReceiverRejectsImplicitTrace) {
+  // Decoding an implicit-header trace without the configuration must not
+  // produce false packets (headers will fail to parse).
+  lora::Params p{.sf = 8, .cr = 4, .bandwidth_hz = 125e3, .osf = 4};
+  Rng rng(24);
+  sim::TraceOptions topt;
+  topt.duration_s = 1.2;
+  topt.load_pps = 3.0;
+  topt.nodes = {{1, 18.0, 500.0}};
+  topt.implicit_header = true;
+  const sim::Trace trace = sim::build_trace(p, topt, rng);
+  Receiver receiver(p);  // explicit-header receiver
+  Rng rx_rng(25);
+  const auto result = sim::evaluate(trace, receiver.decode(trace.iq, rx_rng));
+  EXPECT_EQ(result.false_packets, 0u);
+  EXPECT_EQ(result.decoded_unique, 0u);
+}
+
+
+TEST(ReceiverExtra, EstimatedSnrTracksTrueSnr) {
+  lora::Params p{.sf = 8, .cr = 4, .bandwidth_hz = 125e3, .osf = 4};
+  for (double snr : {0.0, 10.0, 20.0}) {
+    Rng rng(static_cast<std::uint64_t>(snr) + 31);
+    sim::TraceOptions opt;
+    opt.duration_s = 1.2;
+    opt.load_pps = 2.0;
+    opt.nodes = {{1, snr, 800.0}};
+    const sim::Trace trace = sim::build_trace(p, opt, rng);
+    Receiver receiver(p);
+    Rng rx_rng(32);
+    const auto decoded = receiver.decode(trace.iq, rx_rng);
+    ASSERT_FALSE(decoded.empty()) << "snr=" << snr;
+    for (const auto& pkt : decoded) {
+      EXPECT_NEAR(pkt.snr_db, snr, 4.5) << "snr=" << snr;
+      EXPECT_NEAR(pkt.cfo_hz, 800.0, 150.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tnb::rx

@@ -1,0 +1,129 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math_util.hpp"
+
+namespace tnb {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng r(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  Rng r(3);
+  std::array<int, 7> counts{};
+  for (int i = 0; i < 7000; ++i) counts[r.uniform_index(7)]++;
+  for (int c : counts) EXPECT_GT(c, 700);  // roughly 1000 each
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng r(13);
+  double sum = 0.0, sumsq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sumsq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.02);
+}
+
+TEST(Rng, NormalMeanStdDev) {
+  Rng r(17);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += r.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, ComplexNormalVariance) {
+  Rng r(19);
+  double power = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) power += std::norm(r.complex_normal(3.0));
+  EXPECT_NEAR(power / n, 3.0, 0.1);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(5);
+  Rng b = a.fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(MathUtil, FloorModInt) {
+  EXPECT_EQ(floor_mod(std::int64_t{5}, std::int64_t{3}), 2);
+  EXPECT_EQ(floor_mod(std::int64_t{-1}, std::int64_t{3}), 2);
+  EXPECT_EQ(floor_mod(std::int64_t{-3}, std::int64_t{3}), 0);
+  EXPECT_EQ(floor_mod(std::int64_t{0}, std::int64_t{7}), 0);
+}
+
+TEST(MathUtil, FloorModDouble) {
+  EXPECT_NEAR(floor_mod(5.5, 3.0), 2.5, 1e-12);
+  EXPECT_NEAR(floor_mod(-0.5, 3.0), 2.5, 1e-12);
+}
+
+TEST(MathUtil, WrapHalf) {
+  EXPECT_NEAR(wrap_half(0.6, 1.0), -0.4, 1e-12);
+  EXPECT_NEAR(wrap_half(0.4, 1.0), 0.4, 1e-12);
+  EXPECT_NEAR(wrap_half(-0.6, 1.0), 0.4, 1e-12);
+}
+
+TEST(MathUtil, DbConversions) {
+  EXPECT_NEAR(db_to_linear(10.0), 10.0, 1e-12);
+  EXPECT_NEAR(linear_to_db(100.0), 20.0, 1e-12);
+  EXPECT_NEAR(db_to_amplitude(20.0), 10.0, 1e-12);
+  EXPECT_NEAR(linear_to_db(db_to_linear(-7.3)), -7.3, 1e-12);
+}
+
+TEST(MathUtil, Pow2Helpers) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(768));
+  EXPECT_EQ(log2_pow2(1), 0u);
+  EXPECT_EQ(log2_pow2(4096), 12u);
+}
+
+}  // namespace
+}  // namespace tnb

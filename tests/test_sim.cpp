@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "sim/deployment.hpp"
+#include "sim/metrics.hpp"
+#include "sim/trace_builder.hpp"
+
+namespace tnb::sim {
+namespace {
+
+lora::Params small_params() {
+  // SF7/OSF2 keeps trace synthesis fast in unit tests.
+  return lora::Params{.sf = 7, .cr = 4, .bandwidth_hz = 125e3, .osf = 2};
+}
+
+TEST(Deployment, PresetsMatchPaperNodeCounts) {
+  EXPECT_EQ(indoor_deployment().n_nodes, 19u);
+  EXPECT_EQ(outdoor1_deployment().n_nodes, 25u);
+  EXPECT_EQ(outdoor2_deployment().n_nodes, 25u);
+}
+
+TEST(Deployment, DrawsRespectBounds) {
+  Rng rng(1);
+  for (const Deployment& d : {indoor_deployment(), outdoor1_deployment(),
+                              outdoor2_deployment()}) {
+    const auto nodes = d.draw_nodes(rng);
+    ASSERT_EQ(nodes.size(), d.n_nodes);
+    for (const NodeConfig& n : nodes) {
+      EXPECT_GE(n.snr_db, d.snr_min_db);
+      EXPECT_LE(n.snr_db, d.snr_max_db);
+      EXPECT_LE(std::abs(n.cfo_hz), kMaxCfoHz);
+      EXPECT_GE(n.id, 1u);
+    }
+  }
+}
+
+TEST(Deployment, EtuRangesFollowSf) {
+  const Deployment d8 = etu_deployment(8);
+  EXPECT_EQ(d8.snr_min_db, 0.0);
+  EXPECT_EQ(d8.snr_max_db, 20.0);
+  const Deployment d10 = etu_deployment(10);
+  EXPECT_EQ(d10.snr_min_db, -6.0);
+  EXPECT_EQ(d10.snr_max_db, 14.0);
+}
+
+TEST(AppPayload, RoundTrip) {
+  Rng rng(2);
+  const auto p = make_app_payload(513, 42, 14, rng);
+  ASSERT_EQ(p.size(), 14u);
+  std::uint16_t node = 0, seq = 0;
+  ASSERT_TRUE(parse_app_payload(p, node, seq));
+  EXPECT_EQ(node, 513);
+  EXPECT_EQ(seq, 42);
+}
+
+TEST(AppPayload, RejectsCorruptMagicAndShortInput) {
+  Rng rng(3);
+  auto p = make_app_payload(1, 1, 14, rng);
+  p[0] ^= 0xFF;
+  std::uint16_t node = 0, seq = 0;
+  EXPECT_FALSE(parse_app_payload(p, node, seq));
+  std::vector<std::uint8_t> tiny(4);
+  EXPECT_FALSE(parse_app_payload(tiny, node, seq));
+  EXPECT_THROW(make_app_payload(1, 1, 4, rng), std::invalid_argument);
+}
+
+TEST(TraceBuilder, ProducesRequestedLoad) {
+  Rng rng(4);
+  const lora::Params p = small_params();
+  TraceOptions opt;
+  opt.duration_s = 1.0;
+  opt.load_pps = 12.0;
+  opt.nodes = {{1, 20.0, 100.0}, {2, 15.0, -300.0}, {3, 18.0, 900.0}};
+  const Trace trace = build_trace(p, opt, rng);
+  EXPECT_EQ(trace.packets.size(), 12u);  // 4 per node
+  EXPECT_EQ(trace.iq.size(), static_cast<std::size_t>(p.sample_rate_hz()));
+  EXPECT_GT(trace.noise_power, 0.0);
+  // Ground truth sorted by start.
+  EXPECT_TRUE(std::is_sorted(trace.packets.begin(), trace.packets.end(),
+                             [](const TxPacketRecord& a, const TxPacketRecord& b) {
+                               return a.start_sample < b.start_sample;
+                             }));
+}
+
+TEST(TraceBuilder, SequenceNumbersPerNodeAreConsecutive) {
+  Rng rng(5);
+  TraceOptions opt;
+  opt.duration_s = 1.0;
+  opt.load_pps = 9.0;
+  opt.nodes = {{7, 20.0, 0.0}, {9, 20.0, 0.0}, {11, 20.0, 0.0}};
+  const Trace trace = build_trace(small_params(), opt, rng);
+  std::map<std::uint16_t, std::vector<std::uint16_t>> seqs;
+  for (const auto& rec : trace.packets) seqs[rec.node_id].push_back(rec.seq);
+  for (auto& [node, v] : seqs) {
+    std::sort(v.begin(), v.end());
+    for (std::size_t i = 0; i < v.size(); ++i) EXPECT_EQ(v[i], i);
+  }
+}
+
+TEST(TraceBuilder, SignalEnergyPresentWherePacketIs) {
+  Rng rng(6);
+  TraceOptions opt;
+  opt.duration_s = 0.5;
+  opt.load_pps = 2.0;
+  opt.nodes = {{1, 30.0, 0.0}};
+  opt.add_noise = false;
+  const Trace trace = build_trace(small_params(), opt, rng);
+  ASSERT_FALSE(trace.packets.empty());
+  const auto& rec = trace.packets[0];
+  double in_pkt = 0.0;
+  const std::size_t s0 = static_cast<std::size_t>(rec.start_sample);
+  for (std::size_t i = s0; i < s0 + 100; ++i) in_pkt += std::norm(trace.iq[i]);
+  EXPECT_GT(in_pkt, 1.0);
+}
+
+TEST(TraceBuilder, ValidatesInputs) {
+  Rng rng(7);
+  TraceOptions opt;
+  opt.duration_s = 1.0;
+  opt.load_pps = 5.0;
+  EXPECT_THROW(build_trace(small_params(), opt, rng), std::invalid_argument);
+  opt.nodes = {{1, 10.0, 0.0}};
+  opt.duration_s = 0.01;  // shorter than one packet
+  EXPECT_THROW(build_trace(small_params(), opt, rng), std::invalid_argument);
+}
+
+Trace tiny_trace(Rng& rng) {
+  TraceOptions opt;
+  opt.duration_s = 1.0;
+  opt.load_pps = 8.0;
+  opt.nodes = {{1, 25.0, 0.0}, {2, 25.0, 0.0}};
+  opt.add_noise = false;
+  return build_trace(small_params(), opt, rng);
+}
+
+TEST(Metrics, PerfectDecoderScoresFullPrr) {
+  Rng rng(8);
+  const Trace trace = tiny_trace(rng);
+  std::vector<DecodedPacket> decoded;
+  for (const auto& rec : trace.packets) {
+    decoded.push_back({rec.app_payload, rec.start_sample});
+  }
+  const EvalResult r = evaluate(trace, decoded);
+  EXPECT_EQ(r.transmitted, trace.packets.size());
+  EXPECT_EQ(r.decoded_unique, trace.packets.size());
+  EXPECT_EQ(r.false_packets, 0u);
+  EXPECT_NEAR(r.prr, 1.0, 1e-12);
+}
+
+TEST(Metrics, DuplicatesCountOnce) {
+  Rng rng(9);
+  const Trace trace = tiny_trace(rng);
+  std::vector<DecodedPacket> decoded;
+  decoded.push_back({trace.packets[0].app_payload, 0.0});
+  decoded.push_back({trace.packets[0].app_payload, 0.0});
+  const EvalResult r = evaluate(trace, decoded);
+  EXPECT_EQ(r.decoded_unique, 1u);
+  EXPECT_EQ(r.decoded_raw, 2u);
+}
+
+TEST(Metrics, CorruptedPayloadIsFalsePacket) {
+  Rng rng(10);
+  const Trace trace = tiny_trace(rng);
+  auto payload = trace.packets[0].app_payload;
+  payload[10] ^= 0xFF;  // data corrupted but id/seq intact
+  std::vector<DecodedPacket> decoded{{payload, 0.0}};
+  const EvalResult r = evaluate(trace, decoded);
+  EXPECT_EQ(r.decoded_unique, 0u);
+  EXPECT_EQ(r.false_packets, 1u);
+}
+
+TEST(Metrics, PerNodePrr) {
+  Rng rng(11);
+  const Trace trace = tiny_trace(rng);
+  // Decode only node 1's packets.
+  std::vector<DecodedPacket> decoded;
+  for (const auto& rec : trace.packets) {
+    if (rec.node_id == 1) decoded.push_back({rec.app_payload, rec.start_sample});
+  }
+  const auto prr = per_node_prr(trace, decoded);
+  EXPECT_NEAR(prr.at(1), 1.0, 1e-12);
+  EXPECT_NEAR(prr.at(2), 0.0, 1e-12);
+}
+
+TEST(Metrics, MediumUsageCountsOverlappingPackets) {
+  Rng rng(12);
+  const Trace trace = tiny_trace(rng);
+  const auto usage = medium_usage_timeline(trace, 0.01);
+  // Total packet-seconds must match.
+  const double rate = trace.params.sample_rate_hz();
+  double pkt_seconds = 0.0;
+  for (const auto& rec : trace.packets) {
+    pkt_seconds += static_cast<double>(rec.n_samples) / rate;
+  }
+  double usage_seconds = 0.0;
+  for (int u : usage) usage_seconds += 0.01 * u;
+  EXPECT_NEAR(usage_seconds, pkt_seconds, 0.02 * static_cast<double>(trace.packets.size()) + 0.1);
+}
+
+TEST(Metrics, CollisionLevelZeroWhenAlone) {
+  // Construct a trace with two far-apart packets by retrying seeds.
+  for (std::uint64_t seed = 20; seed < 200; ++seed) {
+    Rng rng(seed);
+    TraceOptions opt;
+    opt.duration_s = 2.0;
+    opt.load_pps = 1.0;
+    opt.nodes = {{1, 25.0, 0.0}, {2, 25.0, 0.0}};
+    opt.add_noise = false;
+    const Trace trace = build_trace(small_params(), opt, rng);
+    const auto& a = trace.packets[0];
+    const auto& b = trace.packets[1];
+    const bool overlap = a.start_sample + static_cast<double>(a.n_samples) >
+                         b.start_sample;
+    if (!overlap) {
+      EXPECT_EQ(collision_level(trace, 0), 0);
+      EXPECT_EQ(collision_level(trace, 1), 0);
+      return;
+    }
+    // Overlapping case: both see one collider.
+    EXPECT_EQ(collision_level(trace, 0), 1);
+    EXPECT_EQ(collision_level(trace, 1), 1);
+  }
+}
+
+TEST(Metrics, CollisionHistogramBucketsClamp) {
+  Rng rng(13);
+  const Trace trace = tiny_trace(rng);
+  std::vector<DecodedPacket> decoded;
+  for (const auto& rec : trace.packets) {
+    decoded.push_back({rec.app_payload, rec.start_sample});
+  }
+  const auto hist = collision_level_histogram(trace, decoded, 4);
+  ASSERT_EQ(hist.size(), 5u);
+  std::size_t total = 0;
+  for (std::size_t c : hist) total += c;
+  EXPECT_EQ(total, trace.packets.size());
+}
+
+TEST(Metrics, PrrBySnrBuckets) {
+  Rng rng(14);
+  TraceOptions opt;
+  opt.duration_s = 1.0;
+  opt.load_pps = 8.0;
+  opt.nodes = {{1, 5.0, 0.0}, {2, 25.0, 0.0}};
+  opt.add_noise = false;
+  const Trace trace = build_trace(small_params(), opt, rng);
+  std::vector<DecodedPacket> decoded;
+  for (const auto& rec : trace.packets) {
+    if (rec.node_id == 2) decoded.push_back({rec.app_payload, rec.start_sample});
+  }
+  const auto buckets = prr_by_snr(trace, decoded, 10.0);
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_NEAR(buckets[0].first, 0.0, 1e-9);   // node 1 bucket [0,10)
+  EXPECT_NEAR(buckets[0].second, 0.0, 1e-9);
+  EXPECT_NEAR(buckets[1].first, 20.0, 1e-9);  // node 2 bucket [20,30)
+  EXPECT_NEAR(buckets[1].second, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace tnb::sim

@@ -1,0 +1,90 @@
+#include "channel/tdl.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace tnb::chan {
+namespace {
+
+TEST(TdlProfiles, MatchPublishedDelaySpreads) {
+  // RMS delay spreads from TS 36.101: EPA 43 ns, EVA 357 ns, ETU 991 ns.
+  auto rms = [](const TdlProfile& p) {
+    double pw = 0.0, mean = 0.0, m2 = 0.0;
+    for (std::size_t i = 0; i < p.delays_s.size(); ++i) {
+      const double w = std::pow(10.0, p.powers_db[i] / 10.0);
+      pw += w;
+      mean += w * p.delays_s[i];
+    }
+    mean /= pw;
+    for (std::size_t i = 0; i < p.delays_s.size(); ++i) {
+      const double w = std::pow(10.0, p.powers_db[i] / 10.0);
+      m2 += w * (p.delays_s[i] - mean) * (p.delays_s[i] - mean);
+    }
+    return std::sqrt(m2 / pw);
+  };
+  EXPECT_NEAR(rms(epa_profile()) * 1e9, 43.0, 3.0);
+  EXPECT_NEAR(rms(eva_profile()) * 1e9, 357.0, 10.0);
+  EXPECT_NEAR(rms(etu_profile()) * 1e9, 991.0, 20.0);
+}
+
+TEST(TdlProfiles, DelaysSortedPowersMatchLengths) {
+  for (const TdlProfile& p : {epa_profile(), eva_profile(), etu_profile()}) {
+    ASSERT_EQ(p.delays_s.size(), p.powers_db.size()) << p.name;
+    for (std::size_t i = 1; i < p.delays_s.size(); ++i) {
+      EXPECT_GT(p.delays_s[i], p.delays_s[i - 1]) << p.name;
+    }
+  }
+}
+
+TEST(TdlChannel, UnitMeanPowerAllProfiles) {
+  Rng rng(1);
+  for (const TdlProfile& profile : {epa_profile(), eva_profile(), etu_profile()}) {
+    TdlChannel ch(profile, 5.0);
+    double pin = 0.0, pout = 0.0;
+    for (int r = 0; r < 30; ++r) {
+      IqBuffer buf(20000, cfloat{1.0f, 0.0f});
+      pin += static_cast<double>(buf.size());
+      ch.apply(buf, 1e6, rng);
+      for (const cfloat& v : buf) pout += std::norm(v);
+    }
+    EXPECT_NEAR(pout / pin, 1.0, 0.35) << profile.name;
+  }
+}
+
+TEST(TdlChannel, GainIsSmoothAtHighDoppler) {
+  // The interpolated fader must not step mid-symbol even at 200 Hz Doppler.
+  Rng rng(2);
+  TdlChannel ch(epa_profile(), 200.0);
+  IqBuffer buf(50000, cfloat{1.0f, 0.0f});
+  ch.apply(buf, 1e6, rng);
+  // Skip the convolution ramp-up at the leading edge (delay spread).
+  for (std::size_t i = 5; i < buf.size(); ++i) {
+    EXPECT_LT(std::abs(buf[i] - buf[i - 1]), 0.05f) << "jump at " << i;
+  }
+}
+
+TEST(TdlChannel, EpaHasLessDispersionThanEtu) {
+  // An impulse through EPA stays within ~1 sample at 1 Msps; ETU spreads
+  // to 5 samples.
+  Rng rng(3);
+  TdlChannel epa(epa_profile(), 5.0);
+  TdlChannel etu(etu_profile(), 5.0);
+  double epa_late = 0.0, etu_late = 0.0;
+  for (int r = 0; r < 50; ++r) {
+    IqBuffer a(16, cfloat{0.0f, 0.0f}), b(16, cfloat{0.0f, 0.0f});
+    a[0] = b[0] = {1.0f, 0.0f};
+    epa.apply(a, 1e6, rng);
+    etu.apply(b, 1e6, rng);
+    for (std::size_t i = 2; i < 16; ++i) {
+      epa_late += std::norm(a[i]);
+      etu_late += std::norm(b[i]);
+    }
+  }
+  EXPECT_LT(epa_late, 0.1 * etu_late + 1e-9);
+}
+
+}  // namespace
+}  // namespace tnb::chan

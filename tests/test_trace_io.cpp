@@ -1,0 +1,52 @@
+#include "sim/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/rng.hpp"
+
+namespace tnb::sim {
+namespace {
+
+TEST(TraceIo, RoundTripPreservesSamples) {
+  Rng rng(1);
+  IqBuffer iq(1000);
+  for (auto& v : iq) v = rng.complex_normal();
+  const std::string path = ::testing::TempDir() + "tnb_roundtrip.bin";
+  write_trace_i16(path, iq, 4096.0);
+  const IqBuffer back = read_trace_i16(path, 4096.0);
+  ASSERT_EQ(back.size(), iq.size());
+  for (std::size_t i = 0; i < iq.size(); ++i) {
+    EXPECT_NEAR(back[i].real(), iq[i].real(), 1.0f / 4096.0f);
+    EXPECT_NEAR(back[i].imag(), iq[i].imag(), 1.0f / 4096.0f);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, ClipsOutOfRangeValues) {
+  IqBuffer iq{{100.0f, -100.0f}};
+  const std::string path = ::testing::TempDir() + "tnb_clip.bin";
+  write_trace_i16(path, iq, 1024.0);
+  const IqBuffer back = read_trace_i16(path, 1024.0);
+  EXPECT_NEAR(back[0].real(), 32767.0f / 1024.0f, 1e-3f);
+  EXPECT_NEAR(back[0].imag(), -32768.0f / 1024.0f, 1e-3f);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(read_trace_i16("/nonexistent/nope.bin"), std::runtime_error);
+  IqBuffer iq(4);
+  EXPECT_THROW(write_trace_i16("/nonexistent/nope.bin", iq), std::runtime_error);
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips) {
+  IqBuffer iq;
+  const std::string path = ::testing::TempDir() + "tnb_empty.bin";
+  write_trace_i16(path, iq);
+  EXPECT_TRUE(read_trace_i16(path).empty());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tnb::sim
