@@ -6,6 +6,10 @@
 // traces. Absolute counts differ from the paper (30 s USRP traces vs
 // synthetic traces here), but the ordering and the growth of TnB's gain
 // with SF are the reproduced shapes.
+//
+// Every (deployment, SF, CR, load, run) cell is independent: cells fan out
+// across `--jobs N` (or TNB_JOBS) workers, results land in pre-sized slots,
+// and the printed numbers are identical for every jobs value.
 #include <cstdio>
 #include <vector>
 
@@ -13,46 +17,97 @@
 
 using namespace tnb;
 
-int main() {
+namespace {
+
+struct Cell {
+  std::size_t dep = 0;
+  unsigned sf = 8;
+  unsigned cr = 4;
+  double load = 0.0;
+  int run = 0;
+};
+
+struct CellResult {
+  std::vector<double> decoded;  ///< per scheme
+  std::size_t offered = 0;
+  double wall_s = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
   bench::print_header("Figs. 12-14: throughput vs offered load",
                       "paper Figs. 12, 13, 14");
+  const int jobs = bench::parse_jobs(argc, argv);
   const std::vector<base::Scheme> schemes = {
       base::Scheme::kTnB, base::Scheme::kCic, base::Scheme::kAlignTrack,
       base::Scheme::kLoRaPhy};
   const std::vector<unsigned> crs =
       bench::full_mode() ? std::vector<unsigned>{1, 2, 3, 4}
                          : std::vector<unsigned>{4};
+  const std::vector<sim::Deployment> deps = {sim::indoor_deployment(),
+                                             sim::outdoor1_deployment(),
+                                             sim::outdoor2_deployment()};
+  // The paper averages 3 runs per point; full mode does the same.
+  const int runs = bench::full_mode() ? 3 : 1;
+
+  std::vector<Cell> cells;
+  for (std::size_t d = 0; d < deps.size(); ++d) {
+    for (unsigned sf : {8u, 10u}) {
+      for (unsigned cr : crs) {
+        for (double load : bench::load_sweep()) {
+          for (int run = 0; run < runs; ++run) {
+            cells.push_back({d, sf, cr, load, run});
+          }
+        }
+      }
+    }
+  }
+
+  std::vector<CellResult> results(cells.size());
+  const bench::WallTimer total;
+  common::parallel_for(cells.size(), jobs, [&](std::size_t i) {
+    const Cell& c = cells[i];
+    const bench::WallTimer timer;
+    const lora::Params p{
+        .sf = c.sf, .cr = c.cr, .bandwidth_hz = 125e3, .osf = 8};
+    const sim::Trace trace = bench::make_deployment_trace(
+        p, deps[c.dep], c.load,
+        1000 + c.sf * 10 + c.cr + 7777u * static_cast<unsigned>(c.run));
+    const auto detections = bench::detect_once(p, trace);
+    CellResult& r = results[i];
+    r.offered = trace.packets.size();
+    r.decoded.resize(schemes.size(), 0.0);
+    for (std::size_t si = 0; si < schemes.size(); ++si) {
+      r.decoded[si] = static_cast<double>(
+          bench::run_scheme(schemes[si], p, trace, false, &detections)
+              .eval.decoded_unique);
+    }
+    r.wall_s = timer.seconds();
+  });
+  const double wall = total.seconds();
 
   double tnb_total = 0.0, cic_total = 0.0;
   double tnb_total_sf10 = 0.0, cic_total_sf10 = 0.0;
-
-  for (const sim::Deployment& dep :
-       {sim::indoor_deployment(), sim::outdoor1_deployment(),
-        sim::outdoor2_deployment()}) {
+  std::size_t next = 0;
+  for (std::size_t d = 0; d < deps.size(); ++d) {
     for (unsigned sf : {8u, 10u}) {
       for (unsigned cr : crs) {
-        lora::Params p{.sf = sf, .cr = cr, .bandwidth_hz = 125e3, .osf = 8};
         std::printf("\n%s, SF %u, CR %u (decoded packets per %.0f s trace):\n",
-                    dep.name.c_str(), sf, cr, bench::trace_duration());
+                    deps[d].name.c_str(), sf, cr, bench::trace_duration());
         std::printf("%-8s", "load");
         for (base::Scheme s : schemes) {
           std::printf("%14s", base::scheme_name(s).c_str());
         }
         std::printf("%10s\n", "offered");
-        // The paper averages 3 runs per point; full mode does the same.
-        const int runs = bench::full_mode() ? 3 : 1;
         for (double load : bench::load_sweep()) {
           std::vector<double> decoded(schemes.size(), 0.0);
           std::size_t offered = 0;
           for (int run = 0; run < runs; ++run) {
-            const sim::Trace trace = bench::make_deployment_trace(
-                p, dep, load, 1000 + sf * 10 + cr + 7777u * static_cast<unsigned>(run));
-            const auto detections = bench::detect_once(p, trace);
-            offered += trace.packets.size();
+            const CellResult& r = results[next++];
+            offered += r.offered;
             for (std::size_t si = 0; si < schemes.size(); ++si) {
-              const auto r =
-                  bench::run_scheme(schemes[si], p, trace, false, &detections);
-              decoded[si] += static_cast<double>(r.eval.decoded_unique);
+              decoded[si] += r.decoded[si];
             }
           }
           std::printf("%-8.0f", load);
@@ -80,5 +135,8 @@ int main() {
               cic_total > 0 ? tnb_total / cic_total : 0.0,
               cic_total_sf10 > 0 ? tnb_total_sf10 / cic_total_sf10 : 0.0);
   std::printf("(paper: median gains 1.36x at SF 8 and 2.46x at SF 10)\n");
+  double seq = 0.0;
+  for (const CellResult& r : results) seq += r.wall_s;
+  bench::print_parallel_summary(cells.size(), jobs, wall, seq);
   return 0;
 }

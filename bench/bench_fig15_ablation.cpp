@@ -1,44 +1,79 @@
 // Fig. 15: component ablation at the highest load — TnB (Thrive+BEC),
 // Thrive (no BEC), Sibling (no history cost), vs CIC.
+//
+// The six (deployment, SF) cells are independent and fan out across
+// `--jobs N` / TNB_JOBS workers; printed numbers are identical for every
+// jobs value.
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hpp"
 
 using namespace tnb;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header("Fig. 15: evaluating the components of TnB",
                       "paper Fig. 15");
+  const int jobs = bench::parse_jobs(argc, argv);
   const std::vector<base::Scheme> schemes = {
       base::Scheme::kTnB, base::Scheme::kThrive, base::Scheme::kSibling,
       base::Scheme::kCic};
   const double load = bench::load_sweep().back();
+  const std::vector<sim::Deployment> deps = {sim::indoor_deployment(),
+                                             sim::outdoor1_deployment(),
+                                             sim::outdoor2_deployment()};
+  const std::vector<unsigned> sfs = {8u, 10u};
 
-  double tnb_sum = 0.0, thrive_sum = 0.0;
-  for (const sim::Deployment& dep :
-       {sim::indoor_deployment(), sim::outdoor1_deployment(),
-        sim::outdoor2_deployment()}) {
-    for (unsigned sf : {8u, 10u}) {
-      lora::Params p{.sf = sf, .cr = 4, .bandwidth_hz = 125e3, .osf = 8};
-      const sim::Trace trace =
-          bench::make_deployment_trace(p, dep, load, 1500 + sf);
-      const auto detections = bench::detect_once(p, trace);
-      std::printf("%-11s SF %-3u (%zu tx):", dep.name.c_str(), sf,
-                  trace.packets.size());
-      for (base::Scheme s : schemes) {
-        const auto r = bench::run_scheme(s, p, trace, false, &detections);
-        std::printf("  %s=%zu", base::scheme_name(s).c_str(),
-                    r.eval.decoded_unique);
-        if (s == base::Scheme::kTnB) tnb_sum += static_cast<double>(r.eval.decoded_unique);
-        if (s == base::Scheme::kThrive) thrive_sum += static_cast<double>(r.eval.decoded_unique);
-      }
-      std::printf("\n");
+  struct CellResult {
+    std::size_t transmitted = 0;
+    std::vector<std::size_t> decoded;  ///< per scheme
+    double wall_s = 0.0;
+  };
+  const std::size_t n_cells = deps.size() * sfs.size();
+  std::vector<CellResult> results(n_cells);
+  const bench::WallTimer total;
+  common::parallel_for(n_cells, jobs, [&](std::size_t i) {
+    const sim::Deployment& dep = deps[i / sfs.size()];
+    const unsigned sf = sfs[i % sfs.size()];
+    const bench::WallTimer timer;
+    const lora::Params p{.sf = sf, .cr = 4, .bandwidth_hz = 125e3, .osf = 8};
+    const sim::Trace trace =
+        bench::make_deployment_trace(p, dep, load, 1500 + sf);
+    const auto detections = bench::detect_once(p, trace);
+    CellResult& r = results[i];
+    r.transmitted = trace.packets.size();
+    for (base::Scheme s : schemes) {
+      r.decoded.push_back(
+          bench::run_scheme(s, p, trace, false, &detections)
+              .eval.decoded_unique);
     }
+    r.wall_s = timer.seconds();
+  });
+  const double wall = total.seconds();
+
+  double tnb_sum = 0.0, thrive_sum = 0.0, seq = 0.0;
+  for (std::size_t i = 0; i < n_cells; ++i) {
+    const CellResult& r = results[i];
+    std::printf("%-11s SF %-3u (%zu tx):", deps[i / sfs.size()].name.c_str(),
+                sfs[i % sfs.size()], r.transmitted);
+    for (std::size_t si = 0; si < schemes.size(); ++si) {
+      std::printf("  %s=%zu", base::scheme_name(schemes[si]).c_str(),
+                  r.decoded[si]);
+      if (schemes[si] == base::Scheme::kTnB) {
+        tnb_sum += static_cast<double>(r.decoded[si]);
+      }
+      if (schemes[si] == base::Scheme::kThrive) {
+        thrive_sum += static_cast<double>(r.decoded[si]);
+      }
+    }
+    std::printf("\n");
+    seq += r.wall_s;
   }
   std::printf("\nTnB/Thrive ratio (BEC's contribution): %.2fx "
               "(paper: median 1.31x)\n",
               thrive_sum > 0 ? tnb_sum / thrive_sum : 0.0);
   std::printf("(paper: Sibling underperforms in some cases, showing the "
               "value of the peak history)\n");
+  bench::print_parallel_summary(n_cells, jobs, wall, seq);
   return 0;
 }

@@ -1,12 +1,13 @@
 // Fig. 20: decoding error probability of BEC at CR 4 with 3 error columns —
 // closed-form analysis (Lemma 4) vs Monte-Carlo simulation, across SF.
+//
+// The Monte-Carlo lives in core/bec_montecarlo (shared with
+// bench_table1_bec_capability and pinned by test_golden_bec).
 #include <cstdio>
-#include <set>
 
 #include "bench_util.hpp"
-#include "core/bec.hpp"
 #include "core/bec_analysis.hpp"
-#include "lora/hamming.hpp"
+#include "core/bec_montecarlo.hpp"
 
 using namespace tnb;
 
@@ -20,38 +21,8 @@ int main() {
   std::printf("%-4s %-12s %-12s\n", "SF", "analysis", "simulation");
   for (unsigned sf = 7; sf <= 12; ++sf) {
     const double analytic = rx::bec_cr4_3col_error_probability(sf);
-
-    const rx::Bec bec(sf, 4);
-    int fails = 0;
-    for (int t = 0; t < trials; ++t) {
-      std::vector<std::uint8_t> truth(sf);
-      for (auto& r : truth) r = lora::codewords(4)[rng.uniform_index(16)];
-      std::set<unsigned> cols;
-      while (cols.size() < 3) {
-        cols.insert(static_cast<unsigned>(rng.uniform_index(8)));
-      }
-      std::vector<std::uint8_t> received = truth;
-      for (unsigned c : cols) {
-        bool any = false;
-        while (!any) {
-          for (std::size_t r = 0; r < received.size(); ++r) {
-            received[r] = static_cast<std::uint8_t>(received[r] & ~(1u << c));
-            const unsigned orig = (truth[r] >> c) & 1u;
-            const unsigned bit = rng.uniform() < 0.5 ? orig ^ 1u : orig;
-            received[r] |= static_cast<std::uint8_t>(bit << c);
-            if (bit != orig) any = true;
-          }
-        }
-      }
-      bool ok = false;
-      for (const auto& cand : bec.decode_block(received)) {
-        if (cand == truth) {
-          ok = true;
-          break;
-        }
-      }
-      if (!ok) ++fails;
-    }
+    const rx::BecMcResult r = rx::bec_capability_mc(sf, 4, 3, trials, rng);
+    const int fails = r.trials - r.ok_bec;
     std::printf("%-4u %-12.5f %-12.5f\n", sf, analytic,
                 static_cast<double>(fails) / trials);
   }

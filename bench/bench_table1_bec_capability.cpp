@@ -4,69 +4,15 @@
 // the default decoder must show its per-row limits, and BEC must hit the
 // paper's claims — 1-symbol errors at every CR, 2-symbol at CR 3 ("almost
 // all") and CR 4 (all), and >96% of 3-symbol errors at CR 4.
+//
+// The Monte-Carlo itself lives in core/bec_montecarlo so the golden-value
+// regression test (test_golden_bec) pins exactly these numbers.
 #include <cstdio>
-#include <set>
 
 #include "bench_util.hpp"
-#include "core/bec.hpp"
-#include "lora/hamming.hpp"
+#include "core/bec_montecarlo.hpp"
 
 using namespace tnb;
-
-namespace {
-
-struct Rates {
-  double default_rate = 0.0;
-  double bec_rate = 0.0;
-};
-
-Rates measure(unsigned sf, unsigned cr, unsigned n_err_cols, int trials,
-              Rng& rng) {
-  const rx::Bec bec(sf, cr);
-  int ok_default = 0, ok_bec = 0;
-  for (int t = 0; t < trials; ++t) {
-    std::vector<std::uint8_t> truth(sf);
-    for (auto& r : truth) r = lora::codewords(cr)[rng.uniform_index(16)];
-
-    std::set<unsigned> cols;
-    while (cols.size() < n_err_cols) {
-      cols.insert(static_cast<unsigned>(rng.uniform_index(4 + cr)));
-    }
-    std::vector<std::uint8_t> received = truth;
-    for (unsigned c : cols) {
-      bool any = false;
-      while (!any) {
-        for (std::size_t r = 0; r < received.size(); ++r) {
-          received[r] = static_cast<std::uint8_t>(received[r] & ~(1u << c));
-          const unsigned orig = (truth[r] >> c) & 1u;
-          const unsigned bit = rng.uniform() < 0.5 ? orig ^ 1u : orig;
-          received[r] |= static_cast<std::uint8_t>(bit << c);
-          if (bit != orig) any = true;
-        }
-      }
-    }
-
-    bool def_ok = true;
-    for (unsigned r = 0; r < sf; ++r) {
-      if (lora::default_decode(received[r], cr).codeword != truth[r]) {
-        def_ok = false;
-        break;
-      }
-    }
-    if (def_ok) ++ok_default;
-
-    for (const auto& cand : bec.decode_block(received)) {
-      if (cand == truth) {
-        ++ok_bec;
-        break;
-      }
-    }
-  }
-  return {static_cast<double>(ok_default) / trials,
-          static_cast<double>(ok_bec) / trials};
-}
-
-}  // namespace
 
 int main() {
   bench::print_header("Table 1: Decoding Capability Comparison",
@@ -87,9 +33,9 @@ int main() {
   for (unsigned cr = 1; cr <= 4; ++cr) {
     const unsigned max_err = cr <= 2 ? 1 : (cr == 3 ? 2 : 3);
     for (unsigned e = 1; e <= max_err; ++e) {
-      const Rates r = measure(sf, cr, e, trials, rng);
-      std::printf("%-4u %-10u %-16.4f %-16.4f %s\n", cr, e, r.default_rate,
-                  r.bec_rate, claims[cr][e - 1]);
+      const rx::BecMcResult r = rx::bec_capability_mc(sf, cr, e, trials, rng);
+      std::printf("%-4u %-10u %-16.4f %-16.4f %s\n", cr, e, r.default_rate(),
+                  r.bec_rate(), claims[cr][e - 1]);
     }
   }
   std::printf("\n(SF %u, %d trials per row; 'default ok' = every row decoded "

@@ -5,13 +5,16 @@
 // TNB_BENCH_FULL=1 for paper-scale durations and sweeps.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "baselines/factories.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "sim/deployment.hpp"
 #include "sim/metrics.hpp"
 #include "sim/trace_builder.hpp"
@@ -21,6 +24,44 @@ namespace tnb::bench {
 inline bool full_mode() {
   const char* v = std::getenv("TNB_BENCH_FULL");
   return v != nullptr && v[0] != '0';
+}
+
+/// Worker threads for a bench: `--jobs N` on the command line, else the
+/// TNB_JOBS environment variable, else 1. Benches fan independent
+/// (deployment, SF, CR, load, run) cells across common::parallel_for with
+/// results in pre-sized slots, so the printed numbers are identical for
+/// every jobs value (see bench/README.md "Parallel runs").
+inline int parse_jobs(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0) {
+      const int n = std::atoi(argv[i + 1]);
+      return n > 0 ? n : 1;
+    }
+  }
+  return common::default_jobs();
+}
+
+/// Monotonic wall-clock stopwatch for the per-run / per-bench timings.
+class WallTimer {
+ public:
+  WallTimer() : t0_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point t0_;
+};
+
+/// One-line parallelism report, printed at the end of a parallel bench so
+/// the perf trajectory is visible in archived outputs: `seq_s` is the sum
+/// of per-cell wall clocks (the estimated --jobs 1 wall clock).
+inline void print_parallel_summary(std::size_t runs, int jobs, double wall_s,
+                                   double seq_s) {
+  std::printf("runs=%zu jobs=%d wall=%.2fs speedup=%.2fx\n", runs, jobs,
+              wall_s, wall_s > 0.0 ? seq_s / wall_s : 1.0);
 }
 
 /// Trace duration in seconds (paper: 30 s runs).

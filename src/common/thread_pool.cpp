@@ -1,0 +1,91 @@
+#include "common/thread_pool.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <utility>
+
+namespace tnb::common {
+
+int default_jobs() {
+  const char* v = std::getenv("TNB_JOBS");
+  if (v == nullptr || *v == '\0') return 1;
+  const long n = std::strtol(v, nullptr, 10);
+  return n > 0 ? static_cast<int>(n) : 1;
+}
+
+int resolve_jobs(int jobs) { return jobs > 0 ? jobs : default_jobs(); }
+
+ThreadPool::ThreadPool(int threads, std::size_t queue_capacity)
+    : queue_capacity_(queue_capacity == 0 ? 1 : queue_capacity) {
+  if (threads < 0) throw std::invalid_argument("ThreadPool: threads < 0");
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock lock(mu_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run_task(std::function<void()>& task) {
+  try {
+    task();
+  } catch (...) {
+    std::unique_lock lock(mu_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    // Inline degenerate case: run on the caller, deliver errors via wait().
+    run_task(task);
+    return;
+  }
+  {
+    std::unique_lock lock(mu_);
+    cv_space_.wait(lock, [this] { return queue_.size() < queue_capacity_; });
+    queue_.push_back(std::move(task));
+    ++unfinished_;
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::exception_ptr err;
+  {
+    std::unique_lock lock(mu_);
+    cv_idle_.wait(lock, [this] { return unfinished_ == 0; });
+    err = std::exchange(first_error_, nullptr);
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      // Drain the queue even when stopping so the destructor never drops
+      // submitted work.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    cv_space_.notify_one();
+    run_task(task);
+    {
+      std::unique_lock lock(mu_);
+      if (--unfinished_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace tnb::common

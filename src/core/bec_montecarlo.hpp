@@ -1,0 +1,38 @@
+// Monte-Carlo measurement of BEC's block-decoding capability (paper
+// Table 1 and the Fig. 20 simulation curve).
+//
+// Extracted from the bench drivers so the golden-value regression test and
+// the benches share one implementation: for a fixed (seed, trial count) the
+// RNG consumption below is part of the contract — reordering draws shifts
+// every published number.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace tnb::rx {
+
+/// Outcome counts of one Monte-Carlo cell (one Table 1 row).
+struct BecMcResult {
+  int trials = 0;
+  int ok_default = 0;  ///< every row decoded by nearest-codeword alone
+  int ok_bec = 0;      ///< truth among BEC's candidate blocks
+
+  double default_rate() const {
+    return trials > 0 ? static_cast<double>(ok_default) / trials : 0.0;
+  }
+  double bec_rate() const {
+    return trials > 0 ? static_cast<double>(ok_bec) / trials : 0.0;
+  }
+};
+
+/// Random SF x (4+CR) blocks with exactly `n_err_cols` corrupted columns
+/// (each corrupted column flips at least one bit); counts how often the
+/// per-row default decoder recovers the block and how often BEC does.
+/// `rng` is consumed sequentially — thread one generator through a sweep to
+/// reproduce the published Table 1 / Fig. 20 sequences.
+BecMcResult bec_capability_mc(unsigned sf, unsigned cr, unsigned n_err_cols,
+                              int trials, Rng& rng);
+
+}  // namespace tnb::rx

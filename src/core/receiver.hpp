@@ -55,6 +55,21 @@ struct ReceiverStats {
   BecStats bec;
   /// Rescued-codeword count of each decoded packet (paper Fig. 16).
   std::vector<std::size_t> rescued_per_packet;
+
+  /// Merges counters from another decode (parallel sweeps aggregate their
+  /// per-run stats into one report); rescued_per_packet is concatenated.
+  ReceiverStats& operator+=(const ReceiverStats& o) {
+    detected += o.detected;
+    header_ok += o.header_ok;
+    crc_ok += o.crc_ok;
+    decoded_first_pass += o.decoded_first_pass;
+    decoded_second_pass += o.decoded_second_pass;
+    bec += o.bec;
+    rescued_per_packet.insert(rescued_per_packet.end(),
+                              o.rescued_per_packet.begin(),
+                              o.rescued_per_packet.end());
+    return *this;
+  }
 };
 
 class Receiver {

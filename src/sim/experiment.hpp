@@ -1,12 +1,17 @@
 // Repeated-run experiment orchestration.
 //
 // The paper repeats every (SF, CR, load) point three times ("runs") and
-// averages. This module generates R independent traces of one scenario and
-// aggregates an arbitrary per-trace score.
+// averages. This module generates R independent traces of one scenario (or
+// a grid of scenarios) and aggregates an arbitrary per-trace score. Runs
+// can fan out across a thread pool: each run's RNG seed depends only on
+// (seed, scenario index, run index) and results land in pre-sized slots,
+// so `Series.values` is bit-identical for any `jobs` value.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "sim/deployment.hpp"
@@ -35,10 +40,53 @@ struct Scenario {
   bool implicit_header = false;
 };
 
+/// Execution options for run_repeated / run_grid.
+struct RunOptions {
+  /// Worker threads. 1 = sequential on the calling thread; > 1 = fan out
+  /// across a pool; <= 0 = resolve from the TNB_JOBS environment variable
+  /// (common::resolve_jobs). With jobs > 1 the score callback runs
+  /// concurrently from several threads and must be thread-safe.
+  int jobs = 1;
+};
+
+/// Per-invocation observability: wall clock of each run and of the whole
+/// batch, so speedups stay measurable as the harness scales.
+struct RunReport {
+  int runs = 0;
+  int jobs = 1;           ///< resolved worker count actually used
+  double wall_s = 0.0;    ///< end-to-end wall clock of the batch
+  std::vector<double> run_wall_s;  ///< per-run wall clock, run order
+
+  /// Sum of per-run wall clocks (estimated 1-job wall clock).
+  double sequential_s() const;
+  /// sequential_s() / wall_s (1.0 when wall_s is 0).
+  double speedup() const;
+  /// One line: "runs=R jobs=J wall=1.23s speedup=3.8x".
+  std::string summary() const;
+};
+
 /// Builds `runs` independent traces of `scenario` (fresh node draw and
 /// traffic each run, seeds derived from `seed`) and scores each with
-/// `score`. The callback receives the trace and the run index.
+/// `score`. The callback receives the trace and the run index. Runs
+/// sequentially; see the overload below for parallel execution.
 Series run_repeated(const Scenario& scenario, int runs, std::uint64_t seed,
                     const std::function<double(const Trace&, int)>& score);
+
+/// As above with explicit execution options. `Series.values[r]` is
+/// bit-identical for every `opt.jobs`; with jobs > 1 `score` must be
+/// thread-safe. `report`, when non-null, receives per-run timings.
+Series run_repeated(const Scenario& scenario, int runs, std::uint64_t seed,
+                    const std::function<double(const Trace&, int)>& score,
+                    const RunOptions& opt, RunReport* report = nullptr);
+
+/// Multi-scenario sweep: `runs` traces of every scenario, scored by
+/// `score(trace, scenario_index, run)`. Result `[s]` is the Series of
+/// scenario `s`, in run order. Scenario 0's seed derivation matches
+/// run_repeated exactly, and every (scenario, run) cell is an independent
+/// task, so a grid sweep saturates the pool even when `runs` is small.
+std::vector<Series> run_grid(
+    std::span<const Scenario> scenarios, int runs, std::uint64_t seed,
+    const std::function<double(const Trace&, int, int)>& score,
+    const RunOptions& opt = {}, RunReport* report = nullptr);
 
 }  // namespace tnb::sim

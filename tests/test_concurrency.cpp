@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "core/receiver.hpp"
 #include "dsp/fft.hpp"
 #include "sim/metrics.hpp"
@@ -13,6 +14,23 @@
 
 namespace tnb {
 namespace {
+
+void expect_stats_equal(const rx::ReceiverStats& a,
+                        const rx::ReceiverStats& b) {
+  EXPECT_EQ(a.detected, b.detected);
+  EXPECT_EQ(a.header_ok, b.header_ok);
+  EXPECT_EQ(a.crc_ok, b.crc_ok);
+  EXPECT_EQ(a.decoded_first_pass, b.decoded_first_pass);
+  EXPECT_EQ(a.decoded_second_pass, b.decoded_second_pass);
+  EXPECT_EQ(a.bec.delta_prime, b.bec.delta_prime);
+  EXPECT_EQ(a.bec.delta1, b.bec.delta1);
+  EXPECT_EQ(a.bec.delta2, b.bec.delta2);
+  EXPECT_EQ(a.bec.delta3, b.bec.delta3);
+  EXPECT_EQ(a.bec.crc_checks, b.bec.crc_checks);
+  EXPECT_EQ(a.bec.blocks_no_repair, b.bec.blocks_no_repair);
+  EXPECT_EQ(a.bec.candidate_blocks, b.bec.candidate_blocks);
+  EXPECT_EQ(a.rescued_per_packet, b.rescued_per_packet);
+}
 
 TEST(Concurrency, PlanCacheUnderConcurrentCreation) {
   std::vector<std::thread> threads;
@@ -65,6 +83,48 @@ TEST(Concurrency, ParallelDecodesMatchSequential) {
   }
   for (auto& th : threads) th.join();
   EXPECT_EQ(parallel, sequential);
+}
+
+// Stress: 8 threads decode the *same* collided trace concurrently through
+// one shared Receiver. Every decode must reproduce the sequential
+// ReceiverStats counter-for-counter — this guards the FFT plan cache and
+// any state a pooled execution layer might share across runs.
+TEST(Concurrency, SameTraceStressMatchesSequentialStats) {
+  lora::Params p{.sf = 8, .cr = 4, .bandwidth_hz = 125e3, .osf = 2};
+  Rng trace_rng(17);
+  sim::TraceOptions opt;
+  opt.duration_s = 1.5;
+  opt.load_pps = 8.0;
+  opt.nodes = {{1, 20.0, 900.0},
+               {2, 16.0, -1800.0},
+               {3, 12.0, 400.0},
+               {4, 18.0, -600.0}};
+  const sim::Trace trace = sim::build_trace(p, opt, trace_rng);
+
+  const rx::Receiver receiver(p);
+  rx::ReceiverStats seq_stats;
+  std::size_t seq_decoded;
+  {
+    Rng rng(5);
+    seq_decoded =
+        sim::evaluate(trace, receiver.decode(trace.iq, rng, &seq_stats))
+            .decoded_unique;
+  }
+
+  constexpr int kThreads = 8;
+  std::vector<rx::ReceiverStats> stats(kThreads);
+  std::vector<std::size_t> decoded(kThreads, 0);
+  common::parallel_for(kThreads, kThreads, [&](std::size_t t) {
+    Rng rng(5);
+    decoded[t] =
+        sim::evaluate(trace, receiver.decode(trace.iq, rng, &stats[t]))
+            .decoded_unique;
+  });
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(decoded[static_cast<std::size_t>(t)], seq_decoded)
+        << "thread " << t;
+    expect_stats_equal(stats[static_cast<std::size_t>(t)], seq_stats);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,95 @@
+// Golden-value regression test for the paper-facing BEC numbers.
+//
+// bench_table1_bec_capability and bench_fig20_bec_error_prob publish the
+// Table 1 / Fig. 20 reproductions recorded in EXPERIMENTS.md. Their
+// Monte-Carlo (core/bec_montecarlo) is deterministic — xoshiro256++ with
+// fixed seeds, no toolchain-dependent distributions — so the exact success
+// counts are pinned here: any refactor of BEC, the Hamming tables, or the
+// RNG that silently shifts a published number fails this test.
+#include <gtest/gtest.h>
+
+#include "core/bec_analysis.hpp"
+#include "core/bec_montecarlo.hpp"
+
+namespace tnb::rx {
+namespace {
+
+// One Rng(1) stream threaded through the rows in bench order, 3000 trials
+// each — exactly bench_table1_bec_capability's default-mode loop.
+TEST(GoldenBec, Table1CapabilityCounts) {
+  struct Row {
+    unsigned cr, n_err;
+    int ok_default, ok_bec;
+  };
+  // (default, BEC) successes out of 3000; EXPERIMENTS.md shows the rates.
+  const Row golden[] = {
+      {1, 1, 78, 3000},    // BEC corrects every 1-symbol error at CR 1
+      {2, 1, 304, 3000},   // ... and CR 2
+      {3, 1, 3000, 3000},  // CR 3: default also survives 1 symbol
+      {3, 2, 255, 2987},   // "almost all" 2-symbol at CR 3 (0.9957)
+      {4, 1, 3000, 3000},
+      {4, 2, 604, 3000},   // all 2-symbol at CR 4
+      {4, 3, 47, 2950},    // >96% of 3-symbol at CR 4 (0.9833)
+  };
+  const int trials = 3000;
+  Rng rng(1);
+  for (const Row& row : golden) {
+    const BecMcResult r =
+        bec_capability_mc(8, row.cr, row.n_err, trials, rng);
+    EXPECT_EQ(r.ok_default, row.ok_default)
+        << "CR " << row.cr << ", " << row.n_err << " corrupted columns";
+    EXPECT_EQ(r.ok_bec, row.ok_bec)
+        << "CR " << row.cr << ", " << row.n_err << " corrupted columns";
+  }
+}
+
+// Paper claims, independent of the exact counts: they must keep holding
+// even if the Monte-Carlo is ever reseeded.
+TEST(GoldenBec, Table1PaperClaims) {
+  const int trials = 2000;
+  Rng rng(7);
+  for (unsigned cr = 1; cr <= 4; ++cr) {
+    EXPECT_EQ(bec_capability_mc(8, cr, 1, trials, rng).ok_bec, trials)
+        << "BEC must correct every 1-symbol error at CR " << cr;
+  }
+  EXPECT_EQ(bec_capability_mc(8, 4, 2, trials, rng).ok_bec, trials)
+      << "BEC must correct every 2-symbol error at CR 4";
+  EXPECT_GE(bec_capability_mc(8, 4, 3, trials, rng).bec_rate(), 0.96)
+      << "BEC must correct >96% of 3-symbol errors at CR 4";
+}
+
+// Rng(20), 8000 trials per SF in ascending order — exactly
+// bench_fig20_bec_error_prob's default-mode simulation column.
+TEST(GoldenBec, Fig20SimulationCounts) {
+  struct Row {
+    unsigned sf;
+    int ok_bec;  ///< failures = 8000 - ok_bec
+  };
+  const Row golden[] = {{7, 7743},  {8, 7860},  {9, 7936},
+                        {10, 7975}, {11, 7987}, {12, 7997}};
+  const int trials = 8000;
+  Rng rng(20);
+  for (const Row& row : golden) {
+    const BecMcResult r = bec_capability_mc(row.sf, 4, 3, trials, rng);
+    EXPECT_EQ(r.ok_bec, row.ok_bec) << "SF " << row.sf;
+  }
+}
+
+// The Lemma-4 closed form printed next to the simulation column.
+TEST(GoldenBec, Fig20AnalysisColumn) {
+  const double golden[] = {0.02800, 0.01442, 0.00736,
+                           0.00374, 0.00189, 0.00095};
+  for (unsigned sf = 7; sf <= 12; ++sf) {
+    EXPECT_NEAR(bec_cr4_3col_error_probability(sf), golden[sf - 7], 5e-6)
+        << "SF " << sf;
+  }
+  // Structural claims: < 0.04 at SF 7 and monotonically decreasing.
+  EXPECT_LT(bec_cr4_3col_error_probability(7), 0.04);
+  for (unsigned sf = 8; sf <= 12; ++sf) {
+    EXPECT_LT(bec_cr4_3col_error_probability(sf),
+              bec_cr4_3col_error_probability(sf - 1));
+  }
+}
+
+}  // namespace
+}  // namespace tnb::rx

@@ -1,0 +1,142 @@
+// ThreadPool semantics: submit/wait, bounded-queue back-pressure,
+// exception propagation to the waiter, drain-on-destruction, and the
+// inline degenerate cases (0 workers / jobs <= 1).
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace tnb::common {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ReusableAfterWait) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.wait();
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToWaiter) {
+  ThreadPool pool(2);
+  std::atomic<int> survivors{0};
+  pool.submit([] { throw std::runtime_error("task failed"); });
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&survivors] { survivors.fetch_add(1); });
+  }
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // The failure does not cancel sibling tasks, and the pool stays usable:
+  // a second wait() does not rethrow the already-delivered error.
+  EXPECT_EQ(survivors.load(), 8);
+  pool.submit([&survivors] { survivors.fetch_add(1); });
+  EXPECT_NO_THROW(pool.wait());
+  EXPECT_EQ(survivors.load(), 9);
+}
+
+TEST(ThreadPool, DrainsQueueOnDestruction) {
+  std::atomic<int> count{0};
+  {
+    // One slow worker with a deep queue: destruction must run the backlog,
+    // not drop it.
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&count] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        count.fetch_add(1);
+      });
+    }
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, BoundedQueueStillCompletesEverything) {
+  // Capacity 2 forces submitters to block on back-pressure; all tasks must
+  // still run exactly once.
+  ThreadPool pool(2, /*queue_capacity=*/2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.submit([&count] {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      count.fetch_add(1);
+    });
+  }
+  pool.wait();
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  pool.submit([&ran_on] { ran_on = std::this_thread::get_id(); });
+  EXPECT_EQ(ran_on, caller);
+  // Inline task errors are still delivered via wait(), like pooled ones.
+  pool.submit([] { throw std::runtime_error("inline failure"); });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+}
+
+TEST(ParallelFor, InlineWhenJobsIsOne) {
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ran_on(4);
+  std::vector<std::size_t> order;
+  parallel_for(4, 1, [&](std::size_t i) {
+    ran_on[i] = std::this_thread::get_id();
+    order.push_back(i);
+  });
+  for (const auto& id : ran_on) EXPECT_EQ(id, caller);
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3}));
+  // jobs <= 1 propagates exceptions directly from the calling frame.
+  EXPECT_THROW(
+      parallel_for(2, 1, [](std::size_t) { throw std::logic_error("x"); }),
+      std::logic_error);
+}
+
+TEST(ParallelFor, CoversAllIndicesExactlyOnceInParallel) {
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for(hits.size(), 8,
+               [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ExceptionPropagatesFromWorkers) {
+  EXPECT_THROW(parallel_for(16, 4,
+                            [](std::size_t i) {
+                              if (i == 7) throw std::runtime_error("worker");
+                            }),
+               std::runtime_error);
+}
+
+TEST(Jobs, ResolveAndEnvFallback) {
+  EXPECT_EQ(resolve_jobs(3), 3);
+  unsetenv("TNB_JOBS");
+  EXPECT_EQ(default_jobs(), 1);
+  EXPECT_EQ(resolve_jobs(0), 1);
+  setenv("TNB_JOBS", "6", 1);
+  EXPECT_EQ(default_jobs(), 6);
+  EXPECT_EQ(resolve_jobs(0), 6);
+  EXPECT_EQ(resolve_jobs(2), 2);  // explicit beats the environment
+  setenv("TNB_JOBS", "garbage", 1);
+  EXPECT_EQ(default_jobs(), 1);
+  unsetenv("TNB_JOBS");
+}
+
+}  // namespace
+}  // namespace tnb::common
