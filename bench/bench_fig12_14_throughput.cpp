@@ -10,10 +10,16 @@
 // Every (deployment, SF, CR, load, run) cell is independent: cells fan out
 // across `--jobs N` (or TNB_JOBS) workers, results land in pre-sized slots,
 // and the printed numbers are identical for every jobs value.
+//
+// --streaming additionally times a gateway-style streaming decode of each
+// cell's trace (chunked StreamingReceiver, see bench/README.md) and adds
+// the aggregate samples/sec to the summary line.
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "stream/streaming_receiver.hpp"
 
 using namespace tnb;
 
@@ -31,6 +37,8 @@ struct CellResult {
   std::vector<double> decoded;  ///< per scheme
   std::size_t offered = 0;
   double wall_s = 0.0;
+  std::size_t stream_samples = 0;  ///< --streaming: samples pushed
+  double stream_s = 0.0;           ///< --streaming: decode wall time
 };
 
 }  // namespace
@@ -39,6 +47,10 @@ int main(int argc, char** argv) {
   bench::print_header("Figs. 12-14: throughput vs offered load",
                       "paper Figs. 12, 13, 14");
   const int jobs = bench::parse_jobs(argc, argv);
+  bool streaming = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--streaming") == 0) streaming = true;
+  }
   const std::vector<base::Scheme> schemes = {
       base::Scheme::kTnB, base::Scheme::kCic, base::Scheme::kAlignTrack,
       base::Scheme::kLoRaPhy};
@@ -82,6 +94,15 @@ int main(int argc, char** argv) {
       r.decoded[si] = static_cast<double>(
           bench::run_scheme(schemes[si], p, trace, false, &detections)
               .eval.decoded_unique);
+    }
+    if (streaming) {
+      // Gateway-rate measurement: same trace through the chunked
+      // StreamingReceiver (16-symbol chunks, tnb_streamd's default).
+      const bench::WallTimer stream_timer;
+      stream::StreamingReceiver srx(p, {}, {.keep_packets = false});
+      stream::BufferSource source(trace.iq);
+      r.stream_samples = srx.consume(source, 16 * p.sps());
+      r.stream_s = stream_timer.seconds();
     }
     r.wall_s = timer.seconds();
   });
@@ -137,6 +158,19 @@ int main(int argc, char** argv) {
   std::printf("(paper: median gains 1.36x at SF 8 and 2.46x at SF 10)\n");
   double seq = 0.0;
   for (const CellResult& r : results) seq += r.wall_s;
-  bench::print_parallel_summary(cells.size(), jobs, wall, seq);
+  if (streaming) {
+    std::size_t stream_samples = 0;
+    double stream_s = 0.0;
+    for (const CellResult& r : results) {
+      stream_samples += r.stream_samples;
+      stream_s += r.stream_s;
+    }
+    std::printf("runs=%zu jobs=%d wall=%.2fs speedup=%.2fx stream_sps=%.0f\n",
+                cells.size(), jobs, wall, wall > 0.0 ? seq / wall : 1.0,
+                stream_s > 0.0 ? static_cast<double>(stream_samples) / stream_s
+                               : 0.0);
+  } else {
+    bench::print_parallel_summary(cells.size(), jobs, wall, seq);
+  }
   return 0;
 }

@@ -1,9 +1,14 @@
 // Gateway-scale demo: synthesize a full deployment trace (one of the
-// paper's three testbeds), decode it with TnB, and print the per-node
-// report the paper's artifact produces — sequence numbers, estimated SNR,
-// packet start time, and CFO.
+// paper's three testbeds), decode it through the streaming gateway
+// pipeline — chunked ingestion over the SPSC ring into the
+// StreamingReceiver, exactly the tnb_streamd data path — and print the
+// per-node report the paper's artifact produces: sequence numbers,
+// estimated SNR, packet start time, and CFO. Pass `oneshot` as the last
+// argument to decode the whole in-memory trace with the offline Receiver
+// instead; the decoded packet set is identical (see DESIGN.md "Streaming
+// gateway").
 //
-//   ./examples/gateway_trace [indoor|outdoor1|outdoor2] [sf] [load_pps]
+//   ./examples/gateway_trace [indoor|outdoor1|outdoor2] [sf] [load_pps] [oneshot]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -14,6 +19,7 @@
 #include "sim/deployment.hpp"
 #include "sim/metrics.hpp"
 #include "sim/trace_builder.hpp"
+#include "stream/streaming_receiver.hpp"
 
 int main(int argc, char** argv) {
   using namespace tnb;
@@ -26,6 +32,7 @@ int main(int argc, char** argv) {
   }
   const unsigned sf = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 8;
   const double load = argc > 3 ? std::atof(argv[3]) : 10.0;
+  const bool oneshot = argc > 4 && std::strcmp(argv[4], "oneshot") == 0;
 
   lora::Params params{.sf = sf, .cr = 4, .bandwidth_hz = 125e3, .osf = 8};
   Rng rng(99);
@@ -37,11 +44,26 @@ int main(int argc, char** argv) {
   std::printf("Deployment %s: %zu nodes, SF%u, %.0f pkt/s offered, %.1f s.\n",
               dep.name.c_str(), dep.n_nodes, sf, load, opt.duration_s);
 
-  rx::Receiver receiver(params);
-  Rng rx_rng(1);
-  const auto decoded = receiver.decode(trace.iq, rx_rng);
-
-  std::printf("— TnB decoded %zu pkts —\n\n", decoded.size());
+  std::vector<sim::DecodedPacket> decoded;
+  if (oneshot) {
+    rx::Receiver receiver(params);
+    Rng rx_rng(1);
+    decoded = receiver.decode(trace.iq, rx_rng);
+    std::printf("— TnB decoded %zu pkts (one-shot) —\n\n", decoded.size());
+  } else {
+    // The live-pipeline path: replay the trace chunk by chunk through the
+    // ring buffer into the StreamingReceiver, as tnb_streamd would.
+    stream::StreamingOptions sopt;
+    sopt.rng_seed = 1;
+    stream::StreamingReceiver receiver(params, {}, sopt);
+    stream::BufferSource source(trace.iq);
+    const std::size_t chunk = 16 * params.sps();
+    stream::IqRing ring(8 * chunk);
+    stream::run_pipeline(source, ring, receiver, chunk);
+    decoded = receiver.packets();
+    std::printf("— TnB decoded %zu pkts (streaming) —\n", decoded.size());
+    std::printf("stream %s\n\n", receiver.stats().to_json().c_str());
+  }
 
   // Per-node report, artifact style.
   std::map<std::uint16_t, double> node_snr;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <numeric>
 
 #include "common/math_util.hpp"
 #include "core/sibling.hpp"
@@ -35,6 +37,25 @@ struct Tracked {
 };
 
 }  // namespace
+
+std::string ReceiverStats::to_json() const {
+  const std::size_t rescued_codewords = std::accumulate(
+      rescued_per_packet.begin(), rescued_per_packet.end(), std::size_t{0});
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "{\"detected\":%zu,\"header_ok\":%zu,\"crc_ok\":%zu,"
+      "\"decoded_first_pass\":%zu,\"decoded_second_pass\":%zu,"
+      "\"bec\":{\"delta_prime\":%zu,\"delta1\":%zu,\"delta2\":%zu,"
+      "\"delta3\":%zu,\"crc_checks\":%zu,\"blocks_no_repair\":%zu,"
+      "\"candidate_blocks\":%zu},"
+      "\"rescued_packets\":%zu,\"rescued_codewords\":%zu}",
+      detected, header_ok, crc_ok, decoded_first_pass, decoded_second_pass,
+      bec.delta_prime, bec.delta1, bec.delta2, bec.delta3, bec.crc_checks,
+      bec.blocks_no_repair, bec.candidate_blocks, rescued_per_packet.size(),
+      rescued_codewords);
+  return std::string(buf);
+}
 
 Receiver::Receiver(lora::Params p, ReceiverOptions opt)
     : p_(p), opt_(opt) {
@@ -122,7 +143,7 @@ std::vector<sim::DecodedPacket> Receiver::decode_with_detections(
     ReceiverStats* stats) const {
   std::vector<sim::DecodedPacket> out;
   if (antennas.empty() || antennas[0].empty()) return out;
-  if (stats != nullptr) stats->detected = detections.size();
+  if (stats != nullptr) stats->detected += detections.size();
   if (detections.empty()) return out;
 
   SigCalc sig(p_, antennas);

@@ -13,6 +13,7 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/assign.hpp"
@@ -46,6 +47,10 @@ struct ReceiverOptions {
   int max_tracked_symbols = 96;
 };
 
+/// Decode counters. Every field accumulates: passing the same object to
+/// several decode calls (or merging per-run objects with operator+=) yields
+/// the totals, so a segmented/streaming decode reports the same stats as a
+/// one-shot decode.
 struct ReceiverStats {
   std::size_t detected = 0;
   std::size_t header_ok = 0;
@@ -70,6 +75,11 @@ struct ReceiverStats {
                               o.rescued_per_packet.end());
     return *this;
   }
+
+  /// One-line JSON, the shared report format of tnb_eval and tnb_streamd
+  /// (schema documented in DESIGN.md "Streaming gateway").
+  /// rescued_per_packet is summarized as its length and sum.
+  std::string to_json() const;
 };
 
 class Receiver {

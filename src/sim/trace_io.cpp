@@ -4,14 +4,35 @@
 #include <cstdint>
 #include <fstream>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace tnb::sim {
 namespace {
 
+constexpr std::size_t kBytesPerSample = 2 * sizeof(std::int16_t);
+
 std::int16_t clip_i16(double v) {
   return static_cast<std::int16_t>(
       std::clamp(v, -32768.0, 32767.0));
+}
+
+/// Reads exactly `want` bytes unless EOF intervenes; returns bytes read.
+/// Retries partial reads (pipes deliver what they have, not what was
+/// asked). Throws on hard I/O errors, reporting `offset` + progress.
+std::size_t read_fully(std::istream& in, char* dst, std::size_t want,
+                       std::uint64_t offset, const std::string& what) {
+  std::size_t got = 0;
+  while (got < want) {
+    in.read(dst + got, static_cast<std::streamsize>(want - got));
+    got += static_cast<std::size_t>(in.gcount());
+    if (in.eof()) break;
+    if (!in) {
+      throw std::runtime_error(what + ": read failed at byte offset " +
+                               std::to_string(offset + got));
+    }
+  }
+  return got;
 }
 
 }  // namespace
@@ -34,20 +55,57 @@ IqBuffer read_trace_i16(const std::string& path, double scale) {
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) throw std::runtime_error("read_trace_i16: cannot open " + path);
   const std::streamsize bytes = in.tellg();
+  if (static_cast<std::size_t>(bytes) % kBytesPerSample != 0) {
+    throw std::runtime_error(
+        "read_trace_i16: " + path + ": size " + std::to_string(bytes) +
+        " B is not a whole number of int16 IQ pairs");
+  }
   in.seekg(0);
-  const std::size_t n_values =
-      static_cast<std::size_t>(bytes) / sizeof(std::int16_t);
-  std::vector<std::int16_t> buf(n_values);
-  in.read(reinterpret_cast<char*>(buf.data()),
-          static_cast<std::streamsize>(n_values * sizeof(std::int16_t)));
-  if (!in) throw std::runtime_error("read_trace_i16: read failed: " + path);
+  const std::size_t n_samples = static_cast<std::size_t>(bytes) / kBytesPerSample;
+  std::vector<std::int16_t> buf(2 * n_samples);
+  const std::size_t got =
+      read_fully(in, reinterpret_cast<char*>(buf.data()),
+                 static_cast<std::size_t>(bytes), 0, "read_trace_i16: " + path);
+  if (got != static_cast<std::size_t>(bytes)) {
+    throw std::runtime_error("read_trace_i16: " + path + ": short read at byte offset " +
+                             std::to_string(got) + " of " +
+                             std::to_string(bytes));
+  }
 
-  IqBuffer iq(n_values / 2);
+  IqBuffer iq(n_samples);
   const float inv = static_cast<float>(1.0 / scale);
   for (std::size_t i = 0; i < iq.size(); ++i) {
     iq[i] = {buf[2 * i] * inv, buf[2 * i + 1] * inv};
   }
   return iq;
+}
+
+std::size_t read_trace_i16_chunk(std::istream& in, IqBuffer& out,
+                                 std::size_t max_samples, double scale,
+                                 std::uint64_t* byte_offset) {
+  out.clear();
+  if (max_samples == 0 || in.eof()) return 0;
+
+  std::vector<std::int16_t> buf(2 * max_samples);
+  const std::uint64_t offset = byte_offset != nullptr ? *byte_offset : 0;
+  const std::size_t got =
+      read_fully(in, reinterpret_cast<char*>(buf.data()),
+                 buf.size() * sizeof(std::int16_t), offset,
+                 "read_trace_i16_chunk");
+  if (byte_offset != nullptr) *byte_offset += got;
+  if (got % kBytesPerSample != 0) {
+    throw std::runtime_error(
+        "read_trace_i16_chunk: stream ends mid IQ pair at byte offset " +
+        std::to_string(offset + got));
+  }
+
+  const std::size_t n_samples = got / kBytesPerSample;
+  out.resize(n_samples);
+  const float inv = static_cast<float>(1.0 / scale);
+  for (std::size_t i = 0; i < n_samples; ++i) {
+    out[i] = {buf[2 * i] * inv, buf[2 * i + 1] * inv};
+  }
+  return n_samples;
 }
 
 }  // namespace tnb::sim

@@ -1,0 +1,80 @@
+// Chunked IQ sources feeding the streaming gateway pipeline.
+//
+// A ChunkSource hands out bounded chunks of baseband samples so the
+// consumer never has to hold a whole capture: file replay (optionally paced
+// to real time, mimicking a live radio), any std::istream (tnb_streamd
+// reads stdin this way), and an in-process buffer source for tests and
+// examples. All int16 sources use the paper artifact's interleaved I/Q
+// trace format via sim::read_trace_i16_chunk.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <span>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace tnb::stream {
+
+class ChunkSource {
+ public:
+  virtual ~ChunkSource() = default;
+
+  /// Fills `out` (replacing its contents) with up to `max_samples` IQ
+  /// samples. Returns out.size(); 0 means end of stream.
+  virtual std::size_t next(IqBuffer& out, std::size_t max_samples) = 0;
+};
+
+/// In-process source over a caller-owned buffer (tests, synthetic traces).
+class BufferSource final : public ChunkSource {
+ public:
+  explicit BufferSource(std::span<const cfloat> samples) : samples_(samples) {}
+
+  std::size_t next(IqBuffer& out, std::size_t max_samples) override;
+
+ private:
+  std::span<const cfloat> samples_;
+  std::size_t pos_ = 0;
+};
+
+/// int16-interleaved IQ from an already open stream (e.g. stdin).
+class IstreamSource final : public ChunkSource {
+ public:
+  explicit IstreamSource(std::istream& in, double scale = 1024.0)
+      : in_(&in), scale_(scale) {}
+
+  std::size_t next(IqBuffer& out, std::size_t max_samples) override;
+
+  /// Bytes consumed so far (reported in error messages on truncation).
+  std::uint64_t byte_offset() const { return byte_offset_; }
+
+ private:
+  std::istream* in_;
+  double scale_;
+  std::uint64_t byte_offset_ = 0;
+};
+
+/// int16 file replay. With `pace_sample_rate_hz` > 0, next() sleeps so that
+/// samples are released no faster than a live front end at that rate would
+/// produce them — the file replays in real time against the ring buffer's
+/// backpressure, like the paper's 1 Msps USRP feed.
+class FileReplaySource final : public ChunkSource {
+ public:
+  FileReplaySource(const std::string& path, double scale = 1024.0,
+                   double pace_sample_rate_hz = 0.0);
+
+  std::size_t next(IqBuffer& out, std::size_t max_samples) override;
+
+ private:
+  std::ifstream file_;
+  IstreamSource raw_;
+  double rate_;
+  std::uint64_t emitted_ = 0;
+  std::chrono::steady_clock::time_point start_{};
+  bool started_ = false;
+};
+
+}  // namespace tnb::stream

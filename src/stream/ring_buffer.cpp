@@ -1,0 +1,98 @@
+#include "stream/ring_buffer.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace tnb::stream {
+
+IqRing::IqRing(std::size_t capacity) : buf_(capacity) {
+  if (capacity == 0) throw std::invalid_argument("IqRing: capacity must be > 0");
+  st_.capacity = capacity;
+}
+
+void IqRing::append_locked(std::span<const cfloat> chunk) {
+  const std::size_t cap = buf_.size();
+  std::size_t tail = (head_ + size_) % cap;
+  std::size_t remaining = chunk.size();
+  const cfloat* src = chunk.data();
+  while (remaining > 0) {
+    const std::size_t run = std::min(remaining, cap - tail);
+    std::memcpy(buf_.data() + tail, src, run * sizeof(cfloat));
+    src += run;
+    remaining -= run;
+    tail = (tail + run) % cap;
+  }
+  size_ += chunk.size();
+  st_.pushed += chunk.size();
+  st_.high_water = std::max(st_.high_water, size_);
+}
+
+std::size_t IqRing::push(std::span<const cfloat> chunk) {
+  std::size_t accepted = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (accepted < chunk.size()) {
+    cv_space_.wait(lock, [&] { return size_ < buf_.size() || closed_; });
+    if (closed_) break;
+    const std::size_t n =
+        std::min(chunk.size() - accepted, buf_.size() - size_);
+    append_locked(chunk.subspan(accepted, n));
+    accepted += n;
+    cv_data_.notify_one();
+  }
+  return accepted;
+}
+
+std::size_t IqRing::try_push(std::span<const cfloat> chunk) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) return 0;
+  const std::size_t n = std::min(chunk.size(), buf_.size() - size_);
+  append_locked(chunk.first(n));
+  st_.dropped += chunk.size() - n;
+  if (n > 0) cv_data_.notify_one();
+  return n;
+}
+
+std::size_t IqRing::pop(IqBuffer& out, std::size_t max_samples) {
+  out.clear();
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_data_.wait(lock, [&] { return size_ > 0 || closed_; });
+  const std::size_t n = std::min(size_, max_samples);
+  out.resize(n);
+  const std::size_t cap = buf_.size();
+  std::size_t got = 0;
+  while (got < n) {
+    const std::size_t run = std::min(n - got, cap - head_);
+    std::memcpy(out.data() + got, buf_.data() + head_, run * sizeof(cfloat));
+    head_ = (head_ + run) % cap;
+    got += run;
+  }
+  size_ -= n;
+  st_.popped += n;
+  if (n > 0) cv_space_.notify_one();
+  return n;
+}
+
+void IqRing::close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  cv_data_.notify_all();
+  cv_space_.notify_all();
+}
+
+bool IqRing::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+std::size_t IqRing::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return size_;
+}
+
+RingStats IqRing::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return st_;
+}
+
+}  // namespace tnb::stream

@@ -1,0 +1,78 @@
+// Fixed-capacity single-producer/single-consumer IQ ring buffer.
+//
+// The gateway ingestion path (tools/tnb_streamd, stream::run_pipeline) runs
+// the sample source and the StreamingReceiver on separate threads with this
+// ring in between. push() blocks while the ring is full — backpressure
+// against a producer that outruns the decoder (file replay without pacing).
+// try_push() never blocks: it accepts what fits and counts what it had to
+// drop, the overrun policy of a real radio front end whose DMA buffer is
+// fixed. All counters are exposed through RingStats for the daemon's
+// periodic stats line.
+//
+// Synchronization is a mutex + two condition variables rather than a
+// lock-free queue: producers and consumers move whole chunks (thousands of
+// samples) per call, so locking is amortized far below the FFT work per
+// sample and stays trivially correct under TSan.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace tnb::stream {
+
+/// Ring counters, all in samples.
+struct RingStats {
+  std::size_t capacity = 0;
+  std::size_t pushed = 0;      ///< accepted into the ring
+  std::size_t popped = 0;
+  std::size_t dropped = 0;     ///< discarded by try_push on overflow
+  std::size_t high_water = 0;  ///< max simultaneously buffered
+};
+
+class IqRing {
+ public:
+  explicit IqRing(std::size_t capacity);
+
+  IqRing(const IqRing&) = delete;
+  IqRing& operator=(const IqRing&) = delete;
+
+  /// Producer: appends all of `chunk`, blocking while the ring is full.
+  /// Returns the samples accepted (less than chunk.size() only if close()
+  /// was called concurrently).
+  std::size_t push(std::span<const cfloat> chunk);
+
+  /// Producer: appends what fits and drops the rest (counted in
+  /// stats().dropped). Never blocks. Returns the samples accepted.
+  std::size_t try_push(std::span<const cfloat> chunk);
+
+  /// Consumer: moves up to `max_samples` into `out` (replacing its
+  /// contents), blocking until samples are available or the ring is
+  /// closed. Returns out.size(); 0 means closed and fully drained.
+  std::size_t pop(IqBuffer& out, std::size_t max_samples);
+
+  /// Producer: end of stream. Unblocks a waiting consumer (and any push).
+  void close();
+
+  bool closed() const;
+  std::size_t size() const;
+  RingStats stats() const;
+
+ private:
+  void append_locked(std::span<const cfloat> chunk);
+
+  std::vector<cfloat> buf_;
+  std::size_t head_ = 0;  ///< next pop index
+  std::size_t size_ = 0;  ///< buffered samples
+  bool closed_ = false;
+  RingStats st_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_data_;   ///< consumer: samples available
+  std::condition_variable cv_space_;  ///< producer: room available
+};
+
+}  // namespace tnb::stream

@@ -1,0 +1,319 @@
+#include "stream/streaming_receiver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <thread>
+
+#include "lora/frame.hpp"
+
+namespace tnb::stream {
+namespace {
+
+/// The liveness detector reuses the receiver's detector configuration with
+/// a more permissive validation gate: everything the decode-time detector
+/// would accept is strictly contained in what this one reports, so a cut
+/// declared quiet by the liveness scan is quiet for the segment decode too.
+/// Extra (false) detections only delay cuts; they never break equivalence.
+rx::DetectorOptions liveness_options(rx::DetectorOptions opt) {
+  opt.min_validation_score = std::max(4, opt.min_validation_score - 2);
+  return opt;
+}
+
+}  // namespace
+
+std::string StreamingStats::to_json() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "{\"samples_in\":%zu,\"chunks\":%zu,\"segments\":%zu,"
+      "\"forced_cuts\":%zu,\"spans_refined\":%zu,\"samples_retired\":%zu,"
+      "\"live_packets\":%zu,\"peak_live_packets\":%zu,"
+      "\"high_water_samples\":%zu,\"packets_emitted\":%zu,\"rx\":",
+      samples_in, chunks, segments, forced_cuts, spans_refined,
+      samples_retired, live_packets, peak_live_packets, high_water_samples,
+      packets_emitted);
+  return std::string(buf) + rx.to_json() + "}";
+}
+
+StreamingReceiver::StreamingReceiver(lora::Params p, rx::ReceiverOptions ropt,
+                                     StreamingOptions sopt)
+    : p_(p),
+      sopt_(sopt),
+      rx_(p, ropt),
+      live_detector_(p, liveness_options(ropt.detector)),
+      demod_(p) {
+  p_.validate();
+  const std::size_t sps = p_.sps();
+  // The tail guard must cover a full preamble (12.25 T) plus the detector's
+  // downchirp search and step-2 shifts (~4 T more); anything shorter could
+  // cut through a preamble that is not yet visible.
+  sopt_.tail_guard_symbols = std::max<std::size_t>(sopt_.tail_guard_symbols, 18);
+  std::size_t max_pkt = sopt_.max_packet_symbols != 0
+                            ? sopt_.max_packet_symbols
+                            : static_cast<std::size_t>(
+                                  std::max(1, ropt.max_tracked_symbols));
+  max_span_samples_ = p_.preamble_samples() + (max_pkt + 2) * sps + 2 * sps;
+  tail_guard_samples_ = sopt_.tail_guard_symbols * sps;
+  // The window must fit one maximum packet span between two clean cuts,
+  // plus the tail guard, or every cut would be forced.
+  const std::size_t min_window =
+      (max_span_samples_ + tail_guard_samples_) / sps + 8;
+  sopt_.window_symbols = std::max(sopt_.window_symbols, min_window);
+  window_samples_ = sopt_.window_symbols * sps;
+  lookback_samples_ = 8 * sps;
+  forced_cut_samples_ = window_samples_ + window_samples_ / 4;
+}
+
+void StreamingReceiver::push_chunk(std::span<const cfloat> chunk) {
+  if (finished_) {
+    throw std::logic_error("StreamingReceiver: push_chunk after finish");
+  }
+  ++st_.chunks;
+  // Large chunks are ingested in window-sized slices with a flush attempt
+  // between them, so a whole capture handed over at once still decodes with
+  // O(window) resident IQ.
+  const std::size_t slice_max = std::max(p_.sps(), window_samples_ / 2);
+  for (std::size_t off = 0; off < chunk.size(); off += slice_max) {
+    ingest(chunk.subspan(off, std::min(slice_max, chunk.size() - off)));
+  }
+}
+
+void StreamingReceiver::ingest(std::span<const cfloat> slice) {
+  buf_.insert(buf_.end(), slice.begin(), slice.end());
+  st_.samples_in += slice.size();
+  st_.high_water_samples = std::max(st_.high_water_samples, buf_.size());
+  maybe_flush(/*eof=*/false);
+}
+
+void StreamingReceiver::finish() {
+  if (finished_) return;
+  finished_ = true;
+  maybe_flush(/*eof=*/true);
+  live_.clear();
+  st_.live_packets = 0;
+}
+
+std::size_t StreamingReceiver::consume(ChunkSource& src,
+                                       std::size_t chunk_samples) {
+  IqBuffer chunk;
+  std::size_t total = 0;
+  while (src.next(chunk, chunk_samples) > 0) {
+    push_chunk(chunk);
+    total += chunk.size();
+  }
+  finish();
+  return total;
+}
+
+void StreamingReceiver::scan_new_detections() {
+  const std::size_t sps = p_.sps();
+  const std::size_t end_g = base_ + buf_.size();
+  if (end_g <= tail_guard_samples_) return;
+  const std::size_t new_frontier = align_down(end_g - tail_guard_samples_);
+  if (new_frontier <= det_frontier_) return;
+
+  // Rescan a short overlap behind the old frontier: a preamble with t0 just
+  // past it needs up to two symbols of leading context (the detector's
+  // step-2 shifts), and its run's first window can sit 2 T before t0.
+  std::size_t scan_start = base_;
+  if (det_frontier_ > lookback_samples_) {
+    scan_start = std::max(scan_start, align_down(det_frontier_ - lookback_samples_));
+  }
+  const std::span<const cfloat> region(buf_.data() + (scan_start - base_),
+                                       buf_.size() - (scan_start - base_));
+  const std::vector<rx::DetectedPacket> dets = live_detector_.detect(region);
+  const double t_tol = 1.25 * static_cast<double>(sps);
+  for (const rx::DetectedPacket& det : dets) {
+    const double t0g = static_cast<double>(scan_start) + det.t0;
+    bool dup = false;
+    for (const LivePacket& lp : live_) {
+      if (std::abs(lp.t0 - t0g) < t_tol) {
+        dup = true;
+        break;
+      }
+    }
+    if (dup) continue;
+    LivePacket lp;
+    lp.t0 = t0g;
+    lp.cfo_cycles = det.cfo_cycles;
+    lp.span_start = t0g - 2.0 * static_cast<double>(sps);
+    lp.span_end = t0g + static_cast<double>(max_span_samples_);
+    live_.push_back(lp);
+  }
+  det_frontier_ = new_frontier;
+  st_.live_packets = live_.size();
+  st_.peak_live_packets = std::max(st_.peak_live_packets, live_.size());
+}
+
+void StreamingReceiver::refine_live_spans() {
+  const double sps = static_cast<double>(p_.sps());
+  const double preamble = static_cast<double>(p_.preamble_samples());
+  const double buffered = static_cast<double>(buf_.size());
+  const double base = static_cast<double>(base_);
+  for (LivePacket& lp : live_) {
+    if (lp.header_tried) continue;
+    const double data_start = lp.t0 + preamble - base;
+    if (data_start < 0.0) {
+      lp.header_tried = true;  // preamble partly retired; keep conservative
+      continue;
+    }
+    // Wait until all 8 header symbols (plus rounding slack) are buffered.
+    if (data_start + (lora::kHeaderSymbols + 1.0) * sps > buffered) continue;
+    lp.header_tried = true;
+
+    std::vector<std::uint32_t> hs(lora::kHeaderSymbols);
+    for (std::size_t d = 0; d < lora::kHeaderSymbols; ++d) {
+      const auto w =
+          static_cast<std::size_t>(data_start + static_cast<double>(d) * sps + 0.5);
+      const std::size_t len =
+          std::min<std::size_t>(p_.sps(), buf_.size() - w);
+      hs[d] = demod_.demod_value(std::span<const cfloat>(buf_.data() + w, len),
+                                 lp.cfo_cycles);
+    }
+    const std::optional<lora::Header> hdr = lora::decode_header_default(p_, hs);
+    if (!hdr.has_value() || hdr->cr < 1 || hdr->cr > 4) continue;
+
+    // The checksum passed: shrink the span to the real packet length plus
+    // the ~10-symbol trailing context the segment decoder needs (16 T for
+    // margin). Under a collision a garbled argmax header almost always
+    // fails the checksum and the conservative span stands.
+    lora::Params pp = p_;
+    pp.cr = hdr->cr;
+    const double n_data =
+        static_cast<double>(lora::kHeaderSymbols +
+                            lora::num_payload_symbols(pp, hdr->payload_len));
+    const double refined = lp.t0 + preamble + (n_data + 16.0) * sps;
+    if (refined < lp.span_end) {
+      lp.span_end = refined;
+      ++st_.spans_refined;
+    }
+  }
+}
+
+std::size_t StreamingReceiver::best_clean_cut(std::size_t limit) const {
+  const std::size_t sps = p_.sps();
+  std::size_t c = limit;
+  while (c >= sps) {
+    const double g = static_cast<double>(base_ + c);
+    const LivePacket* blocker = nullptr;
+    for (const LivePacket& lp : live_) {
+      if (lp.span_start < g && lp.span_end > g) {
+        blocker = &lp;
+        break;
+      }
+    }
+    if (blocker == nullptr) return c;
+    // Jump to just before the blocking packet's span and retry there.
+    const double s = blocker->span_start - static_cast<double>(base_);
+    if (s <= static_cast<double>(sps)) return 0;
+    std::size_t nc = align_down(static_cast<std::size_t>(s));
+    if (nc >= c) nc = c - sps;
+    c = nc;
+  }
+  return 0;
+}
+
+void StreamingReceiver::maybe_flush(bool eof) {
+  const std::size_t sps = p_.sps();
+  for (;;) {
+    const std::size_t buffered = buf_.size();
+    if (!eof) {
+      if (buffered < window_samples_) return;
+      // A failed cut search is only retried after a few more symbols of
+      // signal arrived; rescans stay O(1) per sample even for tiny chunks.
+      if (buffered < min_next_attempt_) return;
+    } else if (buffered == 0) {
+      return;
+    }
+
+    std::size_t cut = 0;
+    if (eof) {
+      cut = buffered;
+    } else {
+      scan_new_detections();
+      refine_live_spans();
+      // Only cut where detections are final, with a two-symbol margin so
+      // the next segment's detector sees every packet fully inside it.
+      const std::size_t safe_end_g = det_frontier_ > 2 * sps
+                                         ? det_frontier_ - 2 * sps
+                                         : 0;
+      if (safe_end_g <= base_ + sps) return;
+      const std::size_t limit = align_down(safe_end_g - base_);
+      cut = best_clean_cut(limit);
+      if (cut == 0) {
+        if (buffered >= forced_cut_samples_ && limit >= sps) {
+          // Conservative live spans chain past the window. Cut as late as
+          // possible: spans overestimate real packets by design, so the
+          // latest cut gives every started packet the most trailing
+          // context (the decoder needs some 10 symbols past a packet's
+          // last data symbol) and usually lands on truly quiet air.
+          cut = limit;
+          ++st_.forced_cuts;
+        } else {
+          min_next_attempt_ = buffered + 4 * sps;
+          return;
+        }
+      }
+    }
+    decode_segment(cut);
+    min_next_attempt_ = 0;
+  }
+}
+
+void StreamingReceiver::decode_segment(std::size_t cut) {
+  const std::span<const cfloat> segment(buf_.data(), cut);
+  Rng rng(sopt_.rng_seed);
+  rx::ReceiverStats seg_stats;
+  std::vector<sim::DecodedPacket> decoded = rx_.decode(segment, rng, &seg_stats);
+  st_.rx += seg_stats;
+  ++st_.segments;
+  for (sim::DecodedPacket& pkt : decoded) {
+    pkt.start_sample += static_cast<double>(base_);
+    ++st_.packets_emitted;
+    if (on_packet_) on_packet_(pkt);
+    if (sopt_.keep_packets) packets_.push_back(std::move(pkt));
+  }
+
+  buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(cut));
+  base_ += cut;
+  st_.samples_retired += cut;
+
+  // Retire live packets that were decoded (or gave up) inside the segment;
+  // after a forced cut, also drop remnants whose preamble is gone.
+  const double b = static_cast<double>(base_);
+  std::erase_if(live_, [b](const LivePacket& lp) {
+    return lp.span_end <= b || lp.t0 < b;
+  });
+  st_.live_packets = live_.size();
+}
+
+std::size_t run_pipeline(
+    ChunkSource& src, IqRing& ring, StreamingReceiver& rx,
+    std::size_t chunk_samples, bool backpressure,
+    const std::function<void(std::size_t samples_consumed)>& on_chunk) {
+  std::thread producer([&] {
+    IqBuffer chunk;
+    while (src.next(chunk, chunk_samples) > 0) {
+      if (backpressure) {
+        ring.push(chunk);
+      } else {
+        ring.try_push(chunk);
+      }
+    }
+    ring.close();
+  });
+  IqBuffer chunk;
+  std::size_t total = 0;
+  while (ring.pop(chunk, chunk_samples) > 0) {
+    rx.push_chunk(chunk);
+    total += chunk.size();
+    if (on_chunk) on_chunk(total);
+  }
+  producer.join();
+  rx.finish();
+  return total;
+}
+
+}  // namespace tnb::stream

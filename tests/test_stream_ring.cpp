@@ -1,0 +1,142 @@
+// IqRing: the SPSC chunk queue between the front-end thread and the
+// StreamingReceiver. Wraparound, blocking backpressure, drop accounting and
+// the close() drain protocol; the threaded tests run under the TSan CI job.
+#include "stream/ring_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace tnb::stream {
+namespace {
+
+IqBuffer ramp(std::size_t n, float start) {
+  IqBuffer b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] = {start + static_cast<float>(i), -(start + static_cast<float>(i))};
+  }
+  return b;
+}
+
+TEST(IqRing, ZeroCapacityThrows) { EXPECT_THROW(IqRing(0), std::invalid_argument); }
+
+TEST(IqRing, PushPopRoundTrip) {
+  IqRing ring(16);
+  EXPECT_EQ(ring.push(ramp(10, 0.0f)), 10u);
+  IqBuffer out;
+  EXPECT_EQ(ring.pop(out, 64), 10u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(out[i].real(), static_cast<float>(i));
+  }
+  const RingStats st = ring.stats();
+  EXPECT_EQ(st.pushed, 10u);
+  EXPECT_EQ(st.popped, 10u);
+  EXPECT_EQ(st.dropped, 0u);
+  EXPECT_EQ(st.high_water, 10u);
+}
+
+TEST(IqRing, WraparoundPreservesOrder) {
+  IqRing ring(8);
+  IqBuffer out;
+  float next_expected = 0.0f;
+  // Repeated push/pop of 5 over capacity 8 forces the write index to wrap
+  // inside most pushes.
+  for (int round = 0; round < 10; ++round) {
+    ASSERT_EQ(ring.push(ramp(5, 5.0f * round)), 5u);
+    ASSERT_EQ(ring.pop(out, 5), 5u);
+    for (const cfloat& v : out) {
+      EXPECT_EQ(v.real(), next_expected);
+      EXPECT_EQ(v.imag(), -next_expected);
+      next_expected += 1.0f;
+    }
+  }
+  EXPECT_EQ(ring.stats().pushed, 50u);
+  EXPECT_EQ(ring.stats().popped, 50u);
+}
+
+TEST(IqRing, TryPushDropsWhatDoesNotFit) {
+  IqRing ring(8);
+  EXPECT_EQ(ring.try_push(ramp(6, 0.0f)), 6u);
+  // 2 slots left: 4 of the next 6 samples must be dropped and counted.
+  EXPECT_EQ(ring.try_push(ramp(6, 6.0f)), 2u);
+  EXPECT_EQ(ring.try_push(ramp(3, 12.0f)), 0u);
+  const RingStats st = ring.stats();
+  EXPECT_EQ(st.pushed, 8u);
+  EXPECT_EQ(st.dropped, 7u);
+  EXPECT_EQ(st.high_water, 8u);
+  // What was accepted is contiguous-prefix data, in order.
+  IqBuffer out;
+  EXPECT_EQ(ring.pop(out, 8), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(out[i].real(), static_cast<float>(i));
+  }
+}
+
+TEST(IqRing, PopAfterCloseDrainsThenReturnsZero) {
+  IqRing ring(16);
+  ring.push(ramp(4, 0.0f));
+  ring.close();
+  IqBuffer out;
+  EXPECT_EQ(ring.pop(out, 16), 4u);
+  EXPECT_EQ(ring.pop(out, 16), 0u);
+  EXPECT_EQ(ring.push(ramp(4, 0.0f)), 0u);  // push after close is a no-op
+}
+
+TEST(IqRing, BlockingPushBackpressuresUntilConsumerCatchesUp) {
+  IqRing ring(64);
+  const std::size_t total = 10000;
+  std::thread producer([&] {
+    std::size_t sent = 0;
+    while (sent < total) {
+      const std::size_t n = std::min<std::size_t>(48, total - sent);
+      ASSERT_EQ(ring.push(ramp(n, static_cast<float>(sent))), n);
+      sent += n;
+    }
+    ring.close();
+  });
+  IqBuffer out;
+  std::size_t received = 0;
+  float next_expected = 0.0f;
+  while (ring.pop(out, 32) > 0) {
+    for (const cfloat& v : out) {
+      ASSERT_EQ(v.real(), next_expected);
+      next_expected += 1.0f;
+    }
+    received += out.size();
+  }
+  producer.join();
+  EXPECT_EQ(received, total);
+  const RingStats st = ring.stats();
+  EXPECT_EQ(st.pushed, total);
+  EXPECT_EQ(st.popped, total);
+  EXPECT_EQ(st.dropped, 0u);
+  EXPECT_LE(st.high_water, st.capacity);
+}
+
+TEST(IqRing, ThreadedTryPushAccountsEverySample) {
+  IqRing ring(32);
+  const std::size_t total = 20000;
+  std::size_t accepted = 0;
+  std::thread producer([&] {
+    std::size_t sent = 0;
+    while (sent < total) {
+      const std::size_t n = std::min<std::size_t>(24, total - sent);
+      accepted += ring.try_push(ramp(n, static_cast<float>(sent)));
+      sent += n;
+    }
+    ring.close();
+  });
+  IqBuffer out;
+  std::size_t received = 0;
+  while (ring.pop(out, 16) > 0) received += out.size();
+  producer.join();
+  const RingStats st = ring.stats();
+  EXPECT_EQ(received, accepted);
+  EXPECT_EQ(st.pushed, accepted);
+  EXPECT_EQ(st.popped, accepted);
+  EXPECT_EQ(st.pushed + st.dropped, total);
+}
+
+}  // namespace
+}  // namespace tnb::stream

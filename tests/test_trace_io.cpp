@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 
 #include "common/rng.hpp"
 
@@ -46,6 +48,76 @@ TEST(TraceIo, EmptyTraceRoundTrips) {
   write_trace_i16(path, iq);
   EXPECT_TRUE(read_trace_i16(path).empty());
   std::remove(path.c_str());
+}
+
+TEST(TraceIo, OddLengthFileThrows) {
+  // 6 bytes = 1.5 IQ pairs: a truncated or foreign capture, not a trace.
+  const std::string path = ::testing::TempDir() + "tnb_odd.bin";
+  {
+    std::ofstream f(path, std::ios::binary);
+    f.write("\0\1\2\3\4\5", 6);
+  }
+  EXPECT_THROW(
+      {
+        try {
+          read_trace_i16(path);
+        } catch (const std::runtime_error& e) {
+          EXPECT_NE(std::string(e.what()).find("IQ pair"), std::string::npos)
+              << e.what();
+          throw;
+        }
+      },
+      std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, ChunkReaderMatchesWholeFileRead) {
+  Rng rng(5);
+  IqBuffer iq(777);
+  for (auto& v : iq) v = rng.complex_normal();
+  const std::string path = ::testing::TempDir() + "tnb_chunked.bin";
+  write_trace_i16(path, iq, 2048.0);
+  const IqBuffer whole = read_trace_i16(path, 2048.0);
+
+  // Chunk sizes that do and do not divide the trace length.
+  for (const std::size_t chunk : {1uz, 7uz, 256uz, 1000uz}) {
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.is_open());
+    IqBuffer assembled, piece;
+    std::uint64_t offset = 0;
+    while (read_trace_i16_chunk(in, piece, chunk, 2048.0, &offset) > 0) {
+      EXPECT_LE(piece.size(), chunk);
+      assembled.insert(assembled.end(), piece.begin(), piece.end());
+    }
+    EXPECT_EQ(offset, whole.size() * 4);
+    ASSERT_EQ(assembled.size(), whole.size());
+    for (std::size_t i = 0; i < whole.size(); ++i) {
+      EXPECT_EQ(assembled[i], whole[i]);
+    }
+    // At EOF, further reads keep returning 0.
+    EXPECT_EQ(read_trace_i16_chunk(in, piece, chunk, 2048.0), 0u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, ChunkReaderReportsMidPairEofOffset) {
+  // 10 bytes = 2 whole samples + half an IQ pair.
+  std::stringstream s;
+  s.write("\0\1\2\3\4\5\6\7\10\11", 10);
+  IqBuffer out;
+  std::uint64_t offset = 0;
+  EXPECT_THROW(
+      {
+        try {
+          read_trace_i16_chunk(s, out, 1024, 1024.0, &offset);
+        } catch (const std::runtime_error& e) {
+          EXPECT_NE(std::string(e.what()).find("byte offset"),
+                    std::string::npos)
+              << e.what();
+          throw;
+        }
+      },
+      std::runtime_error);
 }
 
 }  // namespace

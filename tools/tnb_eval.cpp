@@ -148,10 +148,9 @@ int main(int argc, char** argv) {
     total += row.stats;
     seq += row.wall_s;
   }
-  std::printf("aggregate: detected=%zu header_ok=%zu crc_ok=%zu "
-              "bec_candidates=%zu\n",
-              total.detected, total.header_ok, total.crc_ok,
-              total.bec.candidate_blocks);
+  // Same merged-stats JSON schema as tnb_streamd's stats line (the shared
+  // ReceiverStats::to_json format, documented in DESIGN.md).
+  std::printf("aggregate %s\n", total.to_json().c_str());
   std::printf("runs=%zu jobs=%d wall=%.2fs speedup=%.2fx\n", schemes.size(),
               jobs, wall, wall > 0.0 ? seq / wall : 1.0);
   return 0;
