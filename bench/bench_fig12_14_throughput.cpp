@@ -36,7 +36,6 @@ struct Cell {
 struct CellResult {
   std::vector<double> decoded;  ///< per scheme
   std::size_t offered = 0;
-  double wall_s = 0.0;
   std::size_t stream_samples = 0;  ///< --streaming: samples pushed
   double stream_s = 0.0;           ///< --streaming: decode wall time
 };
@@ -77,6 +76,8 @@ int main(int argc, char** argv) {
   }
 
   std::vector<CellResult> results(cells.size());
+  bench::ObsScope obs;  // receivers below record stage timings into it
+  const tnb::obs::HistogramRef cell_seconds = obs.cell_seconds();
   const bench::WallTimer total;
   common::parallel_for(cells.size(), jobs, [&](std::size_t i) {
     const Cell& c = cells[i];
@@ -104,7 +105,7 @@ int main(int argc, char** argv) {
       r.stream_samples = srx.consume(source, 16 * p.sps());
       r.stream_s = stream_timer.seconds();
     }
-    r.wall_s = timer.seconds();
+    cell_seconds.observe(timer.seconds());
   });
   const double wall = total.seconds();
 
@@ -156,8 +157,7 @@ int main(int argc, char** argv) {
               cic_total > 0 ? tnb_total / cic_total : 0.0,
               cic_total_sf10 > 0 ? tnb_total_sf10 / cic_total_sf10 : 0.0);
   std::printf("(paper: median gains 1.36x at SF 8 and 2.46x at SF 10)\n");
-  double seq = 0.0;
-  for (const CellResult& r : results) seq += r.wall_s;
+  double stream_sps = 0.0;
   if (streaming) {
     std::size_t stream_samples = 0;
     double stream_s = 0.0;
@@ -165,12 +165,11 @@ int main(int argc, char** argv) {
       stream_samples += r.stream_samples;
       stream_s += r.stream_s;
     }
-    std::printf("runs=%zu jobs=%d wall=%.2fs speedup=%.2fx stream_sps=%.0f\n",
-                cells.size(), jobs, wall, wall > 0.0 ? seq / wall : 1.0,
-                stream_s > 0.0 ? static_cast<double>(stream_samples) / stream_s
-                               : 0.0);
-  } else {
-    bench::print_parallel_summary(cells.size(), jobs, wall, seq);
+    if (stream_s > 0.0) {
+      stream_sps = static_cast<double>(stream_samples) / stream_s;
+    }
   }
+  bench::print_obs_summary(obs.registry().snapshot(), cells.size(), jobs, wall,
+                           stream_sps);
   return 0;
 }

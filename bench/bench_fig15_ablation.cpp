@@ -27,10 +27,11 @@ int main(int argc, char** argv) {
   struct CellResult {
     std::size_t transmitted = 0;
     std::vector<std::size_t> decoded;  ///< per scheme
-    double wall_s = 0.0;
   };
   const std::size_t n_cells = deps.size() * sfs.size();
   std::vector<CellResult> results(n_cells);
+  bench::ObsScope obs;  // receivers below record stage timings into it
+  const tnb::obs::HistogramRef cell_seconds = obs.cell_seconds();
   const bench::WallTimer total;
   common::parallel_for(n_cells, jobs, [&](std::size_t i) {
     const sim::Deployment& dep = deps[i / sfs.size()];
@@ -47,11 +48,11 @@ int main(int argc, char** argv) {
           bench::run_scheme(s, p, trace, false, &detections)
               .eval.decoded_unique);
     }
-    r.wall_s = timer.seconds();
+    cell_seconds.observe(timer.seconds());
   });
   const double wall = total.seconds();
 
-  double tnb_sum = 0.0, thrive_sum = 0.0, seq = 0.0;
+  double tnb_sum = 0.0, thrive_sum = 0.0;
   for (std::size_t i = 0; i < n_cells; ++i) {
     const CellResult& r = results[i];
     std::printf("%-11s SF %-3u (%zu tx):", deps[i / sfs.size()].name.c_str(),
@@ -67,13 +68,12 @@ int main(int argc, char** argv) {
       }
     }
     std::printf("\n");
-    seq += r.wall_s;
   }
   std::printf("\nTnB/Thrive ratio (BEC's contribution): %.2fx "
               "(paper: median 1.31x)\n",
               thrive_sum > 0 ? tnb_sum / thrive_sum : 0.0);
   std::printf("(paper: Sibling underperforms in some cases, showing the "
               "value of the peak history)\n");
-  bench::print_parallel_summary(n_cells, jobs, wall, seq);
+  bench::print_obs_summary(obs.registry().snapshot(), n_cells, jobs, wall);
   return 0;
 }

@@ -15,6 +15,7 @@
 #include "baselines/factories.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/stage_timer.hpp"
 #include "sim/deployment.hpp"
 #include "sim/metrics.hpp"
 #include "sim/trace_builder.hpp"
@@ -62,6 +63,54 @@ inline void print_parallel_summary(std::size_t runs, int jobs, double wall_s,
                                    double seq_s) {
   std::printf("runs=%zu jobs=%d wall=%.2fs speedup=%.2fx\n", runs, jobs,
               wall_s, wall_s > 0.0 ? seq_s / wall_s : 1.0);
+}
+
+/// RAII install of a bench-local tnb::obs registry as the process global,
+/// so receivers constructed by worker cells record pipeline stage timings
+/// into it. Construct before the parallel_for (handles resolve at receiver
+/// construction).
+class ObsScope {
+ public:
+  ObsScope() { obs::Registry::set_global(&registry_); }
+  ~ObsScope() { obs::Registry::set_global(nullptr); }
+  ObsScope(const ObsScope&) = delete;
+  ObsScope& operator=(const ObsScope&) = delete;
+  obs::Registry& registry() { return registry_; }
+
+  /// Per-cell wall-clock histogram (seconds). Workers observe one value
+  /// per cell; its sum is the estimated --jobs 1 wall clock.
+  obs::HistogramRef cell_seconds() {
+    static constexpr double kBounds[] = {0.01, 0.03, 0.1,  0.3,  1.0,
+                                         3.0,  10.0, 30.0, 100.0};
+    return registry_.histogram("tnb_bench_cell_seconds", kBounds,
+                               "Wall-clock seconds per bench cell");
+  }
+
+ private:
+  obs::Registry registry_;
+};
+
+/// Histogram-based run report, replacing the single `wall=…s` scalar of
+/// print_parallel_summary (see bench/README.md "Histogram summaries"):
+/// a `runs=… jobs=… speedup=…` line (speedup from the cell-seconds
+/// histogram sum), then one `hist` line per histogram in the snapshot —
+/// per-cell wall clocks and the per-stage pipeline timings.
+inline void print_obs_summary(const obs::Snapshot& snap, std::size_t runs,
+                              int jobs, double wall_s,
+                              double stream_sps = 0.0) {
+  const obs::Snapshot::Metric* cell = snap.find("tnb_bench_cell_seconds");
+  const double seq_s = cell != nullptr ? cell->sum : 0.0;
+  std::printf("runs=%zu jobs=%d speedup=%.2fx", runs, jobs,
+              wall_s > 0.0 ? seq_s / wall_s : 1.0);
+  if (stream_sps > 0.0) std::printf(" stream_sps=%.0f", stream_sps);
+  std::printf("\n");
+  for (const obs::Snapshot::Metric& m : snap.metrics) {
+    if (m.kind != obs::Snapshot::Kind::kHistogram) continue;
+    std::string label = m.name;
+    for (const auto& [k, v] : m.labels) label += "{" + v + "}";
+    std::printf("hist %-40s %s\n", label.c_str(),
+                obs::histogram_summary(m).c_str());
+  }
 }
 
 /// Trace duration in seconds (paper: 30 s runs).

@@ -6,6 +6,7 @@
 
 #include "core/window.hpp"
 #include "dsp/smoother.hpp"
+#include "obs/stage_timer.hpp"
 
 namespace tnb::rx {
 
@@ -64,6 +65,7 @@ const SymbolView& SigCalc::data_symbol(int pkt_index, const PacketContext& ctx,
   auto it = cache_.find(key);
   if (it != cache_.end()) return it->second;
 
+  const obs::ScopedSpan span(sigcalc_hist_);
   SymbolView view;
   view.sv = vector_at(ctx.data_symbol_start(d), ctx.cfo_cycles(), /*up=*/true);
   {

@@ -18,6 +18,7 @@
 #include "dsp/peak_finder.hpp"
 #include "lora/demodulator.hpp"
 #include "lora/params.hpp"
+#include "obs/metrics.hpp"
 
 namespace tnb::rx {
 
@@ -98,6 +99,11 @@ class SigCalc {
   /// Drops cached symbols of packet `pkt_index` (end of packet / memory).
   void evict(int pkt_index);
 
+  /// Times every cache-miss signal calculation (window extraction, FFT,
+  /// peak finding) into `h` — the pipeline's "sigcalc" stage. A null
+  /// handle (the default) records nothing.
+  void set_stage_histogram(obs::HistogramRef h) { sigcalc_hist_ = h; }
+
   /// Maximum peaks the cached peak finder keeps per symbol.
   static constexpr std::size_t kMaxPeaks = 32;
 
@@ -106,6 +112,7 @@ class SigCalc {
   std::vector<std::span<const cfloat>> antennas_;
   lora::Demodulator demod_;
   std::map<std::pair<int, int>, SymbolView> cache_;
+  obs::HistogramRef sigcalc_hist_;
 };
 
 }  // namespace tnb::rx

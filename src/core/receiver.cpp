@@ -10,6 +10,7 @@
 #include "core/snr.hpp"
 #include "lora/frame.hpp"
 #include "lora/gray.hpp"
+#include "obs/json.hpp"
 
 namespace tnb::rx {
 namespace {
@@ -41,20 +42,30 @@ struct Tracked {
 std::string ReceiverStats::to_json() const {
   const std::size_t rescued_codewords = std::accumulate(
       rescued_per_packet.begin(), rescued_per_packet.end(), std::size_t{0});
-  char buf[512];
-  std::snprintf(
-      buf, sizeof buf,
-      "{\"detected\":%zu,\"header_ok\":%zu,\"crc_ok\":%zu,"
-      "\"decoded_first_pass\":%zu,\"decoded_second_pass\":%zu,"
-      "\"bec\":{\"delta_prime\":%zu,\"delta1\":%zu,\"delta2\":%zu,"
-      "\"delta3\":%zu,\"crc_checks\":%zu,\"blocks_no_repair\":%zu,"
-      "\"candidate_blocks\":%zu},"
-      "\"rescued_packets\":%zu,\"rescued_codewords\":%zu}",
-      detected, header_ok, crc_ok, decoded_first_pass, decoded_second_pass,
-      bec.delta_prime, bec.delta1, bec.delta2, bec.delta3, bec.crc_checks,
-      bec.blocks_no_repair, bec.candidate_blocks, rescued_per_packet.size(),
-      rescued_codewords);
-  return std::string(buf);
+  // Shared serialization path with obs::Snapshot::to_json — schema pinned
+  // by tests/test_obs.cpp (ReceiverStatsJson).
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("detected", detected);
+  w.field("header_ok", header_ok);
+  w.field("crc_ok", crc_ok);
+  w.field("decoded_first_pass", decoded_first_pass);
+  w.field("decoded_second_pass", decoded_second_pass);
+  w.key("bec").begin_object();
+  w.field("delta_prime", bec.delta_prime);
+  w.field("delta1", bec.delta1);
+  w.field("delta2", bec.delta2);
+  w.field("delta3", bec.delta3);
+  w.field("crc_checks", bec.crc_checks);
+  w.field("blocks_no_repair", bec.blocks_no_repair);
+  w.field("candidate_blocks", bec.candidate_blocks);
+  w.end_object();
+  // rescued_per_packet summarized as its length and sum (Fig. 16 keeps
+  // the full vector; the stats line only needs the totals).
+  w.field("rescued_packets", rescued_per_packet.size());
+  w.field("rescued_codewords", rescued_codewords);
+  w.end_object();
+  return w.take();
 }
 
 Receiver::Receiver(lora::Params p, ReceiverOptions opt)
@@ -66,6 +77,22 @@ Receiver::Receiver(lora::Params p, ReceiverOptions opt)
   factory_ = [params, topt]() -> std::unique_ptr<PeakAssigner> {
     return std::make_unique<Thrive>(params, topt);
   };
+  obs::Registry* reg = obs::resolve(opt_.metrics);
+  obs_.stages = obs::StageTimer::for_registry(reg);
+  if (reg != nullptr) {
+    obs_.detected = reg->counter("tnb_rx_detected_total",
+                                 "Packets detected (after dedup)");
+    obs_.header_ok =
+        reg->counter("tnb_rx_header_ok_total", "PHY headers decoded");
+    obs_.crc_ok =
+        reg->counter("tnb_rx_crc_ok_total", "Payload CRC16 checks passed");
+    obs_.decoded_first_pass =
+        reg->counter("tnb_rx_decoded_total", "Packets fully decoded",
+                     {{"pass", "first"}});
+    obs_.decoded_second_pass =
+        reg->counter("tnb_rx_decoded_total", "Packets fully decoded",
+                     {{"pass", "second"}});
+  }
 }
 
 void Receiver::set_assigner_factory(AssignerFactory factory) {
@@ -87,8 +114,13 @@ std::vector<DetectedPacket> Receiver::detect(
   // Detect on every antenna: a packet faded on one antenna during its
   // preamble is often clean on another (the diversity TnB2ant relies on).
   for (const auto& ant : antennas) {
-    std::vector<DetectedPacket> found = detector.detect(ant);
+    std::vector<DetectedPacket> found;
+    {
+      const obs::ScopedSpan span(obs_.stages.detect);
+      found = detector.detect(ant);
+    }
     if (opt_.use_frac_sync) {
+      const obs::ScopedSpan span(obs_.stages.frac_sync);
       for (DetectedPacket& det : found) {
         const FracSyncResult r = fsync.refine(ant, det.t0, det.cfo_cycles);
         // Only trust the refinement when the Q* gate confirmed it: with a
@@ -144,9 +176,11 @@ std::vector<sim::DecodedPacket> Receiver::decode_with_detections(
   std::vector<sim::DecodedPacket> out;
   if (antennas.empty() || antennas[0].empty()) return out;
   if (stats != nullptr) stats->detected += detections.size();
+  obs_.detected.inc(detections.size());
   if (detections.empty()) return out;
 
   SigCalc sig(p_, antennas);
+  sig.set_stage_histogram(obs_.stages.sigcalc);
 
   std::vector<Tracked> pkts;
   std::vector<PacketContext> contexts;
@@ -170,9 +204,13 @@ std::vector<sim::DecodedPacket> Receiver::decode_with_detections(
   }
 
   std::vector<PeakHistory> history(pkts.size());
-  for (std::size_t i = 0; i < pkts.size(); ++i) {
-    const std::vector<double> pre = sig.preamble_heights(pkts[i].ctx);
-    history[i].bootstrap(pre);
+  {
+    // Preamble-height bootstrap is uncached signal calculation.
+    const obs::ScopedSpan span(obs_.stages.sigcalc);
+    for (std::size_t i = 0; i < pkts.size(); ++i) {
+      const std::vector<double> pre = sig.preamble_heights(pkts[i].ctx);
+      history[i].bootstrap(pre);
+    }
   }
 
   const double sps = static_cast<double>(p_.sps());
@@ -199,10 +237,14 @@ std::vector<sim::DecodedPacket> Receiver::decode_with_detections(
       }
       if (!complete) return;
       std::optional<lora::Header> hdr;
-      if (opt_.use_bec) {
-        hdr = decode_header_bec(p_, hs, stats != nullptr ? &stats->bec : nullptr);
-      } else {
-        hdr = lora::decode_header_default(p_, hs);
+      {
+        const obs::ScopedSpan span(obs_.stages.header);
+        if (opt_.use_bec) {
+          hdr = decode_header_bec(p_, hs,
+                                  stats != nullptr ? &stats->bec : nullptr);
+        } else {
+          hdr = lora::decode_header_default(p_, hs);
+        }
       }
       if (!hdr.has_value()) {
         if (static_cast<int>(t.bins.size()) >= opt_.max_tracked_symbols) {
@@ -223,6 +265,7 @@ std::vector<sim::DecodedPacket> Receiver::decode_with_detections(
       t.ctx.n_data_symbols = n_data;
       contexts[pi].n_data_symbols = n_data;
       if (stats != nullptr) ++stats->header_ok;
+      obs_.header_ok.inc();
     }
 
     // Payload: all remaining symbols.
@@ -241,17 +284,20 @@ std::vector<sim::DecodedPacket> Receiver::decode_with_detections(
     bool ok = false;
     std::vector<std::uint8_t> payload;
     std::size_t rescued = 0;
-    if (opt_.use_bec) {
-      BecPacketResult r = decode_payload_bec(
-          pp, ps, t.header.payload_len, rng,
-          stats != nullptr ? &stats->bec : nullptr);
-      ok = r.ok;
-      payload = std::move(r.payload);
-      rescued = r.rescued_codewords;
-    } else {
-      auto r = lora::decode_payload_default(pp, ps, t.header.payload_len);
-      ok = r.has_value();
-      if (ok) payload = std::move(*r);
+    {
+      const obs::ScopedSpan span(obs_.stages.bec);
+      if (opt_.use_bec) {
+        BecPacketResult r = decode_payload_bec(
+            pp, ps, t.header.payload_len, rng,
+            stats != nullptr ? &stats->bec : nullptr);
+        ok = r.ok;
+        payload = std::move(r.payload);
+        rescued = r.rescued_codewords;
+      } else {
+        auto r = lora::decode_payload_default(pp, ps, t.header.payload_len);
+        ok = r.has_value();
+        if (ok) payload = std::move(*r);
+      }
     }
     if (!ok) {
       if (second_pass || !opt_.two_pass) t.dead = true;
@@ -271,6 +317,8 @@ std::vector<sim::DecodedPacket> Receiver::decode_with_detections(
       }
       stats->rescued_per_packet.push_back(rescued);
     }
+    obs_.crc_ok.inc();
+    (second_pass ? obs_.decoded_second_pass : obs_.decoded_first_pass).inc();
   };
 
   // Known-peak masks for symbol (pi, window W): preamble overlaps of every
@@ -349,7 +397,13 @@ std::vector<sim::DecodedPacket> Receiver::decode_with_detections(
       in.sig = &sig;
       in.history = history;
       in.second_pass = second_pass;
-      const std::vector<Assignment> assignments = assigner->assign(in);
+      std::vector<Assignment> assignments;
+      {
+        // Includes the sigcalc spans of cache misses it triggers (stage
+        // sums overlap; see obs/stage_timer.hpp).
+        const obs::ScopedSpan span(obs_.stages.assign);
+        assignments = assigner->assign(in);
+      }
 
       for (const Assignment& a : assignments) {
         Tracked& t = pkts[static_cast<std::size_t>(a.packet)];
@@ -377,7 +431,10 @@ std::vector<sim::DecodedPacket> Receiver::decode_with_detections(
         std::fill(t.bins.begin(), t.bins.end(), -1);
       }
     }
-    if (any_failed) run_pass(/*second_pass=*/true);
+    if (any_failed) {
+      const obs::ScopedSpan span(obs_.stages.second_pass);
+      run_pass(/*second_pass=*/true);
+    }
   }
 
   for (const Tracked& t : pkts) {

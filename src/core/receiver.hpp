@@ -21,6 +21,7 @@
 #include "core/detect.hpp"
 #include "core/frac_sync.hpp"
 #include "core/thrive.hpp"
+#include "obs/stage_timer.hpp"
 #include "sim/metrics.hpp"
 
 namespace tnb::rx {
@@ -45,6 +46,11 @@ struct ReceiverOptions {
   /// Stop tracking a packet whose header has not resolved after this many
   /// data symbols (robustness against false detections).
   int max_tracked_symbols = 96;
+  /// Observability registry for per-stage timing histograms and decode
+  /// counters. nullptr falls back to obs::Registry::global() (resolved at
+  /// Receiver construction); when that is also null, instrumentation is
+  /// fully disabled and the decode output is bit-identical either way.
+  obs::Registry* metrics = nullptr;
 };
 
 /// Decode counters. Every field accumulates: passing the same object to
@@ -119,9 +125,19 @@ class Receiver {
   const ReceiverOptions& options() const { return opt_; }
 
  private:
+  struct Instrumentation {
+    obs::StageTimer stages;
+    obs::CounterRef detected;
+    obs::CounterRef header_ok;
+    obs::CounterRef crc_ok;
+    obs::CounterRef decoded_first_pass;
+    obs::CounterRef decoded_second_pass;
+  };
+
   lora::Params p_;
   ReceiverOptions opt_;
   AssignerFactory factory_;
+  Instrumentation obs_;  ///< null handles when metrics are disabled
 };
 
 }  // namespace tnb::rx

@@ -1,0 +1,176 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tnb::obs {
+namespace {
+
+std::atomic<Registry*> g_global{nullptr};
+
+}  // namespace
+
+Histogram::Histogram(std::span<const double> bounds)
+    : bounds_(bounds.begin(), bounds.end()),
+      buckets_(new std::atomic<std::uint64_t>[bounds.size() + 1]) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw std::invalid_argument(
+        "obs::Histogram: bounds must be strictly increasing");
+  }
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(double v) {
+  const std::size_t i = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // std::atomic<double>::fetch_add is C++20 but not universally lock-free;
+  // an explicit CAS loop keeps the dependency surface minimal and is what
+  // libstdc++ emits for it anyway.
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
+
+Registry* Registry::global() {
+  return g_global.load(std::memory_order_acquire);
+}
+
+void Registry::set_global(Registry* r) {
+  g_global.store(r, std::memory_order_release);
+}
+
+Registry::Entry& Registry::find_or_insert(Snapshot::Kind kind,
+                                          const std::string& name,
+                                          const std::string& help,
+                                          Labels&& labels) {
+  for (const std::unique_ptr<Entry>& e : entries_) {
+    if (e->name == name && e->labels == labels) {
+      if (e->kind != kind) {
+        throw std::invalid_argument("obs::Registry: metric '" + name +
+                                    "' re-registered as a different kind");
+      }
+      return *e;
+    }
+  }
+  entries_.push_back(std::make_unique<Entry>());
+  Entry& e = *entries_.back();
+  e.kind = kind;
+  e.name = name;
+  e.help = help;
+  e.labels = std::move(labels);
+  return e;
+}
+
+CounterRef Registry::counter(const std::string& name, const std::string& help,
+                             Labels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e =
+      find_or_insert(Snapshot::Kind::kCounter, name, help, std::move(labels));
+  if (e.counter == nullptr) e.counter = std::make_unique<Counter>();
+  return CounterRef(e.counter.get());
+}
+
+GaugeRef Registry::gauge(const std::string& name, const std::string& help,
+                         Labels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e =
+      find_or_insert(Snapshot::Kind::kGauge, name, help, std::move(labels));
+  if (e.gauge == nullptr) e.gauge = std::make_unique<Gauge>();
+  return GaugeRef(e.gauge.get());
+}
+
+HistogramRef Registry::histogram(const std::string& name,
+                                 std::span<const double> bounds,
+                                 const std::string& help, Labels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = find_or_insert(Snapshot::Kind::kHistogram, name, help,
+                            std::move(labels));
+  if (e.histogram == nullptr) {
+    e.histogram = std::make_unique<Histogram>(bounds);
+  } else if (!std::equal(bounds.begin(), bounds.end(),
+                         e.histogram->bounds().begin(),
+                         e.histogram->bounds().end())) {
+    throw std::invalid_argument("obs::Registry: histogram '" + name +
+                                "' re-registered with different bounds");
+  }
+  return HistogramRef(e.histogram.get());
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snap.metrics.reserve(entries_.size());
+    for (const std::unique_ptr<Entry>& e : entries_) {
+      Snapshot::Metric m;
+      m.kind = e->kind;
+      m.name = e->name;
+      m.help = e->help;
+      m.labels = e->labels;
+      switch (e->kind) {
+        case Snapshot::Kind::kCounter:
+          m.value = static_cast<double>(e->counter->value());
+          break;
+        case Snapshot::Kind::kGauge:
+          m.value = static_cast<double>(e->gauge->value());
+          break;
+        case Snapshot::Kind::kHistogram: {
+          const Histogram& h = *e->histogram;
+          m.bounds = h.bounds();
+          m.buckets.resize(m.bounds.size() + 1);
+          for (std::size_t i = 0; i < m.buckets.size(); ++i) {
+            m.buckets[i] = h.bucket_count(i);
+          }
+          m.count = h.count();
+          m.sum = h.sum();
+          break;
+        }
+      }
+      snap.metrics.push_back(std::move(m));
+    }
+  }
+  std::sort(snap.metrics.begin(), snap.metrics.end(),
+            [](const Snapshot::Metric& a, const Snapshot::Metric& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return a.labels < b.labels;
+            });
+  return snap;
+}
+
+const Snapshot::Metric* Snapshot::find(std::string_view name,
+                                       const Labels& labels) const& {
+  for (const Metric& m : metrics) {
+    if (m.name == name && m.labels == labels) return &m;
+  }
+  return nullptr;
+}
+
+double histogram_quantile(const Snapshot::Metric& h, double q) {
+  if (h.count == 0) return std::nan("");
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(h.count);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+    const std::uint64_t prev = cum;
+    cum += h.buckets[i];
+    if (static_cast<double>(cum) < rank) continue;
+    // +Inf bucket (or rank inside bucket i): interpolate on [lo, hi].
+    if (i >= h.bounds.size()) return h.bounds.empty() ? 0.0 : h.bounds.back();
+    const double lo = i == 0 ? 0.0 : h.bounds[i - 1];
+    const double hi = h.bounds[i];
+    if (h.buckets[i] == 0) return hi;
+    const double frac =
+        (rank - static_cast<double>(prev)) / static_cast<double>(h.buckets[i]);
+    return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+  }
+  return h.bounds.empty() ? 0.0 : h.bounds.back();
+}
+
+}  // namespace tnb::obs

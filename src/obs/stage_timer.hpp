@@ -1,0 +1,102 @@
+// Scoped wall-clock spans feeding per-stage duration histograms.
+//
+// The seven pipeline stages (paper Fig. 3 plus TnB's second pass) share
+// one metric family, `tnb_stage_duration_seconds`, distinguished by a
+// `stage` label; StageTimer resolves the seven handles once per Receiver
+// so the hot path never touches the registry lock. When the registry is
+// null every handle is null and ScopedSpan skips the clock reads — the
+// instrumented pipeline runs the exact same decode arithmetic either way
+// (tests/test_obs_determinism.cpp holds it to bit-identical output).
+//
+// Spans nest: the `assign` span covers Thrive's whole assignment call and
+// therefore contains the `sigcalc` spans of the cache misses it triggers.
+// Stage sums are "time spent inside this stage", not a disjoint partition
+// of the decode wall clock.
+#pragma once
+
+#include <chrono>
+#include <span>
+
+#include "obs/metrics.hpp"
+
+namespace tnb::obs {
+
+/// Stage label values, in pipeline order.
+inline constexpr const char* kStageDetect = "detect";
+inline constexpr const char* kStageFracSync = "frac_sync";
+inline constexpr const char* kStageSigCalc = "sigcalc";
+inline constexpr const char* kStageAssign = "assign";
+inline constexpr const char* kStageHeader = "header";
+inline constexpr const char* kStageBec = "bec";
+inline constexpr const char* kStageSecondPass = "second_pass";
+
+inline constexpr const char* kStageMetricName = "tnb_stage_duration_seconds";
+
+/// Duration buckets shared by every *_seconds histogram: 1 µs .. 10 s in
+/// roughly 1-3-10 steps — wide enough for a whole second pass, fine
+/// enough to separate a cached signal-vector hit from an FFT.
+inline std::span<const double> duration_bounds() {
+  static constexpr double kBounds[] = {1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 3e-4,
+                                       1e-3, 3e-3, 1e-2, 3e-2, 0.1,  0.3,
+                                       1.0,  3.0,  10.0};
+  return kBounds;
+}
+
+/// RAII span: observes the elapsed seconds into a histogram when it goes
+/// out of scope. A span on a null handle reads no clock at all.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(HistogramRef h) : h_(h) {
+    if (h_.enabled()) t0_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedSpan() { stop(); }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Ends the span early (idempotent).
+  void stop() {
+    if (!h_.enabled() || stopped_) return;
+    stopped_ = true;
+    h_.observe(std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0_)
+                   .count());
+  }
+
+ private:
+  HistogramRef h_;
+  std::chrono::steady_clock::time_point t0_;
+  bool stopped_ = false;
+};
+
+/// The seven per-stage histogram handles, resolved once. All seven are
+/// registered eagerly so an exposition always carries the full stage set,
+/// observed or not.
+struct StageTimer {
+  HistogramRef detect;
+  HistogramRef frac_sync;
+  HistogramRef sigcalc;
+  HistogramRef assign;
+  HistogramRef header;
+  HistogramRef bec;
+  HistogramRef second_pass;
+
+  static StageTimer for_registry(Registry* reg) {
+    StageTimer t;
+    if (reg == nullptr) return t;
+    const auto stage = [reg](const char* name) {
+      return reg->histogram(kStageMetricName, duration_bounds(),
+                            "Wall-clock seconds spent per pipeline stage",
+                            {{"stage", name}});
+    };
+    t.detect = stage(kStageDetect);
+    t.frac_sync = stage(kStageFracSync);
+    t.sigcalc = stage(kStageSigCalc);
+    t.assign = stage(kStageAssign);
+    t.header = stage(kStageHeader);
+    t.bec = stage(kStageBec);
+    t.second_pass = stage(kStageSecondPass);
+    return t;
+  }
+};
+
+}  // namespace tnb::obs

@@ -4,11 +4,33 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/stage_timer.hpp"
+
 namespace tnb::stream {
 
-IqRing::IqRing(std::size_t capacity) : buf_(capacity) {
+IqRing::IqRing(std::size_t capacity, obs::Registry* metrics) : buf_(capacity) {
   if (capacity == 0) throw std::invalid_argument("IqRing: capacity must be > 0");
   st_.capacity = capacity;
+  obs::Registry* reg = obs::resolve(metrics);
+  if (reg != nullptr) {
+    obs_.pushed = reg->counter("tnb_ring_pushed_samples_total",
+                               "Samples accepted into the IQ ring");
+    obs_.popped = reg->counter("tnb_ring_popped_samples_total",
+                               "Samples drained from the IQ ring");
+    obs_.dropped =
+        reg->counter("tnb_ring_dropped_samples_total",
+                     "Samples discarded (try_push overflow or closed ring)");
+    obs_.buffered =
+        reg->gauge("tnb_ring_buffered_samples", "Samples currently buffered");
+    obs_.high_water = reg->gauge("tnb_ring_high_water_samples",
+                                 "Peak simultaneously buffered samples");
+    obs_.push_wait = reg->histogram(
+        "tnb_ring_push_wait_seconds", obs::duration_bounds(),
+        "Producer time blocked waiting for ring space (per push call)");
+    obs_.pop_wait = reg->histogram(
+        "tnb_ring_pop_wait_seconds", obs::duration_bounds(),
+        "Consumer time blocked waiting for samples (per pop call)");
+  }
 }
 
 void IqRing::append_locked(std::span<const cfloat> chunk) {
@@ -26,13 +48,26 @@ void IqRing::append_locked(std::span<const cfloat> chunk) {
   size_ += chunk.size();
   st_.pushed += chunk.size();
   st_.high_water = std::max(st_.high_water, size_);
+  obs_.pushed.inc(chunk.size());
+  obs_.buffered.set(static_cast<std::int64_t>(size_));
+  obs_.high_water.update_max(static_cast<std::int64_t>(size_));
+}
+
+void IqRing::drop_locked(std::size_t n) {
+  st_.dropped += n;
+  obs_.dropped.inc(n);
 }
 
 std::size_t IqRing::push(std::span<const cfloat> chunk) {
   std::size_t accepted = 0;
   std::unique_lock<std::mutex> lock(mu_);
   while (accepted < chunk.size()) {
-    cv_space_.wait(lock, [&] { return size_ < buf_.size() || closed_; });
+    if (size_ >= buf_.size() && !closed_) {
+      // Only a full ring reaches the condition wait; the span then times
+      // genuine backpressure, not the uncontended fast path.
+      const obs::ScopedSpan span(obs_.push_wait);
+      cv_space_.wait(lock, [&] { return size_ < buf_.size() || closed_; });
+    }
     if (closed_) break;
     const std::size_t n =
         std::min(chunk.size() - accepted, buf_.size() - size_);
@@ -40,15 +75,23 @@ std::size_t IqRing::push(std::span<const cfloat> chunk) {
     accepted += n;
     cv_data_.notify_one();
   }
+  // A close() racing this push discards the remainder: account it as
+  // dropped so pushed + dropped always equals the samples offered.
+  if (accepted < chunk.size()) drop_locked(chunk.size() - accepted);
   return accepted;
 }
 
 std::size_t IqRing::try_push(std::span<const cfloat> chunk) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (closed_) return 0;
+  if (closed_) {
+    // A closed ring accepts nothing; without this the samples would
+    // vanish from the pushed/dropped accounting entirely.
+    drop_locked(chunk.size());
+    return 0;
+  }
   const std::size_t n = std::min(chunk.size(), buf_.size() - size_);
   append_locked(chunk.first(n));
-  st_.dropped += chunk.size() - n;
+  drop_locked(chunk.size() - n);
   if (n > 0) cv_data_.notify_one();
   return n;
 }
@@ -56,7 +99,10 @@ std::size_t IqRing::try_push(std::span<const cfloat> chunk) {
 std::size_t IqRing::pop(IqBuffer& out, std::size_t max_samples) {
   out.clear();
   std::unique_lock<std::mutex> lock(mu_);
-  cv_data_.wait(lock, [&] { return size_ > 0 || closed_; });
+  if (size_ == 0 && !closed_) {
+    const obs::ScopedSpan span(obs_.pop_wait);
+    cv_data_.wait(lock, [&] { return size_ > 0 || closed_; });
+  }
   const std::size_t n = std::min(size_, max_samples);
   out.resize(n);
   const std::size_t cap = buf_.size();
@@ -69,6 +115,8 @@ std::size_t IqRing::pop(IqBuffer& out, std::size_t max_samples) {
   }
   size_ -= n;
   st_.popped += n;
+  obs_.popped.inc(n);
+  obs_.buffered.set(static_cast<std::int64_t>(size_));
   if (n > 0) cv_space_.notify_one();
   return n;
 }

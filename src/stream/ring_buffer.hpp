@@ -22,21 +22,28 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "obs/metrics.hpp"
 
 namespace tnb::stream {
 
-/// Ring counters, all in samples.
+/// Ring counters, all in samples. Invariant: every sample offered to the
+/// ring is accounted exactly once — pushed + dropped equals the total
+/// offered through push()/try_push(), including samples discarded because
+/// the ring was (or became) closed mid-call.
 struct RingStats {
   std::size_t capacity = 0;
   std::size_t pushed = 0;      ///< accepted into the ring
   std::size_t popped = 0;
-  std::size_t dropped = 0;     ///< discarded by try_push on overflow
+  std::size_t dropped = 0;     ///< discarded: try_push overflow or closed ring
   std::size_t high_water = 0;  ///< max simultaneously buffered
 };
 
 class IqRing {
  public:
-  explicit IqRing(std::size_t capacity);
+  /// `metrics` (nullptr = obs::Registry::global(), resolved here) mirrors
+  /// the RingStats counters as tnb_ring_* metrics and records blocking
+  /// push/pop wait durations into histograms.
+  explicit IqRing(std::size_t capacity, obs::Registry* metrics = nullptr);
 
   IqRing(const IqRing&) = delete;
   IqRing& operator=(const IqRing&) = delete;
@@ -64,6 +71,7 @@ class IqRing {
 
  private:
   void append_locked(std::span<const cfloat> chunk);
+  void drop_locked(std::size_t n);
 
   std::vector<cfloat> buf_;
   std::size_t head_ = 0;  ///< next pop index
@@ -73,6 +81,17 @@ class IqRing {
   mutable std::mutex mu_;
   std::condition_variable cv_data_;   ///< consumer: samples available
   std::condition_variable cv_space_;  ///< producer: room available
+
+  struct Instrumentation {
+    obs::CounterRef pushed;
+    obs::CounterRef popped;
+    obs::CounterRef dropped;
+    obs::GaugeRef buffered;
+    obs::GaugeRef high_water;
+    obs::HistogramRef push_wait;
+    obs::HistogramRef pop_wait;
+  };
+  Instrumentation obs_;  ///< null handles when metrics are disabled
 };
 
 }  // namespace tnb::stream

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "lora/frame.hpp"
+#include "obs/json.hpp"
 
 namespace tnb::stream {
 namespace {
@@ -24,17 +25,23 @@ rx::DetectorOptions liveness_options(rx::DetectorOptions opt) {
 }  // namespace
 
 std::string StreamingStats::to_json() const {
-  char buf[512];
-  std::snprintf(
-      buf, sizeof buf,
-      "{\"samples_in\":%zu,\"chunks\":%zu,\"segments\":%zu,"
-      "\"forced_cuts\":%zu,\"spans_refined\":%zu,\"samples_retired\":%zu,"
-      "\"live_packets\":%zu,\"peak_live_packets\":%zu,"
-      "\"high_water_samples\":%zu,\"packets_emitted\":%zu,\"rx\":",
-      samples_in, chunks, segments, forced_cuts, spans_refined,
-      samples_retired, live_packets, peak_live_packets, high_water_samples,
-      packets_emitted);
-  return std::string(buf) + rx.to_json() + "}";
+  // Shared serialization path with obs::Snapshot::to_json — schema pinned
+  // by tests/test_obs.cpp (StreamingStatsJson).
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("samples_in", samples_in);
+  w.field("chunks", chunks);
+  w.field("segments", segments);
+  w.field("forced_cuts", forced_cuts);
+  w.field("spans_refined", spans_refined);
+  w.field("samples_retired", samples_retired);
+  w.field("live_packets", live_packets);
+  w.field("peak_live_packets", peak_live_packets);
+  w.field("high_water_samples", high_water_samples);
+  w.field("packets_emitted", packets_emitted);
+  w.key("rx").raw(rx.to_json());
+  w.end_object();
+  return w.take();
 }
 
 StreamingReceiver::StreamingReceiver(lora::Params p, rx::ReceiverOptions ropt,
@@ -64,6 +71,42 @@ StreamingReceiver::StreamingReceiver(lora::Params p, rx::ReceiverOptions ropt,
   window_samples_ = sopt_.window_symbols * sps;
   lookback_samples_ = 8 * sps;
   forced_cut_samples_ = window_samples_ + window_samples_ / 4;
+
+  obs::Registry* reg = obs::resolve(ropt.metrics);
+  if (reg != nullptr) {
+    obs_.chunks = reg->counter("tnb_stream_chunks_total", "Chunks ingested");
+    obs_.samples_in =
+        reg->counter("tnb_stream_samples_in_total", "IQ samples ingested");
+    obs_.segments = reg->counter("tnb_stream_segments_total",
+                                 "Segment decodes (clean + forced cuts)");
+    obs_.forced_cuts = reg->counter(
+        "tnb_stream_forced_cuts_total", "Cuts that may have split a packet");
+    obs_.spans_refined =
+        reg->counter("tnb_stream_spans_refined_total",
+                     "Live spans shrunk via header checksum");
+    obs_.samples_retired = reg->counter("tnb_stream_samples_retired_total",
+                                        "Decoded-and-released samples");
+    obs_.packets_emitted =
+        reg->counter("tnb_stream_packets_emitted_total", "Decoded packets");
+    obs_.live_packets = reg->gauge("tnb_stream_live_packets",
+                                   "Currently tracked detections");
+    obs_.peak_live_packets = reg->gauge("tnb_stream_peak_live_packets",
+                                        "Peak simultaneously tracked detections");
+    obs_.window_samples = reg->gauge("tnb_stream_window_samples",
+                                     "Assembly-window resident IQ samples");
+    obs_.window_high_water =
+        reg->gauge("tnb_stream_window_high_water_samples",
+                   "Assembly-window high-water mark");
+    static constexpr double kSegmentBounds[] = {1e3, 4e3,  1.6e4, 6.6e4,
+                                                2.6e5, 1.1e6, 4.2e6, 1.7e7};
+    obs_.segment_samples =
+        reg->histogram("tnb_stream_segment_samples", kSegmentBounds,
+                       "Samples per decoded segment");
+    obs_.segment_decode =
+        reg->histogram("tnb_stream_segment_decode_seconds",
+                       obs::duration_bounds(),
+                       "Wall-clock seconds per segment decode");
+  }
 }
 
 void StreamingReceiver::push_chunk(std::span<const cfloat> chunk) {
@@ -71,6 +114,7 @@ void StreamingReceiver::push_chunk(std::span<const cfloat> chunk) {
     throw std::logic_error("StreamingReceiver: push_chunk after finish");
   }
   ++st_.chunks;
+  obs_.chunks.inc();
   // Large chunks are ingested in window-sized slices with a flush attempt
   // between them, so a whole capture handed over at once still decodes with
   // O(window) resident IQ.
@@ -84,6 +128,9 @@ void StreamingReceiver::ingest(std::span<const cfloat> slice) {
   buf_.insert(buf_.end(), slice.begin(), slice.end());
   st_.samples_in += slice.size();
   st_.high_water_samples = std::max(st_.high_water_samples, buf_.size());
+  obs_.samples_in.inc(slice.size());
+  obs_.window_samples.set(static_cast<std::int64_t>(buf_.size()));
+  obs_.window_high_water.update_max(static_cast<std::int64_t>(buf_.size()));
   maybe_flush(/*eof=*/false);
 }
 
@@ -93,6 +140,8 @@ void StreamingReceiver::finish() {
   maybe_flush(/*eof=*/true);
   live_.clear();
   st_.live_packets = 0;
+  obs_.live_packets.set(0);
+  obs_.window_samples.set(0);
 }
 
 std::size_t StreamingReceiver::consume(ChunkSource& src,
@@ -145,6 +194,8 @@ void StreamingReceiver::scan_new_detections() {
   det_frontier_ = new_frontier;
   st_.live_packets = live_.size();
   st_.peak_live_packets = std::max(st_.peak_live_packets, live_.size());
+  obs_.live_packets.set(static_cast<std::int64_t>(live_.size()));
+  obs_.peak_live_packets.update_max(static_cast<std::int64_t>(live_.size()));
 }
 
 void StreamingReceiver::refine_live_spans() {
@@ -188,6 +239,7 @@ void StreamingReceiver::refine_live_spans() {
     if (refined < lp.span_end) {
       lp.span_end = refined;
       ++st_.spans_refined;
+      obs_.spans_refined.inc();
     }
   }
 }
@@ -251,6 +303,7 @@ void StreamingReceiver::maybe_flush(bool eof) {
           // last data symbol) and usually lands on truly quiet air.
           cut = limit;
           ++st_.forced_cuts;
+          obs_.forced_cuts.inc();
         } else {
           min_next_attempt_ = buffered + 4 * sps;
           return;
@@ -266,12 +319,19 @@ void StreamingReceiver::decode_segment(std::size_t cut) {
   const std::span<const cfloat> segment(buf_.data(), cut);
   Rng rng(sopt_.rng_seed);
   rx::ReceiverStats seg_stats;
-  std::vector<sim::DecodedPacket> decoded = rx_.decode(segment, rng, &seg_stats);
+  std::vector<sim::DecodedPacket> decoded;
+  {
+    const obs::ScopedSpan span(obs_.segment_decode);
+    decoded = rx_.decode(segment, rng, &seg_stats);
+  }
   st_.rx += seg_stats;
   ++st_.segments;
+  obs_.segments.inc();
+  obs_.segment_samples.observe(static_cast<double>(cut));
   for (sim::DecodedPacket& pkt : decoded) {
     pkt.start_sample += static_cast<double>(base_);
     ++st_.packets_emitted;
+    obs_.packets_emitted.inc();
     if (on_packet_) on_packet_(pkt);
     if (sopt_.keep_packets) packets_.push_back(std::move(pkt));
   }
@@ -279,6 +339,8 @@ void StreamingReceiver::decode_segment(std::size_t cut) {
   buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(cut));
   base_ += cut;
   st_.samples_retired += cut;
+  obs_.samples_retired.inc(cut);
+  obs_.window_samples.set(static_cast<std::int64_t>(buf_.size()));
 
   // Retire live packets that were decoded (or gave up) inside the segment;
   // after a forced cut, also drop remnants whose preamble is gone.
@@ -287,6 +349,7 @@ void StreamingReceiver::decode_segment(std::size_t cut) {
     return lp.span_end <= b || lp.t0 < b;
   });
   st_.live_packets = live_.size();
+  obs_.live_packets.set(static_cast<std::int64_t>(live_.size()));
 }
 
 std::size_t run_pipeline(

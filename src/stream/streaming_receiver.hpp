@@ -28,6 +28,7 @@
 #include "core/detect.hpp"
 #include "core/receiver.hpp"
 #include "lora/demodulator.hpp"
+#include "obs/stage_timer.hpp"
 #include "sim/metrics.hpp"
 #include "stream/chunk_source.hpp"
 #include "stream/ring_buffer.hpp"
@@ -152,6 +153,25 @@ class StreamingReceiver {
   StreamingStats st_;
   PacketCallback on_packet_;
   std::vector<sim::DecodedPacket> packets_;
+
+  /// tnb_stream_* metrics mirroring StreamingStats (null handles when the
+  /// registry — ReceiverOptions::metrics or the global — is disabled).
+  struct Instrumentation {
+    obs::CounterRef chunks;
+    obs::CounterRef samples_in;
+    obs::CounterRef segments;
+    obs::CounterRef forced_cuts;
+    obs::CounterRef spans_refined;
+    obs::CounterRef samples_retired;
+    obs::CounterRef packets_emitted;
+    obs::GaugeRef live_packets;
+    obs::GaugeRef peak_live_packets;
+    obs::GaugeRef window_samples;
+    obs::GaugeRef window_high_water;
+    obs::HistogramRef segment_samples;
+    obs::HistogramRef segment_decode;
+  };
+  Instrumentation obs_;
 };
 
 /// Runs the two-thread gateway pipeline: a producer thread drains `src`

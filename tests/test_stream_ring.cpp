@@ -5,8 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <thread>
 #include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace tnb::stream {
 namespace {
@@ -112,6 +115,74 @@ TEST(IqRing, BlockingPushBackpressuresUntilConsumerCatchesUp) {
   EXPECT_EQ(st.popped, total);
   EXPECT_EQ(st.dropped, 0u);
   EXPECT_LE(st.high_water, st.capacity);
+}
+
+// Regression: try_push on a closed ring used to return 0 without counting
+// the refused samples, silently violating pushed + dropped == offered.
+TEST(IqRing, TryPushOnClosedRingCountsDrops) {
+  IqRing ring(8);
+  ASSERT_EQ(ring.try_push(ramp(3, 0.0f)), 3u);
+  ring.close();
+  EXPECT_EQ(ring.try_push(ramp(5, 3.0f)), 0u);
+  const RingStats st = ring.stats();
+  EXPECT_EQ(st.pushed, 3u);
+  EXPECT_EQ(st.dropped, 5u);
+  EXPECT_EQ(st.pushed + st.dropped, 8u);  // every sample offered accounted
+}
+
+// Regression: a close() racing a blocking push() discarded the unaccepted
+// remainder without counting it as dropped.
+TEST(IqRing, PushInterruptedByCloseAccountsRemainder) {
+  IqRing ring(4);
+  ASSERT_EQ(ring.push(ramp(4, 0.0f)), 4u);  // ring now full
+  std::thread producer([&] {
+    // Blocks on the full ring; close() below releases it with 0 accepted.
+    EXPECT_EQ(ring.push(ramp(6, 4.0f)), 0u);
+  });
+  // Give the producer a moment to reach the wait (close() is correct
+  // whether or not it got there — the remainder is dropped either way).
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ring.close();
+  producer.join();
+  const RingStats st = ring.stats();
+  EXPECT_EQ(st.pushed, 4u);
+  EXPECT_EQ(st.dropped, 6u);
+  EXPECT_EQ(st.pushed + st.dropped, 10u);
+}
+
+// Blocking-push-after-close is accounted the same way (the old behaviour
+// returned 0 and lost the samples from the accounting).
+TEST(IqRing, PushAfterCloseCountsDrops) {
+  IqRing ring(8);
+  ring.close();
+  EXPECT_EQ(ring.push(ramp(5, 0.0f)), 0u);
+  EXPECT_EQ(ring.stats().dropped, 5u);
+}
+
+// The tnb_ring_* metrics mirror RingStats exactly when a registry is wired.
+TEST(IqRing, MetricsMirrorRingStats) {
+  obs::Registry reg;
+  IqRing ring(8, &reg);
+  ring.try_push(ramp(6, 0.0f));
+  ring.try_push(ramp(6, 6.0f));  // 2 accepted, 4 dropped
+  IqBuffer out;
+  ring.pop(out, 5);
+  ring.close();
+  ring.try_push(ramp(2, 0.0f));  // 2 more dropped
+
+  const RingStats st = ring.stats();
+  const obs::Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.find("tnb_ring_pushed_samples_total")->value,
+            static_cast<double>(st.pushed));
+  EXPECT_EQ(snap.find("tnb_ring_popped_samples_total")->value,
+            static_cast<double>(st.popped));
+  EXPECT_EQ(snap.find("tnb_ring_dropped_samples_total")->value,
+            static_cast<double>(st.dropped));
+  EXPECT_EQ(snap.find("tnb_ring_high_water_samples")->value,
+            static_cast<double>(st.high_water));
+  EXPECT_EQ(snap.find("tnb_ring_buffered_samples")->value, 3.0);  // 8 - 5
+  EXPECT_EQ(st.pushed, 8u);
+  EXPECT_EQ(st.dropped, 6u);
 }
 
 TEST(IqRing, ThreadedTryPushAccountsEverySample) {

@@ -5,13 +5,18 @@
 //            [--scheme tnb|thrive|sibling|lorophy|cic|cic+|aligntrack|
 //                      aligntrack+|all]
 //            [--antennas N] [--implicit-len BYTES] [--jobs N]
+//            [--metrics-file FILE]
 //
 // --jobs N (default: TNB_JOBS env var, else 1) decodes the schemes
 // concurrently; each scheme keeps its own RNG and stats, so the printed
-// rows are identical for every jobs value.
+// rows are identical for every jobs value. Per-stage pipeline timing is
+// recorded into a tnb::obs registry (merged over all schemes and jobs)
+// and summarized after the result table; --metrics-file additionally
+// writes the full Prometheus text snapshot.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <optional>
 #include <string>
 #include <vector>
@@ -20,6 +25,7 @@
 #include "baselines/sic.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/stage_timer.hpp"
 #include "sim/ground_truth.hpp"
 #include "sim/metrics.hpp"
 #include "sim/trace_io.hpp"
@@ -31,7 +37,8 @@ namespace {
                "usage: tnb_eval --in PREFIX [--sf N] [--cr N] [--osf N] "
                "[--scheme NAME|all]\n"
                "                [--antennas N] [--implicit-len BYTES] "
-               "[--jobs N]\n");
+               "[--jobs N]\n"
+               "                [--metrics-file FILE]\n");
   std::exit(2);
 }
 
@@ -54,7 +61,7 @@ std::vector<tnb::base::Scheme> parse_schemes(const std::string& name) {
 int main(int argc, char** argv) {
   using namespace tnb;
 
-  std::string in, scheme = "tnb";
+  std::string in, scheme = "tnb", metrics_file;
   lora::Params params{.sf = 8, .cr = 4, .bandwidth_hz = 125e3, .osf = 8};
   unsigned antennas = 1;
   int implicit_len = 0;
@@ -74,10 +81,16 @@ int main(int argc, char** argv) {
     else if (arg == "--antennas") antennas = std::strtoul(value(), nullptr, 10);
     else if (arg == "--implicit-len") implicit_len = std::atoi(value());
     else if (arg == "--jobs") jobs = std::atoi(value());
+    else if (arg == "--metrics-file") metrics_file = value();
     else usage();
   }
   if (in.empty()) usage();
   if (jobs < 1) jobs = 1;
+
+  // Installed before any receiver is constructed (handles resolve at
+  // construction); all schemes and worker threads record into it.
+  obs::Registry registry;
+  obs::Registry::set_global(&registry);
 
   sim::Trace trace;
   trace.params = params;
@@ -153,5 +166,23 @@ int main(int argc, char** argv) {
   std::printf("aggregate %s\n", total.to_json().c_str());
   std::printf("runs=%zu jobs=%d wall=%.2fs speedup=%.2fx\n", schemes.size(),
               jobs, wall, wall > 0.0 ? seq / wall : 1.0);
+
+  // Per-stage pipeline timing, merged over every scheme (seconds). All
+  // seven stages are registered eagerly, so a stage a scheme never enters
+  // still prints, as n=0.
+  const obs::Snapshot snap = registry.snapshot();
+  for (const obs::Snapshot::Metric& m : snap.metrics) {
+    if (m.name != obs::kStageMetricName) continue;
+    const char* stage = m.labels.empty() ? "?" : m.labels.front().second.c_str();
+    std::printf("stage %-12s %s\n", stage, obs::histogram_summary(m).c_str());
+  }
+  if (!metrics_file.empty()) {
+    std::ofstream out(metrics_file);
+    if (!out) {
+      std::fprintf(stderr, "tnb_eval: cannot write %s\n", metrics_file.c_str());
+      return 1;
+    }
+    out << snap.to_prometheus();
+  }
   return 0;
 }

@@ -3,7 +3,8 @@
 //
 //   tnb_streamd [--in FILE] [--sf N] [--cr N] [--osf N] [--scale S]
 //               [--chunk SAMPLES] [--window SYMBOLS] [--ring SAMPLES]
-//               [--stats-every SECONDS] [--realtime] [--drop]
+//               [--stats-interval SECONDS] [--metrics-file FILE]
+//               [--metrics-history PREFIX] [--realtime] [--drop]
 //               [--implicit-len BYTES] [--seed N] [--quiet]
 //
 // Without --in (or with `--in -`) samples are read from stdin, so a trace
@@ -14,16 +15,31 @@
 // what does not fit); the main thread drains the ring into the
 // StreamingReceiver. Every decoded packet prints one `pkt` line as soon as
 // its segment resolves; a `stats` JSON line (StreamingStats::to_json plus
-// the ring counters) prints every --stats-every seconds of stream time and
-// once at the end. --realtime paces file replay at the sample rate.
+// the ring counters) prints every --stats-interval seconds of stream time
+// and once at the end. --metrics-file rewrites a Prometheus text snapshot
+// of the tnb::obs registry (stage timings, ring and stream counters) on
+// every stats tick and at exit; --metrics-history PREFIX additionally
+// keeps every snapshot as PREFIX.NNN.prom (CI uses the sequence to verify
+// counter monotonicity). --realtime paces file replay at the sample rate.
+//
+// SIGINT/SIGTERM trigger a clean shutdown: the ring is closed (remaining
+// producer samples are counted as dropped), the pipeline winds down, and
+// the final stats line and metrics file are always emitted before exit.
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
 #include "sim/trace_builder.hpp"
 #include "stream/streaming_receiver.hpp"
 
@@ -35,12 +51,19 @@ namespace {
                "[--scale S]\n"
                "                   [--chunk SAMPLES] [--window SYMBOLS] "
                "[--ring SAMPLES]\n"
-               "                   [--stats-every SECONDS] [--realtime] "
+               "                   [--stats-interval SECONDS] "
+               "[--metrics-file FILE]\n"
+               "                   [--metrics-history PREFIX] [--realtime] "
                "[--drop]\n"
                "                   [--implicit-len BYTES] [--seed N] "
                "[--quiet]\n");
   std::exit(2);
 }
+
+// Shared between the main thread and the signal-watcher thread. Static
+// duration so the watcher can consult them even while main() is returning.
+std::mutex g_stats_mu;
+std::atomic<bool> g_done{false};  ///< final stats line already emitted
 
 }  // namespace
 
@@ -48,8 +71,9 @@ int main(int argc, char** argv) {
   using namespace tnb;
 
   std::string in = "-";
+  std::string metrics_file, metrics_history;
   lora::Params params{.sf = 8, .cr = 4, .bandwidth_hz = 125e3, .osf = 8};
-  double scale = 1024.0, stats_every_s = 1.0;
+  double scale = 1024.0, stats_interval_s = 1.0;
   std::size_t chunk = 0, ring_capacity = 0;
   stream::StreamingOptions sopt;
   bool realtime = false, drop = false, quiet = false;
@@ -70,7 +94,10 @@ int main(int argc, char** argv) {
     else if (arg == "--window")
       sopt.window_symbols = std::strtoul(value(), nullptr, 10);
     else if (arg == "--ring") ring_capacity = std::strtoul(value(), nullptr, 10);
-    else if (arg == "--stats-every") stats_every_s = std::atof(value());
+    else if (arg == "--stats-interval" || arg == "--stats-every")
+      stats_interval_s = std::atof(value());  // --stats-every: legacy alias
+    else if (arg == "--metrics-file") metrics_file = value();
+    else if (arg == "--metrics-history") metrics_history = value();
     else if (arg == "--realtime") realtime = true;
     else if (arg == "--drop") drop = true;
     else if (arg == "--implicit-len") implicit_len = std::atoi(value());
@@ -81,6 +108,12 @@ int main(int argc, char** argv) {
   params.validate();
   if (chunk == 0) chunk = 16 * params.sps();
   if (ring_capacity == 0) ring_capacity = 8 * chunk;
+
+  // The registry must be installed before the receiver and ring are
+  // constructed: their metric handles resolve against the global exactly
+  // once, at construction.
+  obs::Registry registry;
+  obs::Registry::set_global(&registry);
 
   rx::ReceiverOptions ropt;
   if (implicit_len > 0) {
@@ -119,26 +152,95 @@ int main(int argc, char** argv) {
   }
 
   stream::IqRing ring(ring_capacity);
-  const std::size_t stats_every_samples =
-      stats_every_s > 0.0 ? static_cast<std::size_t>(stats_every_s * fs) : 0;
-  std::size_t next_stats_at = stats_every_samples;
+  const std::size_t stats_interval_samples =
+      stats_interval_s > 0.0 ? static_cast<std::size_t>(stats_interval_s * fs)
+                             : 0;
+  std::size_t next_stats_at = stats_interval_samples;
+
+  // Both emitters are called with g_stats_mu held.
   auto print_stats = [&] {
     const stream::RingStats rs = ring.stats();
-    std::printf("stats {\"stream\":%s,\"ring\":{\"capacity\":%zu,"
-                "\"pushed\":%zu,\"popped\":%zu,\"dropped\":%zu,"
-                "\"high_water\":%zu}}\n",
-                receiver.stats().to_json().c_str(), rs.capacity, rs.pushed,
-                rs.popped, rs.dropped, rs.high_water);
+    obs::JsonWriter w;
+    w.begin_object();
+    w.key("stream").raw(receiver.stats().to_json());
+    w.key("ring");
+    w.begin_object();
+    w.field("capacity", static_cast<std::uint64_t>(rs.capacity));
+    w.field("pushed", static_cast<std::uint64_t>(rs.pushed));
+    w.field("popped", static_cast<std::uint64_t>(rs.popped));
+    w.field("dropped", static_cast<std::uint64_t>(rs.dropped));
+    w.field("high_water", static_cast<std::uint64_t>(rs.high_water));
+    w.end_object();
+    w.end_object();
+    std::printf("stats %s\n", w.str().c_str());
     std::fflush(stdout);
   };
+  std::size_t metrics_seq = 0;
+  auto write_metrics = [&] {
+    if (metrics_file.empty() && metrics_history.empty()) return;
+    const std::string text = registry.snapshot().to_prometheus();
+    auto write_file = [](const std::string& path, const std::string& body) {
+      std::FILE* f = std::fopen(path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "tnb_streamd: cannot write %s\n", path.c_str());
+        return false;
+      }
+      std::fwrite(body.data(), 1, body.size(), f);
+      std::fclose(f);
+      return true;
+    };
+    if (!metrics_file.empty()) {
+      // Write-then-rename so a concurrent reader never sees a torn file.
+      const std::string tmp = metrics_file + ".tmp";
+      if (write_file(tmp, text) &&
+          std::rename(tmp.c_str(), metrics_file.c_str()) != 0) {
+        std::fprintf(stderr, "tnb_streamd: cannot rename %s\n", tmp.c_str());
+      }
+    }
+    if (!metrics_history.empty()) {
+      char seq[16];
+      std::snprintf(seq, sizeof seq, ".%03zu.prom", metrics_seq++);
+      write_file(metrics_history + seq, text);
+    }
+  };
+
+  // Block SIGINT/SIGTERM in every thread and field them in a dedicated
+  // watcher via sigwait. The watcher closes the ring, which unwinds the
+  // pipeline cleanly (pop drains and returns 0, push counts the rest as
+  // dropped), so the normal end-of-run path below emits the final stats
+  // line and metrics file. Only if the pipeline fails to wind down (e.g.
+  // the producer is stuck in a blocking read on an idle terminal) does the
+  // watcher emit them best-effort itself and exit.
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGINT);
+  sigaddset(&sigs, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+  std::thread([&ring, &print_stats, &write_metrics, sigs] {
+    int sig = 0;
+    if (sigwait(&sigs, &sig) != 0) return;
+    ring.close();
+    for (int i = 0; i < 100; ++i) {  // up to 5 s for a clean wind-down
+      if (g_done.load()) return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    std::lock_guard<std::mutex> lock(g_stats_mu);
+    if (g_done.load()) return;
+    print_stats();
+    write_metrics();
+    std::fflush(nullptr);
+    std::_Exit(0);
+  }).detach();
 
   try {
     stream::run_pipeline(*source, ring, receiver, chunk, /*backpressure=*/!drop,
                          [&](std::size_t consumed) {
-                           if (stats_every_samples == 0) return;
+                           if (stats_interval_samples == 0) return;
                            if (consumed >= next_stats_at) {
+                             std::lock_guard<std::mutex> lock(g_stats_mu);
                              print_stats();
-                             next_stats_at = consumed + stats_every_samples;
+                             write_metrics();
+                             next_stats_at = consumed + stats_interval_samples;
                            }
                          });
   } catch (const std::exception& e) {
@@ -146,7 +248,12 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  print_stats();
-  std::printf("decoded=%zu\n", receiver.stats().packets_emitted);
+  {
+    std::lock_guard<std::mutex> lock(g_stats_mu);
+    print_stats();
+    write_metrics();
+    std::printf("decoded=%zu\n", receiver.stats().packets_emitted);
+    g_done.store(true);
+  }
   return 0;
 }
