@@ -1,10 +1,20 @@
 // Microbenchmarks of TnB's computational kernels (google-benchmark):
-// FFT, signal-vector computation, peak finding, BEC block decoding, and
-// Thrive's per-checking-point assignment.
+// FFT, signal-vector computation (by-value and workspace kernels), peak
+// finding, frac-sync refinement, BEC block decoding, and Thrive's
+// per-checking-point assignment.
+//
+// Invoked by the CI perf-smoke job as
+//   bench_micro_components --benchmark_out=BENCH_micro.json
+//                          --benchmark_out_format=json
+// The custom main() additionally prints one "BENCH <name> <real_ns>" line
+// per benchmark, so a summary needs nothing beyond grep (bench/README.md).
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
 
 #include "common/rng.hpp"
 #include "core/bec.hpp"
+#include "core/frac_sync.hpp"
 #include "core/thrive.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/peak_finder.hpp"
@@ -43,6 +53,56 @@ void BM_SignalVector(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SignalVector)->Arg(8)->Arg(10)->Arg(12);
+
+void BM_DechirpWorkspace(benchmark::State& state) {
+  // The zero-allocation kernel path: same work as BM_SignalVector but
+  // through signal_vector_into with a warm workspace and caller-owned
+  // output, i.e. what the receiver's steady-state decode loop runs.
+  const unsigned sf = static_cast<unsigned>(state.range(0));
+  lora::Params p{.sf = sf, .cr = 4, .bandwidth_hz = 125e3, .osf = 8};
+  const lora::Demodulator demod(p);
+  lora::Workspace ws(p);
+  const auto sym = lora::make_upchirp(p, 42);
+  SignalVector sv;
+  sv.resize(p.n_bins());
+  demod.signal_vector_into(sym, 1.37, /*up=*/true, ws, sv);  // warm up
+  for (auto _ : state) {
+    demod.signal_vector_into(sym, 1.37, /*up=*/true, ws, sv);
+    benchmark::DoNotOptimize(sv.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DechirpWorkspace)->Arg(8)->Arg(10)->Arg(12);
+
+void BM_FracSyncRefine(benchmark::State& state) {
+  // Full three-phase refine() on a synthesized packet with fractional
+  // delay and CFO — the frac_sync pipeline stage per detection.
+  const unsigned sf = static_cast<unsigned>(state.range(0));
+  lora::Params p{.sf = sf, .cr = 4, .bandwidth_hz = 125e3, .osf = 8};
+  const lora::Modulator mod(p);
+  std::vector<std::uint8_t> app(10, 0x3C);
+  const auto symbols = lora::make_packet_symbols(p, app);
+  const double sps = static_cast<double>(p.sps());
+  lora::WaveformOptions w;
+  w.frac_delay = 0.37;
+  w.cfo_hz = 1700.0;
+  const IqBuffer pkt = mod.synthesize(symbols, w);
+  IqBuffer trace(pkt.size() + static_cast<std::size_t>(4.0 * sps),
+                 cfloat{0.0f, 0.0f});
+  const std::size_t off = 2 * p.sps();
+  for (std::size_t s = 0; s < pkt.size(); ++s) trace[off + s] = pkt[s];
+  const double t0 = static_cast<double>(off);
+  const double cfo = std::floor(p.cfo_hz_to_cycles(w.cfo_hz) + 0.5);
+  const rx::FracSync fsync(p);
+  lora::Workspace ws(p);
+  for (auto _ : state) {
+    const rx::FracSyncResult r = fsync.refine(trace, t0, cfo, ws);
+    benchmark::DoNotOptimize(&r);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FracSyncRefine)->Arg(8)->Arg(10)->Arg(12)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_PeakFinder(benchmark::State& state) {
   Rng rng(2);
@@ -143,6 +203,33 @@ void BM_ThriveAssign(benchmark::State& state) {
 }
 BENCHMARK(BM_ThriveAssign)->Arg(2)->Arg(4)->Arg(8);
 
+/// Console reporter that also emits one machine-greppable
+/// "BENCH <name> <real_ns>" line per measurement, so CI (and humans) can
+/// summarize a run with `grep '^BENCH '` — no JSON tooling required. The
+/// full-fidelity record still goes to --benchmark_out (JSON).
+class GreppableReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& report) override {
+    benchmark::ConsoleReporter::ReportRuns(report);
+    for (const Run& run : report) {
+      if (run.error_occurred) continue;
+      const double ns =
+          run.real_accumulated_time / static_cast<double>(run.iterations) * 1e9;
+      std::printf("BENCH %s %.0f\n", run.benchmark_name().c_str(), ns);
+    }
+  }
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Initialize consumes the standard flags, including --benchmark_out /
+  // --benchmark_out_format; RunSpecifiedBenchmarks builds the file
+  // reporter from them while our display reporter adds the BENCH lines.
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  GreppableReporter display;
+  benchmark::RunSpecifiedBenchmarks(&display);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Cache-line/SIMD-aligned vectors for the demodulation hot path.
+//
+// The zero-allocation kernels (lora::Workspace) hold their scratch in
+// 64-byte-aligned storage so the strided real/imag loops vectorize with
+// aligned loads and scratch buffers never share a cache line with
+// unrelated state. Alignment is an optimization, not a contract: every
+// kernel also accepts plain std::vector storage.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace tnb::common {
+
+/// Minimal aligned allocator (C++17 aligned operator new). Alignment must
+/// be a power of two and at least alignof(T).
+template <typename T, std::size_t Alignment = 64>
+struct AlignedAllocator {
+  using value_type = T;
+  static constexpr std::align_val_t kAlign{Alignment};
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(n * sizeof(T), kAlign));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, kAlign);
+  }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+};
+
+/// std::vector with 64-byte-aligned storage.
+template <typename T>
+using aligned_vector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace tnb::common

@@ -13,9 +13,11 @@ namespace {
 
 /// Noise-floor proxy of a signal vector: its median, kept above a tiny
 /// fraction of the maximum so noiseless traces (unit tests, saturated
-/// captures) do not make every spectral leak look significant.
+/// captures) do not make every spectral leak look significant. The median
+/// scratch is per-thread so the per-window call allocates nothing once warm.
 double noise_floor(std::span<const float> x) {
-  std::vector<double> tmp(x.begin(), x.end());
+  thread_local std::vector<double> tmp;
+  tmp.assign(x.begin(), x.end());
   const double med = dsp::median_of(tmp);
   float mx = 0.0f;
   for (float v : x) mx = std::max(mx, v);
@@ -38,7 +40,7 @@ Detector::Detector(lora::Params params, DetectorOptions opt)
 }
 
 std::vector<Detector::Candidate> Detector::find_runs(
-    std::span<const cfloat> trace) const {
+    std::span<const cfloat> trace, lora::Workspace& ws) const {
   const std::size_t sps = p_.sps();
   const double n = static_cast<double>(p_.n_bins());
   const std::size_t n_windows = trace.size() / sps;
@@ -68,9 +70,10 @@ std::vector<Detector::Candidate> Detector::find_runs(
   pf.circular = true;
   pf.max_peaks = opt_.max_peaks_per_window;
 
+  SignalVector& sv = ws.sv_scratch(0);
   for (std::size_t k = 0; k < n_windows; ++k) {
-    const SignalVector sv = demod_.signal_vector(
-        trace.subspan(k * sps, sps), 0.0, /*up=*/true);
+    demod_.signal_vector_into(trace.subspan(k * sps, sps), 0.0, /*up=*/true,
+                              ws, sv);
     const double floor = noise_floor(sv);
     // Selectivity relative to the noise floor: a weak preamble must stay
     // visible next to a strong collider (>20 dB SNR spread, paper Fig. 10).
@@ -124,13 +127,15 @@ std::vector<Detector::Candidate> Detector::find_runs(
 }
 
 double Detector::relative_energy_at(std::span<const cfloat> trace, double start,
-                                    double cfo_cycles, std::size_t bin,
-                                    bool up) const {
+                                    double cfo_cycles, std::size_t bin, bool up,
+                                    lora::Workspace& ws) const {
   const std::size_t sps = p_.sps();
   const std::size_t n = p_.n_bins();
-  std::vector<cfloat> window(sps);
+  auto& window = ws.iq_scratch(0);
+  window.resize(sps);
   extract_window(trace, start, window);
-  const SignalVector sv = demod_.signal_vector(window, cfo_cycles, up);
+  SignalVector& sv = ws.sv_scratch(0);
+  demod_.signal_vector_into(window, cfo_cycles, up, ws, sv);
   const double floor = noise_floor(sv);
   double e = 0.0;
   for (int d = -1; d <= 1; ++d) {
@@ -143,7 +148,7 @@ double Detector::relative_energy_at(std::span<const cfloat> trace, double start,
 }
 
 void Detector::resolve_candidate(std::span<const cfloat> trace,
-                                 const Candidate& cand,
+                                 const Candidate& cand, lora::Workspace& ws,
                                  std::vector<DetectedPacket>& out) const {
   const std::size_t sps = p_.sps();
   const double n = static_cast<double>(p_.n_bins());
@@ -163,10 +168,11 @@ void Detector::resolve_candidate(std::span<const cfloat> trace,
   std::vector<DownHyp> hyps;
   const std::size_t k_lo = cand.first_window + 7;
   const std::size_t k_hi = cand.first_window + 13;
+  SignalVector& sv = ws.sv_scratch(0);
   for (std::size_t k = k_lo; k <= k_hi; ++k) {
     if ((k + 1) * sps > trace.size()) break;
-    const SignalVector sv = demod_.signal_vector(
-        trace.subspan(k * sps, sps), 0.0, /*up=*/false);
+    demod_.signal_vector_into(trace.subspan(k * sps, sps), 0.0, /*up=*/false,
+                              ws, sv);
     const double floor = noise_floor(sv);
     pf.use_threshold = true;
     pf.threshold = opt_.peak_floor_ratio * floor;
@@ -220,7 +226,7 @@ void Detector::resolve_candidate(std::span<const cfloat> trace,
             static_cast<double>(trace.size())) {
           return;
         }
-        const double rel = relative_energy_at(trace, start, eps, bin, up);
+        const double rel = relative_energy_at(trace, start, eps, bin, up, ws);
         if (rel >= opt_.peak_floor_ratio) {
           ++score;
           strength += rel;
@@ -253,10 +259,17 @@ void Detector::resolve_candidate(std::span<const cfloat> trace,
 }
 
 std::vector<DetectedPacket> Detector::detect(std::span<const cfloat> trace) const {
+  thread_local lora::Workspace tls_ws;
+  return detect(trace, tls_ws);
+}
+
+std::vector<DetectedPacket> Detector::detect(std::span<const cfloat> trace,
+                                             lora::Workspace& ws) const {
+  ws.reserve(p_);
   std::vector<DetectedPacket> out;
-  const std::vector<Candidate> candidates = find_runs(trace);
+  const std::vector<Candidate> candidates = find_runs(trace, ws);
   for (const Candidate& cand : candidates) {
-    resolve_candidate(trace, cand, out);
+    resolve_candidate(trace, cand, ws, out);
   }
   std::sort(out.begin(), out.end(),
             [](const DetectedPacket& a, const DetectedPacket& b) {

@@ -51,7 +51,11 @@ class Detector {
 
   /// Detects all preambles in `trace`. Results are coarse (integer-sample
   /// timing, integer-bin CFO with interpolation refinement); feed them to
-  /// FracSync for the paper's step-4 refinement. Sorted by t0.
+  /// FracSync for the paper's step-4 refinement. Sorted by t0. `ws`
+  /// supplies all demodulation scratch (general slot 0 and SV slot 0 are
+  /// clobbered); the overload without one uses a per-thread workspace.
+  std::vector<DetectedPacket> detect(std::span<const cfloat> trace,
+                                     lora::Workspace& ws) const;
   std::vector<DetectedPacket> detect(std::span<const cfloat> trace) const;
 
  private:
@@ -62,17 +66,20 @@ class Detector {
     double mean_power = 0.0;
   };
 
-  std::vector<Candidate> find_runs(std::span<const cfloat> trace) const;
+  std::vector<Candidate> find_runs(std::span<const cfloat> trace,
+                                   lora::Workspace& ws) const;
 
   /// Steps 2+3 for one candidate; returns validated packets (possibly none).
   void resolve_candidate(std::span<const cfloat> trace, const Candidate& cand,
+                         lora::Workspace& ws,
                          std::vector<DetectedPacket>& out) const;
 
   /// Folded energy near `bin` (max over bin-1..bin+1, cyclic) of the signal
   /// vector of the window starting at `start`, relative to the vector
   /// median. `up` selects the dechirp reference.
   double relative_energy_at(std::span<const cfloat> trace, double start,
-                            double cfo_cycles, std::size_t bin, bool up) const;
+                            double cfo_cycles, std::size_t bin, bool up,
+                            lora::Workspace& ws) const;
 
   lora::Params p_;
   DetectorOptions opt_;

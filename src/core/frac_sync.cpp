@@ -11,6 +11,19 @@
 namespace tnb::rx {
 namespace {
 
+// Workspace general-slot layout used by FracSync (and only while a
+// FracSync call is running; slots are free for other components between
+// calls). Slot 0 holds a 10-window block — preamble spectra during
+// phase 1, extracted windows during phases 2/3; slot 1 is the per-symbol
+// small scratch (window in phase 1, spectrum in phases 2/3).
+constexpr std::size_t kSlotBlock = 0;
+constexpr std::size_t kSlotSmall = 1;
+constexpr std::size_t kSlotUpSum = 2;
+constexpr std::size_t kSlotDownSum = 3;
+
+/// Preamble windows entering Q: 8 upchirps plus the 2 full downchirps.
+constexpr std::size_t kQWindows = lora::kPreambleUpchirps + 2;
+
 /// Band-average power gain of the linear interpolator used for fractional
 /// window extraction, as a function of the sub-sample offset theta. Q must
 /// be normalized by this, or the interpolation loss (maximal at theta=0.5)
@@ -23,59 +36,113 @@ double interp_gain(double theta, unsigned osf) {
          2.0 * theta * (1.0 - theta) * band_mean_cos;
 }
 
+/// The inter-symbol phase rotation of preamble symbol m: the dechirped
+/// tone carries the CFO phase accumulated since the packet start
+/// (2 pi cfo m), and only a correction with the same global phase makes
+/// the coherent sum collapse unless cfo is exact — precisely the
+/// sensitivity Q relies on. dechirp_fft restarts its phasor per window,
+/// so the inter-symbol part is applied here.
+cfloat symbol_phase(double cfo, int m) {
+  const double ph = -kTwoPi * cfo * static_cast<double>(m);
+  return {static_cast<float>(std::cos(ph)), static_cast<float>(std::sin(ph))};
+}
+
+/// sum[k] += spec[k] * rot on float lanes — the same operation order as
+/// the scalar complex loop ((ac-bd, ad+bc), then component adds), written
+/// strided so it auto-vectorizes instead of calling __mulsc3 per element.
+void rotate_accumulate(const cfloat* spec, std::size_t n, cfloat rot,
+                       cfloat* sum) {
+  const float rr = rot.real();
+  const float ri = rot.imag();
+  const float* sf = reinterpret_cast<const float*>(spec);
+  float* af = reinterpret_cast<float*>(sum);
+  for (std::size_t i = 0; i < 2 * n; i += 2) {
+    const float sr = sf[i], si = sf[i + 1];
+    af[i] += sr * rr - si * ri;
+    af[i + 1] += sr * ri + si * rr;
+  }
+}
+
 }  // namespace
 
 FracSync::FracSync(lora::Params p) : p_(p), demod_(p) { p_.validate(); }
 
-double FracSync::q(std::span<const cfloat> trace, double t0, double cfo_cycles,
-                   double dt, double df, bool gate) const {
+void FracSync::extract_preamble(std::span<const cfloat> trace, double start,
+                                lora::Workspace& ws) const {
   const std::size_t sps = p_.sps();
-  const std::size_t n = p_.n_bins();
-  const double cfo = cfo_cycles + df;
-
-  std::vector<cfloat> window(sps);
-  std::vector<cfloat> up_sum(sps, cfloat{0.0f, 0.0f});
-  std::vector<cfloat> down_sum(sps, cfloat{0.0f, 0.0f});
-
-  // The correction must be phase-continuous across the whole preamble: the
-  // dechirped tone of symbol m carries the CFO phase accumulated since the
-  // packet start (2 pi cfo m), and only a correction with the same global
-  // phase makes the coherent sum collapse unless cfo is exact — which is
-  // precisely the sensitivity Q relies on. dechirp_fft restarts its phasor
-  // per window, so the inter-symbol part is applied here.
-  auto add_with_symbol_phase = [&](std::vector<cfloat>& sum,
-                                   std::vector<cfloat> spec, int m) {
-    const double ph = -kTwoPi * cfo * static_cast<double>(m);
-    const cfloat rot{static_cast<float>(std::cos(ph)),
-                     static_cast<float>(std::sin(ph))};
-    for (std::size_t k = 0; k < sps; ++k) sum[k] += spec[k] * rot;
-  };
+  auto& block = ws.iq_scratch(kSlotBlock);
+  block.resize(kQWindows * sps);
   for (int m = 0; m < static_cast<int>(lora::kPreambleUpchirps); ++m) {
-    const double start = t0 + dt + static_cast<double>(m) * static_cast<double>(sps);
-    extract_window(trace, start, window);
-    add_with_symbol_phase(up_sum, demod_.dechirp_fft(window, cfo, /*up=*/true), m);
+    extract_window(trace, start + static_cast<double>(m) * static_cast<double>(sps),
+                   std::span<cfloat>(block.data() + static_cast<std::size_t>(m) * sps, sps));
   }
   for (int m = 10; m <= 11; ++m) {
-    const double start = t0 + dt + static_cast<double>(m) * static_cast<double>(sps);
-    extract_window(trace, start, window);
-    add_with_symbol_phase(down_sum, demod_.dechirp_fft(window, cfo, /*up=*/false), m);
+    extract_window(trace, start + static_cast<double>(m) * static_cast<double>(sps),
+                   std::span<cfloat>(block.data() + static_cast<std::size_t>(m - 2) * sps, sps));
+  }
+}
+
+FracSync::QEval FracSync::eval_preamble(double theta, double cfo,
+                                        lora::Workspace& ws) const {
+  const std::size_t sps = p_.sps();
+  const cfloat* block = ws.iq_scratch(kSlotBlock).data();
+  auto& spec = ws.iq_scratch(kSlotSmall);
+  auto& up_sum = ws.iq_scratch(kSlotUpSum);
+  auto& down_sum = ws.iq_scratch(kSlotDownSum);
+  spec.resize(sps);
+  up_sum.assign(sps, cfloat{0.0f, 0.0f});
+  down_sum.assign(sps, cfloat{0.0f, 0.0f});
+
+  for (int m = 0; m < static_cast<int>(lora::kPreambleUpchirps); ++m) {
+    const std::span<const cfloat> win(
+        block + static_cast<std::size_t>(m) * sps, sps);
+    demod_.dechirp_fft_into(win, cfo, /*up=*/true, ws, spec);
+    rotate_accumulate(spec.data(), sps, symbol_phase(cfo, m), up_sum.data());
+  }
+  for (int m = 10; m <= 11; ++m) {
+    const std::span<const cfloat> win(
+        block + static_cast<std::size_t>(m - 2) * sps, sps);
+    demod_.dechirp_fft_into(win, cfo, /*up=*/false, ws, spec);
+    rotate_accumulate(spec.data(), sps, symbol_phase(cfo, m), down_sum.data());
   }
 
-  SignalVector up_sv, down_sv;
+  SignalVector& up_sv = ws.sv_scratch(0);
+  SignalVector& down_sv = ws.sv_scratch(1);
   demod_.fold(up_sum, up_sv);
   demod_.fold(down_sum, down_sv);
   const std::size_t up_peak = lora::Demodulator::argmax(up_sv);
   const std::size_t down_peak = lora::Demodulator::argmax(down_sv);
-  if (gate && (up_peak != 0 || down_peak != 0)) return 0.0;
-  (void)n;
-  const double gain = interp_gain(t0 + dt, p_.osf);
-  return (static_cast<double>(up_sv[up_peak]) +
-          static_cast<double>(down_sv[down_peak])) /
-         gain;
+  const double gain = interp_gain(theta, p_.osf);
+  QEval e;
+  e.value = (static_cast<double>(up_sv[up_peak]) +
+             static_cast<double>(down_sv[down_peak])) /
+            gain;
+  e.gate_pass = up_peak == 0 && down_peak == 0;
+  return e;
+}
+
+double FracSync::q(std::span<const cfloat> trace, double t0, double cfo_cycles,
+                   double dt, double df, bool gate) const {
+  thread_local lora::Workspace tls_ws;
+  lora::Workspace& ws = tls_ws;
+  ws.reserve(p_);
+  extract_preamble(trace, t0 + dt, ws);
+  const QEval e = eval_preamble(t0 + dt, cfo_cycles + df, ws);
+  if (gate && !e.gate_pass) return 0.0;
+  return e.value;
 }
 
 FracSyncResult FracSync::refine(std::span<const cfloat> trace, double t0,
                                 double cfo_cycles) const {
+  thread_local lora::Workspace tls_ws;
+  return refine(trace, t0, cfo_cycles, tls_ws);
+}
+
+FracSyncResult FracSync::refine(std::span<const cfloat> trace, double t0,
+                                double cfo_cycles, lora::Workspace& ws) const {
+  ws.reserve(p_);
+  const std::size_t sps = p_.sps();
+
   // Phase 1: df along dt = 0, from -1 to 0 in steps of 1/16 (17 points),
   // ungated Q. Finds the correct fractional CFO or one off by +/-1.
   //
@@ -85,61 +152,102 @@ FracSyncResult FracSync::refine(std::span<const cfloat> trace, double t0,
   // collapse off the correct-CFO line (the intra-symbol scalloping of df
   // affects all candidates' peaks almost equally and is ignored here;
   // phases 2-3 use the exact objective).
-  const std::size_t sps = p_.sps();
-  std::vector<std::vector<cfloat>> up_spec, down_spec;
+  auto& spectra = ws.iq_scratch(kSlotBlock);
+  spectra.resize(kQWindows * sps);
   {
-    std::vector<cfloat> window(sps);
+    auto& window = ws.iq_scratch(kSlotSmall);
+    window.resize(sps);
     for (int m = 0; m < static_cast<int>(lora::kPreambleUpchirps); ++m) {
       extract_window(trace, t0 + m * static_cast<double>(sps), window);
-      up_spec.push_back(demod_.dechirp_fft(window, cfo_cycles, true));
+      demod_.dechirp_fft_into(
+          window, cfo_cycles, /*up=*/true, ws,
+          std::span<cfloat>(spectra.data() + static_cast<std::size_t>(m) * sps, sps));
     }
     for (int m = 10; m <= 11; ++m) {
       extract_window(trace, t0 + m * static_cast<double>(sps), window);
-      down_spec.push_back(demod_.dechirp_fft(window, cfo_cycles, false));
+      demod_.dechirp_fft_into(
+          window, cfo_cycles, /*up=*/false, ws,
+          std::span<cfloat>(spectra.data() + static_cast<std::size_t>(m - 2) * sps, sps));
     }
   }
   double best_q = -1.0, df_star = 0.0;
-  std::vector<cfloat> up_sum(sps), down_sum(sps);
-  SignalVector up_sv, down_sv;
-  for (int i = 0; i <= 16; ++i) {
-    const double df = -1.0 + static_cast<double>(i) / 16.0;
-    std::fill(up_sum.begin(), up_sum.end(), cfloat{0.0f, 0.0f});
-    std::fill(down_sum.begin(), down_sum.end(), cfloat{0.0f, 0.0f});
-    auto rotate_add = [&](std::vector<cfloat>& sum,
-                          const std::vector<cfloat>& spec, int m) {
-      // Same phase-continuity as q(): the full correction (coarse + df)
-      // determines the inter-symbol rotation.
-      const double ph = -kTwoPi * (cfo_cycles + df) * static_cast<double>(m);
-      const cfloat rot{static_cast<float>(std::cos(ph)),
-                       static_cast<float>(std::sin(ph))};
-      for (std::size_t k = 0; k < sps; ++k) sum[k] += spec[k] * rot;
-    };
-    for (int m = 0; m < static_cast<int>(up_spec.size()); ++m) {
-      rotate_add(up_sum, up_spec[static_cast<std::size_t>(m)], m);
-    }
-    for (int m = 0; m < static_cast<int>(down_spec.size()); ++m) {
-      rotate_add(down_sum, down_spec[static_cast<std::size_t>(m)], 10 + m);
-    }
-    demod_.fold(up_sum, up_sv);
-    demod_.fold(down_sum, down_sv);
-    const double v =
-        static_cast<double>(up_sv[lora::Demodulator::argmax(up_sv)]) +
-        static_cast<double>(down_sv[lora::Demodulator::argmax(down_sv)]);
-    if (v > best_q) {
-      best_q = v;
-      df_star = df;
+  {
+    auto& up_sum = ws.iq_scratch(kSlotUpSum);
+    auto& down_sum = ws.iq_scratch(kSlotDownSum);
+    SignalVector& up_sv = ws.sv_scratch(0);
+    SignalVector& down_sv = ws.sv_scratch(1);
+    for (int i = 0; i <= 16; ++i) {
+      const double df = -1.0 + static_cast<double>(i) / 16.0;
+      up_sum.assign(sps, cfloat{0.0f, 0.0f});
+      down_sum.assign(sps, cfloat{0.0f, 0.0f});
+      // Same phase-continuity as eval_preamble: the full correction
+      // (coarse + df) determines the inter-symbol rotation.
+      for (int m = 0; m < static_cast<int>(lora::kPreambleUpchirps); ++m) {
+        rotate_accumulate(spectra.data() + static_cast<std::size_t>(m) * sps,
+                          sps, symbol_phase(cfo_cycles + df, m), up_sum.data());
+      }
+      for (int m = 10; m <= 11; ++m) {
+        rotate_accumulate(spectra.data() + static_cast<std::size_t>(m - 2) * sps,
+                          sps, symbol_phase(cfo_cycles + df, m), down_sum.data());
+      }
+      demod_.fold(up_sum, up_sv);
+      demod_.fold(down_sum, down_sv);
+      const double v =
+          static_cast<double>(up_sv[lora::Demodulator::argmax(up_sv)]) +
+          static_cast<double>(down_sv[lora::Demodulator::argmax(down_sv)]);
+      if (v > best_q) {
+        best_q = v;
+        df_star = df;
+      }
     }
   }
 
+  // Phases 2/3 run through a per-refine evaluation cache. Each (dt, df)
+  // point is the exact objective — computed once, remembered with its Q*
+  // gate verdict — and for a fixed dt the 10 extracted windows are shared
+  // across both CFO lines. The gated -> ungated fallback and the phase-3
+  // points that land back on the phase-2 grid are then pure cache hits.
+  struct CachedEval {
+    double dt, df;
+    QEval e;
+  };
+  std::vector<CachedEval> cache;
+  cache.reserve(2 * 5 + static_cast<std::size_t>(p_.osf) + 1);
+  double block_dt = 0.0;
+  bool block_valid = false;
+  auto eval_cached = [&](double dt, double df) -> QEval {
+    for (const CachedEval& c : cache) {
+      if (c.dt == dt && c.df == df) return c.e;
+    }
+    if (!block_valid || block_dt != dt) {
+      extract_preamble(trace, t0 + dt, ws);
+      block_dt = dt;
+      block_valid = true;
+    }
+    const QEval e = eval_preamble(t0 + dt, cfo_cycles + df, ws);
+    cache.push_back({dt, df, e});
+    return e;
+  };
+
   // Phase 2: 10 points of gated Q* on two CFO lines (df*, df*+1), dt from
-  // -1 to 1 receiver samples in steps of 1/2.
+  // -1 to 1 receiver samples in steps of 1/2. Evaluation is dt-major so
+  // each dt's windows are extracted once for both lines; the best point
+  // is then selected in the original line-major order, so exact ties
+  // resolve identically to the uncached search.
+  for (int i = -2; i <= 2; ++i) {
+    for (int line = 0; line < 2; ++line) {
+      eval_cached(static_cast<double>(i) / 2.0,
+                  df_star + static_cast<double>(line));
+    }
+  }
   double best_q2 = 0.0, dt_hat = 0.0, df_hat = df_star;
   bool gated = false;
   for (int line = 0; line < 2; ++line) {
     const double df = df_star + static_cast<double>(line);
     for (int i = -2; i <= 2; ++i) {
       const double dt = static_cast<double>(i) / 2.0;
-      const double v = q(trace, t0, cfo_cycles, dt, df, /*gate=*/true);
+      const QEval e = eval_cached(dt, df);
+      const double v = e.gate_pass ? e.value : 0.0;
       if (v > best_q2) {
         best_q2 = v;
         dt_hat = dt;
@@ -150,14 +258,14 @@ FracSyncResult FracSync::refine(std::span<const cfloat> trace, double t0,
   }
   if (!gated) {
     // The Q* gate never passed (heavy collision on the preamble): fall
-    // back to the ungated objective on the same grid.
+    // back to the ungated objective on the same grid — all cache hits.
     for (int line = 0; line < 2; ++line) {
       const double df = df_star + static_cast<double>(line);
       for (int i = -2; i <= 2; ++i) {
         const double dt = static_cast<double>(i) / 2.0;
-        const double v = q(trace, t0, cfo_cycles, dt, df, /*gate=*/false);
-        if (v > best_q2) {
-          best_q2 = v;
+        const QEval e = eval_cached(dt, df);
+        if (e.value > best_q2) {
+          best_q2 = e.value;
           dt_hat = dt;
           df_hat = df;
         }
@@ -166,12 +274,14 @@ FracSyncResult FracSync::refine(std::span<const cfloat> trace, double t0,
   }
 
   // Phase 3: OSF+1 points along dt in [dt_hat - 1/2, dt_hat + 1/2] at the
-  // chosen CFO line.
+  // chosen CFO line. The endpoints and midpoint revisit the phase-2 grid
+  // and hit the cache.
   double best_q3 = best_q2, dt_fin = dt_hat;
   for (unsigned i = 0; i <= p_.osf; ++i) {
     const double dt =
         dt_hat - 0.5 + static_cast<double>(i) / static_cast<double>(p_.osf);
-    const double v = q(trace, t0, cfo_cycles, dt, df_hat, gated);
+    const QEval e = eval_cached(dt, df_hat);
+    const double v = gated ? (e.gate_pass ? e.value : 0.0) : e.value;
     if (v > best_q3) {
       best_q3 = v;
       dt_fin = dt;

@@ -8,6 +8,17 @@
 // points, exploiting that Q is high along the correct-CFO line (possibly
 // off by +/-1 cycle) and that Q* (Q gated on the peaks being at location 1)
 // rejects the off-by-one lines.
+//
+// refine() runs the search through a per-refine evaluation cache: for a
+// fixed dt the 10 preamble windows are extracted once and shared across
+// both CFO lines, and each evaluated (dt, df) point stores both its
+// ungated value and its Q* gate verdict — so the gated -> ungated fallback
+// and the phase-3 points that revisit the phase-2 grid cost nothing. The
+// cache is bit-exact: every point is still the exact objective (spectra
+// are keyed by the full CFO including df, never approximated), and ties
+// are resolved in the original search order, so refine() returns exactly
+// what an uncached grid search over q() returns (pinned by
+// tests/test_demod_workspace.cpp).
 #pragma once
 
 #include <span>
@@ -30,7 +41,12 @@ class FracSync {
   explicit FracSync(lora::Params p);
 
   /// Refines (t0, cfo) of a coarsely-synchronized packet whose preamble
-  /// starts at `t0` in `trace`. Add the returned dt/df to the coarse values.
+  /// starts at `t0` in `trace`. Add the returned dt/df to the coarse
+  /// values. `ws` supplies all scratch (general slots 0-3 and SV slots
+  /// 0-1 are clobbered); the overload without one uses a per-thread
+  /// workspace.
+  FracSyncResult refine(std::span<const cfloat> trace, double t0,
+                        double cfo_cycles, lora::Workspace& ws) const;
   FracSyncResult refine(std::span<const cfloat> trace, double t0,
                         double cfo_cycles) const;
 
@@ -41,6 +57,23 @@ class FracSync {
            double dt, double df, bool gate) const;
 
  private:
+  /// One exact objective evaluation: the ungated value plus the Q* gate
+  /// verdict, so a single computation serves both gatings.
+  struct QEval {
+    double value = 0.0;
+    bool gate_pass = false;
+  };
+
+  /// Extracts the 10 preamble windows (8 up, 2 down) starting at `start`
+  /// (= t0 + dt) into the workspace window block.
+  void extract_preamble(std::span<const cfloat> trace, double start,
+                        lora::Workspace& ws) const;
+
+  /// Evaluates the objective from the extracted window block at the full
+  /// CFO correction `cfo` (= coarse + df); `theta` (= t0 + dt) selects the
+  /// interpolation-gain normalization.
+  QEval eval_preamble(double theta, double cfo, lora::Workspace& ws) const;
+
   lora::Params p_;
   lora::Demodulator demod_;
 };

@@ -42,20 +42,28 @@ SigCalc::SigCalc(const lora::Params& p,
   }
 }
 
-SignalVector SigCalc::vector_at(double window_start, double cfo_cycles,
-                                bool up) const {
+void SigCalc::vector_at_into(double window_start, double cfo_cycles, bool up,
+                             SignalVector& out) const {
   const std::size_t sps = p_.sps();
-  std::vector<cfloat> window(sps);
-  SignalVector sum;
+  ws_.reserve(p_);
+  auto& window = ws_.iq_scratch(0);
+  window.resize(sps);
   for (std::size_t a = 0; a < antennas_.size(); ++a) {
     extract_window(antennas_[a], window_start, window);
-    SignalVector sv = demod_.signal_vector(window, cfo_cycles, up);
     if (a == 0) {
-      sum = std::move(sv);
+      demod_.signal_vector_into(window, cfo_cycles, up, ws_, out);
     } else {
-      for (std::size_t i = 0; i < sum.size(); ++i) sum[i] += sv[i];
+      SignalVector& sv = ws_.sv_scratch(0);
+      demod_.signal_vector_into(window, cfo_cycles, up, ws_, sv);
+      for (std::size_t i = 0; i < out.size(); ++i) out[i] += sv[i];
     }
   }
+}
+
+SignalVector SigCalc::vector_at(double window_start, double cfo_cycles,
+                                bool up) const {
+  SignalVector sum;
+  vector_at_into(window_start, cfo_cycles, up, sum);
   return sum;
 }
 
@@ -67,10 +75,11 @@ const SymbolView& SigCalc::data_symbol(int pkt_index, const PacketContext& ctx,
 
   const obs::ScopedSpan span(sigcalc_hist_);
   SymbolView view;
-  view.sv = vector_at(ctx.data_symbol_start(d), ctx.cfo_cycles(), /*up=*/true);
+  vector_at_into(ctx.data_symbol_start(d), ctx.cfo_cycles(), /*up=*/true,
+                 view.sv);
   {
-    std::vector<double> tmp(view.sv.begin(), view.sv.end());
-    view.median = dsp::median_of(tmp);
+    median_scratch_.assign(view.sv.begin(), view.sv.end());
+    view.median = dsp::median_of(median_scratch_);
   }
   dsp::PeakFinderOptions pf;
   pf.circular = true;
@@ -90,9 +99,12 @@ std::vector<double> SigCalc::preamble_heights(const PacketContext& ctx) const {
   std::vector<double> heights;
   heights.reserve(lora::kPreambleUpchirps);
   const double sps = static_cast<double>(p_.sps());
+  // Keeps the full-vector float path (not folded_power_at, which sums in
+  // double) so the heights stay bit-identical to the original by-value code.
+  SignalVector& sv = ws_.sv_scratch(1);
   for (std::size_t m = 0; m < lora::kPreambleUpchirps; ++m) {
-    const SignalVector sv = vector_at(ctx.t0() + static_cast<double>(m) * sps,
-                                      ctx.cfo_cycles(), /*up=*/true);
+    vector_at_into(ctx.t0() + static_cast<double>(m) * sps, ctx.cfo_cycles(),
+                   /*up=*/true, sv);
     heights.push_back(static_cast<double>(sv[0]));
   }
   return heights;

@@ -108,11 +108,21 @@ class SigCalc {
   static constexpr std::size_t kMaxPeaks = 32;
 
  private:
+  /// Zero-allocation core of `vector_at`: writes the summed signal vector
+  /// into `out` using the member workspace for all scratch.
+  void vector_at_into(double window_start, double cfo_cycles, bool up,
+                      SignalVector& out) const;
+
   lora::Params p_;
   std::vector<std::span<const cfloat>> antennas_;
   lora::Demodulator demod_;
   std::map<std::pair<int, int>, SymbolView> cache_;
   obs::HistogramRef sigcalc_hist_;
+  /// SigCalc is used from one thread at a time (like the cache); the
+  /// workspace and median scratch make repeat symbol computations
+  /// allocation-free. Mutable: scratch, not state.
+  mutable lora::Workspace ws_;
+  mutable std::vector<double> median_scratch_;
 };
 
 }  // namespace tnb::rx

@@ -110,6 +110,7 @@ std::vector<DetectedPacket> Receiver::detect(
   if (antennas.empty() || antennas[0].empty()) return detections;
   const Detector detector(p_, opt_.detector);
   const FracSync fsync(p_);
+  lora::Workspace ws(p_);  // one workspace serves the whole detection pass
 
   // Detect on every antenna: a packet faded on one antenna during its
   // preamble is often clean on another (the diversity TnB2ant relies on).
@@ -117,12 +118,12 @@ std::vector<DetectedPacket> Receiver::detect(
     std::vector<DetectedPacket> found;
     {
       const obs::ScopedSpan span(obs_.stages.detect);
-      found = detector.detect(ant);
+      found = detector.detect(ant, ws);
     }
     if (opt_.use_frac_sync) {
       const obs::ScopedSpan span(obs_.stages.frac_sync);
       for (DetectedPacket& det : found) {
-        const FracSyncResult r = fsync.refine(ant, det.t0, det.cfo_cycles);
+        const FracSyncResult r = fsync.refine(ant, det.t0, det.cfo_cycles, ws);
         // Only trust the refinement when the Q* gate confirmed it: with a
         // heavily collided preamble the ungated fallback can be steered by
         // an interferer, and the coarse estimate is then the safer choice.

@@ -1,10 +1,10 @@
 #include "dsp/fft.hpp"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <cmath>
-#include <map>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 
 #include "common/math_util.hpp"
@@ -49,18 +49,32 @@ void FftPlan::transform(std::span<cfloat> data, bool inverse) const {
     if (i < j) std::swap(a[i], a[j]);
   }
 
+  // Butterflies on float lanes. The explicit real/imag form keeps the
+  // exact operation order of the std::complex butterfly it replaced —
+  // (ac-bd, ad+bc) for the twiddle product, then componentwise add/sub —
+  // but drops the NaN-recovery branch std::complex multiplication inlines
+  // to, which blocks auto-vectorization of the stage loop (DESIGN.md
+  // "Hot-path kernels"). std::complex guarantees (re, im) array layout.
   const std::vector<cfloat>& tw = inverse ? twiddle_inv_ : twiddle_fwd_;
+  const float* twf = reinterpret_cast<const float*>(tw.data());
+  float* af = reinterpret_cast<float*>(a);
   for (std::size_t len = 2; len <= n_; len <<= 1) {
     const std::size_t half = len >> 1;
     const std::size_t step = n_ / len;  // twiddle stride for this stage
     for (std::size_t block = 0; block < n_; block += len) {
       std::size_t tw_idx = 0;
-      for (std::size_t k = 0; k < half; ++k, tw_idx += step) {
-        const cfloat w = tw[tw_idx];
-        const cfloat u = a[block + k];
-        const cfloat v = a[block + k + half] * w;
-        a[block + k] = u + v;
-        a[block + k + half] = u - v;
+      float* lo = af + 2 * block;
+      float* hi = af + 2 * (block + half);
+      for (std::size_t k = 0; k < 2 * half; k += 2, tw_idx += 2 * step) {
+        const float wr = twf[tw_idx], wi = twf[tw_idx + 1];
+        const float br = hi[k], bi = hi[k + 1];
+        const float vr = br * wr - bi * wi;
+        const float vi = br * wi + bi * wr;
+        const float ur = lo[k], ui = lo[k + 1];
+        lo[k] = ur + vr;
+        lo[k + 1] = ui + vi;
+        hi[k] = ur - vr;
+        hi[k + 1] = ui - vi;
       }
     }
   }
@@ -85,15 +99,42 @@ void FftPlan::forward(std::span<const cfloat> in, std::span<cfloat> out) const {
   transform(out, false);
 }
 
+namespace {
+
+/// Largest supported log2 size of the shared plan cache. TnB transforms
+/// are at most 2^SF * OSF = 2^12 * 8 = 2^15; 2^24 leaves generous room.
+constexpr unsigned kMaxPlanLog2 = 24;
+
+}  // namespace
+
 const FftPlan& fft_plan(std::size_t n) {
-  static std::mutex mutex;
-  static std::map<std::size_t, std::unique_ptr<FftPlan>> cache;
-  std::lock_guard<std::mutex> lock(mutex);
-  auto it = cache.find(n);
-  if (it == cache.end()) {
-    it = cache.emplace(n, std::make_unique<FftPlan>(n)).first;
+  // Lock-free lookup: one atomic plan pointer per power-of-two size,
+  // indexed by log2(n). Steady state is a single acquire load, so
+  // concurrent decodes (--jobs, the streaming pipeline) never contend.
+  // On a first-use race both threads build a plan and the CAS loser
+  // discards its copy — plans are immutable and cheap relative to the
+  // transforms they serve. Published plans live for the process.
+  static std::array<std::atomic<const FftPlan*>, kMaxPlanLog2 + 1> cache{};
+
+  if (!is_pow2(n)) {
+    throw std::invalid_argument("fft_plan: size must be a power of two");
   }
-  return *it->second;
+  const unsigned l = log2_pow2(n);
+  if (l > kMaxPlanLog2) {
+    throw std::invalid_argument("fft_plan: size exceeds 2^24");
+  }
+  std::atomic<const FftPlan*>& slot = cache[l];
+  const FftPlan* plan = slot.load(std::memory_order_acquire);
+  if (plan != nullptr) return *plan;
+
+  auto fresh = std::make_unique<const FftPlan>(n);
+  const FftPlan* expected = nullptr;
+  if (slot.compare_exchange_strong(expected, fresh.get(),
+                                   std::memory_order_acq_rel,
+                                   std::memory_order_acquire)) {
+    return *fresh.release();
+  }
+  return *expected;
 }
 
 void fft_inplace(std::span<cfloat> data) { fft_plan(data.size()).forward(data); }

@@ -47,7 +47,11 @@ class FftPlan {
 };
 
 /// Returns a shared plan for length `n`, creating it on first use.
-/// Thread-safe. Plans live for the lifetime of the process.
+/// Thread-safe and lock-free: the cache is a fixed array of atomic plan
+/// pointers indexed by log2(n), so the steady-state lookup is one acquire
+/// load and concurrent callers never contend (DESIGN.md "Hot-path
+/// kernels"). Plans live for the lifetime of the process. Throws
+/// std::invalid_argument unless `n` is a power of two no larger than 2^24.
 const FftPlan& fft_plan(std::size_t n);
 
 /// Convenience wrappers over the plan cache.

@@ -4,16 +4,89 @@
 // two spectral images of each tone (an artifact of oversampling by OSF)
 // folded together, yielding a 2^SF-long power vector with a peak at the
 // transmitted cyclic shift (paper Section 3, Fig. 1).
+//
+// Two API levels (DESIGN.md "Hot-path kernels"):
+//  - `dechirp_fft_into` / `signal_vector_into` are the zero-allocation
+//    kernels: they write into caller-owned buffers and draw all scratch
+//    (FFT buffer, per-CFO phasor tables) from a `Workspace`, so the
+//    steady-state decode loop performs no heap allocations per symbol.
+//  - `dechirp_fft` / `signal_vector` / `demod_value` are thin by-value
+//    wrappers over the kernels using a per-thread workspace; both levels
+//    produce bit-identical results.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "common/aligned.hpp"
 #include "common/types.hpp"
 #include "lora/params.hpp"
 
 namespace tnb::lora {
+
+/// Caller-owned scratch for the demodulation kernels.
+///
+/// Holds the FFT buffer and a small cache of precomputed CFO phasor
+/// tables keyed by (cfo, sps) — the per-sample rotation sequence is
+/// identical for every window demodulated at the same CFO, so the
+/// sequential phasor recurrence runs once per distinct CFO instead of
+/// once per symbol. All storage is 64-byte aligned (common/aligned.hpp).
+///
+/// A workspace is NOT thread-safe: use one per thread (the receiver
+/// pipeline threads one through Detector, FracSync, SigCalc and
+/// StreamingReceiver). Buffers grow on demand and are retained, so a warm
+/// workspace allocates nothing.
+class Workspace {
+ public:
+  Workspace() = default;
+  explicit Workspace(const Params& p) { reserve(p); }
+
+  /// Pre-sizes the kernel scratch for `p` (no-op when already sized).
+  /// Kernels call this implicitly; calling it up front moves the one-time
+  /// allocations out of the hot path.
+  void reserve(const Params& p);
+
+  /// Samples per symbol the kernel scratch is currently sized for.
+  std::size_t sps() const { return sps_; }
+
+  /// General-purpose caller scratch, never touched by the kernels:
+  /// components (FracSync, Detector, SigCalc) keep their window and
+  /// accumulator buffers here so one workspace serves a whole pipeline.
+  /// Contents persist between kernel calls; sizing is the caller's job.
+  static constexpr std::size_t kIqSlots = 4;
+  static constexpr std::size_t kSvSlots = 2;
+  common::aligned_vector<cfloat>& iq_scratch(std::size_t slot) {
+    return iq_slots_[slot];
+  }
+  SignalVector& sv_scratch(std::size_t slot) { return sv_slots_[slot]; }
+
+ private:
+  friend class Demodulator;
+
+  /// One cached phasor table: rot_i = e^{-j 2 pi cfo i / sps} built with
+  /// the exact incremental recurrence (including the periodic
+  /// renormalization) of the scalar loop it replaces, so applying the
+  /// table is bit-identical to rotating incrementally.
+  struct Phasor {
+    double cfo = 0.0;
+    std::uint64_t stamp = 0;  ///< LRU clock; 0 = slot unused
+    common::aligned_vector<cfloat> table;
+  };
+
+  /// Phasor table for `cfo_cycles`, building and caching it on a miss.
+  /// The returned pointer stays valid until 8 other CFOs displace it.
+  const cfloat* phasor(double cfo_cycles, std::size_t sps);
+
+  std::size_t sps_ = 0;
+  common::aligned_vector<cfloat> spectrum_;  ///< kernel FFT scratch
+  SignalVector sv_;                          ///< demod_value scratch
+  std::array<Phasor, 8> phasors_;
+  std::uint64_t stamp_ = 0;
+  std::array<common::aligned_vector<cfloat>, kIqSlots> iq_slots_;
+  std::array<SignalVector, kSvSlots> sv_slots_;
+};
 
 class Demodulator {
  public:
@@ -29,9 +102,22 @@ class Demodulator {
   std::vector<cfloat> dechirp_fft(std::span<const cfloat> window,
                                   double cfo_cycles, bool up = true) const;
 
+  /// Zero-allocation form of `dechirp_fft`: dechirps `window` into `out`
+  /// (which must be sps long), zero-pads, and transforms in place. `ws`
+  /// supplies the cached phasor table; `out` may be any writable storage
+  /// (including a `ws.iq_scratch` slot).
+  void dechirp_fft_into(std::span<const cfloat> window, double cfo_cycles,
+                        bool up, Workspace& ws, std::span<cfloat> out) const;
+
   /// Folded power signal vector (length 2^SF).
   SignalVector signal_vector(std::span<const cfloat> window,
                              double cfo_cycles, bool up = true) const;
+
+  /// Zero-allocation form of `signal_vector`: computes the spectrum into
+  /// the workspace FFT buffer and folds it into `out` (resized to 2^SF
+  /// only when its length differs).
+  void signal_vector_into(std::span<const cfloat> window, double cfo_cycles,
+                          bool up, Workspace& ws, SignalVector& out) const;
 
   /// Folds an sps-long complex spectrum into the 2^SF-long power vector:
   /// out[k] = |X[k]|^2 + |X[k + N*(OSF-1)]|^2.
@@ -47,7 +133,14 @@ class Demodulator {
   std::uint32_t demod_value(std::span<const cfloat> window,
                             double cfo_cycles) const;
 
+  /// Zero-allocation form of `demod_value` (uses workspace scratch).
+  std::uint32_t demod_value(std::span<const cfloat> window,
+                            double cfo_cycles, Workspace& ws) const;
+
  private:
+  /// Per-thread workspace backing the by-value wrapper methods.
+  Workspace& scratch() const;
+
   Params p_;
   std::vector<cfloat> downchirp_;  // conj(C), oversampled
   std::vector<cfloat> upchirp_;    // C, oversampled

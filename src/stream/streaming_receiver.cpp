@@ -50,7 +50,8 @@ StreamingReceiver::StreamingReceiver(lora::Params p, rx::ReceiverOptions ropt,
       sopt_(sopt),
       rx_(p, ropt),
       live_detector_(p, liveness_options(ropt.detector)),
-      demod_(p) {
+      demod_(p),
+      ws_(p) {
   p_.validate();
   const std::size_t sps = p_.sps();
   // The tail guard must cover a full preamble (12.25 T) plus the detector's
@@ -172,7 +173,7 @@ void StreamingReceiver::scan_new_detections() {
   }
   const std::span<const cfloat> region(buf_.data() + (scan_start - base_),
                                        buf_.size() - (scan_start - base_));
-  const std::vector<rx::DetectedPacket> dets = live_detector_.detect(region);
+  const std::vector<rx::DetectedPacket> dets = live_detector_.detect(region, ws_);
   const double t_tol = 1.25 * static_cast<double>(sps);
   for (const rx::DetectedPacket& det : dets) {
     const double t0g = static_cast<double>(scan_start) + det.t0;
@@ -221,7 +222,7 @@ void StreamingReceiver::refine_live_spans() {
       const std::size_t len =
           std::min<std::size_t>(p_.sps(), buf_.size() - w);
       hs[d] = demod_.demod_value(std::span<const cfloat>(buf_.data() + w, len),
-                                 lp.cfo_cycles);
+                                 lp.cfo_cycles, ws_);
     }
     const std::optional<lora::Header> hdr = lora::decode_header_default(p_, hs);
     if (!hdr.has_value() || hdr->cr < 1 || hdr->cr > 4) continue;

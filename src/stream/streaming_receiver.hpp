@@ -136,6 +136,7 @@ class StreamingReceiver {
   rx::Receiver rx_;
   rx::Detector live_detector_;  ///< more permissive gate; cut safety only
   lora::Demodulator demod_;     ///< header demod for span refinement
+  lora::Workspace ws_;          ///< scratch for live detection + header demod
 
   IqBuffer buf_;                ///< assembly window
   std::size_t base_ = 0;        ///< global offset of buf_[0]; multiple of sps

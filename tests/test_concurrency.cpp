@@ -3,6 +3,7 @@
 // produce the same results as sequential decodes.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <thread>
 
 #include "common/rng.hpp"
@@ -49,6 +50,49 @@ TEST(Concurrency, PlanCacheUnderConcurrentCreation) {
   for (int t = 1; t < 8; t += 2) {
     EXPECT_EQ(plans[static_cast<std::size_t>(t)], plans[1]);
   }
+}
+
+TEST(Concurrency, PlanCacheLockFreeHammerMixedSizes) {
+  // 16 threads hammering the lock-free plan cache with mixed sizes,
+  // including the first-use CAS races: every thread must observe the same
+  // plan pointer per size (exactly one plan wins per slot), and repeated
+  // lookups must stay stable. Runs under the TSan CI job.
+  constexpr int kThreads = 16;
+  constexpr unsigned kLo = 6, kHi = 15;  // 2^6 .. 2^15
+  constexpr int kRounds = 200;
+  std::vector<std::array<const dsp::FftPlan*, kHi - kLo + 1>> seen(kThreads);
+  for (auto& s : seen) s.fill(nullptr);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &seen] {
+      for (int round = 0; round < kRounds; ++round) {
+        // Each thread walks the sizes in a different order.
+        for (unsigned i = 0; i <= kHi - kLo; ++i) {
+          const unsigned l = kLo + (i + static_cast<unsigned>(t)) % (kHi - kLo + 1);
+          const dsp::FftPlan& plan = dsp::fft_plan(std::size_t{1} << l);
+          ASSERT_EQ(plan.size(), std::size_t{1} << l);
+          const dsp::FftPlan*& slot =
+              seen[static_cast<std::size_t>(t)][l - kLo];
+          if (slot == nullptr) {
+            slot = &plan;
+          } else {
+            ASSERT_EQ(slot, &plan);  // pointer stable across lookups
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (unsigned i = 0; i <= kHi - kLo; ++i) {
+    for (int t = 1; t < kThreads; ++t) {
+      EXPECT_EQ(seen[static_cast<std::size_t>(t)][i], seen[0][i])
+          << "size 2^" << (kLo + i);
+    }
+  }
+  // Contract violations stay exceptions, not UB, under the lock-free path.
+  EXPECT_THROW(dsp::fft_plan(1000), std::invalid_argument);
+  EXPECT_THROW(dsp::fft_plan(std::size_t{1} << 25), std::invalid_argument);
 }
 
 TEST(Concurrency, ParallelDecodesMatchSequential) {

@@ -1,0 +1,351 @@
+// Pins the bit-identity contract of the zero-allocation demodulation
+// kernels (DESIGN.md "Hot-path kernels"):
+//  - dechirp_fft / signal_vector (by-value) vs the *_into workspace kernels,
+//  - FracSync::refine with its per-refine evaluation cache vs a reference
+//    reimplementation of the uncached three-phase search,
+//  - zero heap allocations in a warm workspace's steady-state demod loop,
+//  - fold() reusing a correctly-sized output without churn.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <vector>
+
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+#include "core/frac_sync.hpp"
+#include "core/window.hpp"
+#include "lora/chirp.hpp"
+#include "lora/demodulator.hpp"
+#include "lora/frame.hpp"
+#include "lora/modulator.hpp"
+
+using namespace tnb;
+
+// ---------------------------------------------------------------------------
+// Global allocation counter. Every operator new in this binary bumps it, so
+// a test can assert that a region of code performs no heap allocations.
+// malloc/free back the storage (they satisfy any fundamental alignment we
+// use via the padding trick for the aligned overloads).
+namespace {
+
+std::atomic<std::size_t> g_alloc_count{0};
+
+void* counted_alloc(std::size_t size, std::size_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (align <= alignof(std::max_align_t)) {
+    if (void* p = std::malloc(size != 0 ? size : 1)) return p;
+  } else {
+    void* p = nullptr;
+    // aligned_alloc needs size to be a multiple of align.
+    const std::size_t padded = (size + align - 1) / align * align;
+    p = std::aligned_alloc(align, padded != 0 ? padded : align);
+    if (p != nullptr) return p;
+  }
+  throw std::bad_alloc();
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  return counted_alloc(size, alignof(std::max_align_t));
+}
+void* operator new[](std::size_t size) {
+  return counted_alloc(size, alignof(std::max_align_t));
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_alloc(size, static_cast<std::size_t>(align));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+lora::Params make_params(unsigned sf, unsigned osf) {
+  return lora::Params{.sf = sf, .cr = 4, .bandwidth_hz = 125e3, .osf = osf};
+}
+
+// --- by-value wrappers vs workspace kernels -------------------------------
+
+TEST(DemodWorkspace, DechirpFftMatchesByValue) {
+  Rng rng(11);
+  for (const unsigned sf : {8u, 10u, 12u}) {
+    for (const unsigned osf : {1u, 8u}) {
+      const lora::Params p = make_params(sf, osf);
+      const lora::Demodulator demod(p);
+      lora::Workspace ws(p);
+      const std::size_t sps = p.sps();
+      std::vector<cfloat> window(sps);
+      for (auto& v : window) v = rng.complex_normal();
+      std::vector<cfloat> out(sps);
+      for (int trial = 0; trial < 4; ++trial) {
+        const double cfo = rng.uniform(-3.0, 3.0);
+        const bool up = (trial % 2) == 0;
+        // Partial (zero-padded) window on the last trial.
+        const std::size_t len = trial == 3 ? sps - sps / 3 : sps;
+        const std::span<const cfloat> win(window.data(), len);
+        const std::vector<cfloat> ref = demod.dechirp_fft(win, cfo, up);
+        demod.dechirp_fft_into(win, cfo, up, ws, out);
+        ASSERT_EQ(ref.size(), out.size());
+        ASSERT_EQ(0, std::memcmp(ref.data(), out.data(),
+                                 ref.size() * sizeof(cfloat)))
+            << "sf=" << sf << " osf=" << osf << " trial=" << trial;
+      }
+    }
+  }
+}
+
+TEST(DemodWorkspace, SignalVectorMatchesByValue) {
+  Rng rng(12);
+  for (const unsigned sf : {8u, 10u, 12u}) {
+    for (const unsigned osf : {1u, 8u}) {
+      const lora::Params p = make_params(sf, osf);
+      const lora::Demodulator demod(p);
+      lora::Workspace ws(p);
+      const auto sym = lora::make_upchirp(p, 42 % p.n_bins());
+      SignalVector out;
+      for (int trial = 0; trial < 4; ++trial) {
+        const double cfo = rng.uniform(-3.0, 3.0);
+        const SignalVector ref = demod.signal_vector(sym, cfo);
+        demod.signal_vector_into(sym, cfo, /*up=*/true, ws, out);
+        ASSERT_EQ(ref.size(), out.size());
+        ASSERT_EQ(0, std::memcmp(ref.data(), out.data(),
+                                 ref.size() * sizeof(float)))
+            << "sf=" << sf << " osf=" << osf << " cfo=" << cfo;
+      }
+    }
+  }
+}
+
+TEST(DemodWorkspace, FoldReusesCorrectlySizedOutput) {
+  const lora::Params p = make_params(8, 4);
+  const lora::Demodulator demod(p);
+  Rng rng(13);
+  std::vector<cfloat> spec(p.sps());
+  for (auto& v : spec) v = rng.complex_normal();
+  SignalVector a, b;
+  demod.fold(spec, a);
+  b.resize(p.n_bins());
+  const float* data_before = b.data();
+  const std::size_t cap_before = b.capacity();
+  demod.fold(spec, b);
+  EXPECT_EQ(data_before, b.data());
+  EXPECT_EQ(cap_before, b.capacity());
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(float)));
+}
+
+// --- steady-state allocation freedom --------------------------------------
+
+TEST(DemodWorkspace, WarmWorkspaceDemodAllocatesNothing) {
+  const lora::Params p = make_params(10, 4);
+  const lora::Demodulator demod(p);
+  lora::Workspace ws(p);
+  const auto sym = lora::make_upchirp(p, 100);
+  SignalVector out;
+  out.resize(p.n_bins());
+  // Warm-up: size every buffer and populate the phasor cache for both CFOs.
+  demod.signal_vector_into(sym, 0.25, /*up=*/true, ws, out);
+  demod.signal_vector_into(sym, -1.5, /*up=*/true, ws, out);
+  (void)demod.demod_value(sym, 0.25, ws);
+
+  const std::size_t before = g_alloc_count.load(std::memory_order_relaxed);
+  for (int i = 0; i < 64; ++i) {
+    demod.signal_vector_into(sym, i % 2 == 0 ? 0.25 : -1.5, /*up=*/true, ws,
+                             out);
+    (void)demod.demod_value(sym, 0.25, ws);
+  }
+  const std::size_t after = g_alloc_count.load(std::memory_order_relaxed);
+  EXPECT_EQ(before, after)
+      << "steady-state demod loop performed " << (after - before)
+      << " heap allocations";
+}
+
+// --- FracSync: cached refine vs reference uncached search ------------------
+
+/// Reference reimplementation of the uncached three-phase refine() exactly
+/// as it was originally written: phase 1 with by-value dechirp_fft and
+/// std::complex rotate-and-add, phases 2/3 as a plain grid search over the
+/// public exact objective q(). Production refine() must return bit-equal
+/// results through its evaluation cache.
+rx::FracSyncResult reference_refine(const lora::Params& p,
+                                    const rx::FracSync& fsync,
+                                    std::span<const cfloat> trace, double t0,
+                                    double cfo_cycles) {
+  const std::size_t sps = p.sps();
+  const lora::Demodulator demod(p);
+  std::vector<std::vector<cfloat>> up_spec, down_spec;
+  {
+    std::vector<cfloat> window(sps);
+    for (int m = 0; m < static_cast<int>(lora::kPreambleUpchirps); ++m) {
+      rx::extract_window(trace, t0 + m * static_cast<double>(sps), window);
+      up_spec.push_back(demod.dechirp_fft(window, cfo_cycles, true));
+    }
+    for (int m = 10; m <= 11; ++m) {
+      rx::extract_window(trace, t0 + m * static_cast<double>(sps), window);
+      down_spec.push_back(demod.dechirp_fft(window, cfo_cycles, false));
+    }
+  }
+  double best_q = -1.0, df_star = 0.0;
+  std::vector<cfloat> up_sum(sps), down_sum(sps);
+  SignalVector up_sv, down_sv;
+  for (int i = 0; i <= 16; ++i) {
+    const double df = -1.0 + static_cast<double>(i) / 16.0;
+    std::fill(up_sum.begin(), up_sum.end(), cfloat{0.0f, 0.0f});
+    std::fill(down_sum.begin(), down_sum.end(), cfloat{0.0f, 0.0f});
+    auto rotate_add = [&](std::vector<cfloat>& sum,
+                          const std::vector<cfloat>& spec, int m) {
+      const double ph = -kTwoPi * (cfo_cycles + df) * static_cast<double>(m);
+      const cfloat rot{static_cast<float>(std::cos(ph)),
+                       static_cast<float>(std::sin(ph))};
+      for (std::size_t k = 0; k < sps; ++k) sum[k] += spec[k] * rot;
+    };
+    for (int m = 0; m < static_cast<int>(up_spec.size()); ++m) {
+      rotate_add(up_sum, up_spec[static_cast<std::size_t>(m)], m);
+    }
+    for (int m = 0; m < static_cast<int>(down_spec.size()); ++m) {
+      rotate_add(down_sum, down_spec[static_cast<std::size_t>(m)], 10 + m);
+    }
+    demod.fold(up_sum, up_sv);
+    demod.fold(down_sum, down_sv);
+    const double v =
+        static_cast<double>(up_sv[lora::Demodulator::argmax(up_sv)]) +
+        static_cast<double>(down_sv[lora::Demodulator::argmax(down_sv)]);
+    if (v > best_q) {
+      best_q = v;
+      df_star = df;
+    }
+  }
+
+  double best_q2 = 0.0, dt_hat = 0.0, df_hat = df_star;
+  bool gated = false;
+  for (int line = 0; line < 2; ++line) {
+    const double df = df_star + static_cast<double>(line);
+    for (int i = -2; i <= 2; ++i) {
+      const double dt = static_cast<double>(i) / 2.0;
+      const double v = fsync.q(trace, t0, cfo_cycles, dt, df, /*gate=*/true);
+      if (v > best_q2) {
+        best_q2 = v;
+        dt_hat = dt;
+        df_hat = df;
+        gated = true;
+      }
+    }
+  }
+  if (!gated) {
+    for (int line = 0; line < 2; ++line) {
+      const double df = df_star + static_cast<double>(line);
+      for (int i = -2; i <= 2; ++i) {
+        const double dt = static_cast<double>(i) / 2.0;
+        const double v = fsync.q(trace, t0, cfo_cycles, dt, df, /*gate=*/false);
+        if (v > best_q2) {
+          best_q2 = v;
+          dt_hat = dt;
+          df_hat = df;
+        }
+      }
+    }
+  }
+
+  double best_q3 = best_q2, dt_fin = dt_hat;
+  for (unsigned i = 0; i <= p.osf; ++i) {
+    const double dt =
+        dt_hat - 0.5 + static_cast<double>(i) / static_cast<double>(p.osf);
+    const double v = fsync.q(trace, t0, cfo_cycles, dt, df_hat, gated);
+    if (v > best_q3) {
+      best_q3 = v;
+      dt_fin = dt;
+    }
+  }
+
+  rx::FracSyncResult r;
+  r.dt = dt_fin;
+  r.df = df_hat;
+  r.q = best_q3;
+  r.gated = gated;
+  return r;
+}
+
+/// Builds a trace with two collided packets and returns it; t0s/cfos get
+/// the ground-truth placement of each packet.
+IqBuffer make_collided_trace(const lora::Params& p, std::vector<double>& t0s,
+                             std::vector<double>& cfos) {
+  const lora::Modulator mod(p);
+  std::vector<std::uint8_t> app(10, 0x3C);
+  const auto symbols = lora::make_packet_symbols(p, app);
+  const double sps = static_cast<double>(p.sps());
+  IqBuffer trace(mod.packet_samples(symbols.size()) +
+                     static_cast<std::size_t>(14.0 * sps),
+                 cfloat{0.0f, 0.0f});
+  const double starts[2] = {2.0 * sps + 0.37, 6.0 * sps + 0.81};
+  const double cfo_hz[2] = {1700.0, -2300.0};
+  const double amps[2] = {1.0, 2.4};
+  for (int k = 0; k < 2; ++k) {
+    lora::WaveformOptions w;
+    w.frac_delay = starts[k] - std::floor(starts[k]);
+    w.cfo_hz = cfo_hz[k];
+    w.amplitude = amps[k];
+    const IqBuffer pkt = mod.synthesize(symbols, w);
+    const auto off = static_cast<std::size_t>(std::floor(starts[k]));
+    for (std::size_t s = 0; s < pkt.size() && off + s < trace.size(); ++s) {
+      trace[off + s] += pkt[s];
+    }
+    t0s.push_back(starts[k]);
+    cfos.push_back(p.cfo_hz_to_cycles(cfo_hz[k]));
+  }
+  return trace;
+}
+
+TEST(FracSyncCache, RefineMatchesUncachedReferenceOnCollidedPreambles) {
+  const lora::Params p = make_params(8, 2);
+  const rx::FracSync fsync(p);
+  std::vector<double> t0s, cfos;
+  const IqBuffer trace = make_collided_trace(p, t0s, cfos);
+  for (std::size_t k = 0; k < t0s.size(); ++k) {
+    // Slightly wrong coarse estimates, as detection would hand over.
+    const double t0 = std::floor(t0s[k]);
+    const double cfo = std::floor(cfos[k] + 0.5);
+    const rx::FracSyncResult ref =
+        reference_refine(p, fsync, trace, t0, cfo);
+    lora::Workspace ws(p);
+    const rx::FracSyncResult got = fsync.refine(trace, t0, cfo, ws);
+    EXPECT_EQ(ref.dt, got.dt) << "packet " << k;
+    EXPECT_EQ(ref.df, got.df) << "packet " << k;
+    EXPECT_EQ(ref.q, got.q) << "packet " << k;
+    EXPECT_EQ(ref.gated, got.gated) << "packet " << k;
+    // The no-workspace overload goes through the same path.
+    const rx::FracSyncResult tls = fsync.refine(trace, t0, cfo);
+    EXPECT_EQ(got.q, tls.q) << "packet " << k;
+  }
+}
+
+TEST(FracSyncCache, QMatchesRefineObjectiveAtChosenPoint) {
+  // refine()'s reported q must be the exact public objective at (dt, df):
+  // the cache may never change what a point evaluates to.
+  const lora::Params p = make_params(8, 2);
+  const rx::FracSync fsync(p);
+  std::vector<double> t0s, cfos;
+  const IqBuffer trace = make_collided_trace(p, t0s, cfos);
+  const double t0 = std::floor(t0s[0]);
+  const double cfo = std::floor(cfos[0] + 0.5);
+  const rx::FracSyncResult r = fsync.refine(trace, t0, cfo);
+  const double direct = fsync.q(trace, t0, cfo, r.dt, r.df, r.gated);
+  EXPECT_EQ(direct, r.q);
+}
+
+}  // namespace
