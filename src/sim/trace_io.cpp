@@ -1,6 +1,7 @@
 #include "sim/trace_io.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <fstream>
 #include <stdexcept>
@@ -13,6 +14,10 @@ namespace {
 constexpr std::size_t kBytesPerSample = 2 * sizeof(std::int16_t);
 
 std::int16_t clip_i16(double v) {
+  // NaN compares false against both bounds, so std::clamp would pass it
+  // through and the integer cast would be undefined behaviour; map it to 0
+  // (±Inf clamps to the rails as usual).
+  if (std::isnan(v)) return 0;
   return static_cast<std::int16_t>(
       std::clamp(v, -32768.0, 32767.0));
 }
@@ -55,6 +60,12 @@ IqBuffer read_trace_i16(const std::string& path, double scale) {
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) throw std::runtime_error("read_trace_i16: cannot open " + path);
   const std::streamsize bytes = in.tellg();
+  if (bytes < 0) {
+    // tellg() failed (unseekable special file): -1 cast to size_t would
+    // sail past the pair check as a huge bogus length.
+    throw std::runtime_error("read_trace_i16: " + path +
+                             ": cannot determine file size");
+  }
   if (static_cast<std::size_t>(bytes) % kBytesPerSample != 0) {
     throw std::runtime_error(
         "read_trace_i16: " + path + ": size " + std::to_string(bytes) +
@@ -82,30 +93,50 @@ IqBuffer read_trace_i16(const std::string& path, double scale) {
 
 std::size_t read_trace_i16_chunk(std::istream& in, IqBuffer& out,
                                  std::size_t max_samples, double scale,
-                                 std::uint64_t* byte_offset) {
+                                 std::uint64_t* byte_offset,
+                                 bool* truncated_tail) {
   out.clear();
+  if (truncated_tail != nullptr) *truncated_tail = false;
   if (max_samples == 0 || in.eof()) return 0;
 
-  std::vector<std::int16_t> buf(2 * max_samples);
-  const std::uint64_t offset = byte_offset != nullptr ? *byte_offset : 0;
-  const std::size_t got =
-      read_fully(in, reinterpret_cast<char*>(buf.data()),
-                 buf.size() * sizeof(std::int16_t), offset,
-                 "read_trace_i16_chunk");
-  if (byte_offset != nullptr) *byte_offset += got;
-  if (got % kBytesPerSample != 0) {
-    throw std::runtime_error(
-        "read_trace_i16_chunk: stream ends mid IQ pair at byte offset " +
-        std::to_string(offset + got));
-  }
-
-  const std::size_t n_samples = got / kBytesPerSample;
-  out.resize(n_samples);
+  // Read in bounded slices: the scratch buffer never exceeds kSliceSamples
+  // no matter how large the caller's max_samples is, and `2 * max_samples`
+  // can no longer overflow into a short allocation. read_fully retries
+  // partial pipe reads, so only the final slice can come back short.
+  constexpr std::size_t kSliceSamples = std::size_t{1} << 16;
+  std::vector<std::int16_t> buf;
   const float inv = static_cast<float>(1.0 / scale);
-  for (std::size_t i = 0; i < n_samples; ++i) {
-    out[i] = {buf[2 * i] * inv, buf[2 * i + 1] * inv};
+  std::uint64_t offset = byte_offset != nullptr ? *byte_offset : 0;
+
+  while (out.size() < max_samples) {
+    const std::size_t ask = std::min(kSliceSamples, max_samples - out.size());
+    buf.resize(2 * ask);
+    const std::size_t want = ask * kBytesPerSample;
+    const std::size_t got =
+        read_fully(in, reinterpret_cast<char*>(buf.data()), want, offset,
+                   "read_trace_i16_chunk");
+    const std::size_t n_samples = got / kBytesPerSample;
+    const std::size_t dangling = got % kBytesPerSample;
+    const std::size_t base = out.size();
+    out.resize(base + n_samples);
+    for (std::size_t i = 0; i < n_samples; ++i) {
+      out[base + i] = {buf[2 * i] * inv, buf[2 * i + 1] * inv};
+    }
+    offset += got;
+    if (dangling != 0) {
+      if (byte_offset != nullptr) *byte_offset = offset;
+      if (truncated_tail != nullptr) {
+        *truncated_tail = true;
+        return out.size();
+      }
+      throw std::runtime_error(
+          "read_trace_i16_chunk: stream ends mid IQ pair at byte offset " +
+          std::to_string(offset));
+    }
+    if (got < want) break;  // clean end of stream
   }
-  return n_samples;
+  if (byte_offset != nullptr) *byte_offset = offset;
+  return out.size();
 }
 
 }  // namespace tnb::sim

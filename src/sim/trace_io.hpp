@@ -33,12 +33,21 @@ IqBuffer read_trace_i16(const std::string& path, double scale = 1024.0);
 /// open int16 stream into `out` (replacing its contents). Returns
 /// out.size(); 0 means a clean end of stream. Short reads from pipes are
 /// retried until EOF, so the only partial result is the stream's tail.
-/// Throws std::runtime_error on I/O errors or if the stream ends in the
-/// middle of an IQ pair; `byte_offset`, when given, is advanced by the
-/// bytes consumed and used to report the failure position.
+/// Internal allocation is bounded regardless of `max_samples` (the stream
+/// is read in fixed-size slices), so a hostile length cannot force a
+/// multi-GiB buffer. Throws std::runtime_error on I/O errors;
+/// `byte_offset`, when given, is advanced by the bytes consumed (dangling
+/// tail bytes included) and used to report the failure position.
+///
+/// A stream ending in the middle of an IQ pair (a truncated capture, a
+/// producer killed mid-sample) is handled two ways: with `truncated_tail`
+/// non-null, the complete samples before the tear are returned, the flag
+/// is set, and no exception is thrown — the caller decides whether a torn
+/// tail is fatal. With it null, the mid-pair end throws (legacy contract).
 std::size_t read_trace_i16_chunk(std::istream& in, IqBuffer& out,
                                  std::size_t max_samples,
                                  double scale = 1024.0,
-                                 std::uint64_t* byte_offset = nullptr);
+                                 std::uint64_t* byte_offset = nullptr,
+                                 bool* truncated_tail = nullptr);
 
 }  // namespace tnb::sim

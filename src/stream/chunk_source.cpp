@@ -18,8 +18,12 @@ std::size_t BufferSource::next(IqBuffer& out, std::size_t max_samples) {
 }
 
 std::size_t IstreamSource::next(IqBuffer& out, std::size_t max_samples) {
+  if (truncated_) {
+    out.clear();
+    return 0;
+  }
   return sim::read_trace_i16_chunk(*in_, out, max_samples, scale_,
-                                   &byte_offset_);
+                                   &byte_offset_, &truncated_);
 }
 
 FileReplaySource::FileReplaySource(const std::string& path, double scale,

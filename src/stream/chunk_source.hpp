@@ -41,6 +41,13 @@ class BufferSource final : public ChunkSource {
 };
 
 /// int16-interleaved IQ from an already open stream (e.g. stdin).
+///
+/// Short reads and a stream torn mid IQ pair (a producer killed between
+/// the I and Q halves of a sample) are not fatal: next() delivers the
+/// complete samples before the tear, records the condition, and ends the
+/// stream — every further next() returns 0. The gateway then decodes
+/// everything that arrived instead of aborting; callers that must treat a
+/// torn tail as an error check truncated_tail() at end of stream.
 class IstreamSource final : public ChunkSource {
  public:
   explicit IstreamSource(std::istream& in, double scale = 1024.0)
@@ -48,13 +55,18 @@ class IstreamSource final : public ChunkSource {
 
   std::size_t next(IqBuffer& out, std::size_t max_samples) override;
 
-  /// Bytes consumed so far (reported in error messages on truncation).
+  /// Bytes consumed so far, dangling tail bytes included.
   std::uint64_t byte_offset() const { return byte_offset_; }
+
+  /// True once the stream ended in the middle of an IQ pair; the dangling
+  /// bytes were dropped and the stream is treated as finished.
+  bool truncated_tail() const { return truncated_; }
 
  private:
   std::istream* in_;
   double scale_;
   std::uint64_t byte_offset_ = 0;
+  bool truncated_ = false;
 };
 
 /// int16 file replay. With `pace_sample_rate_hz` > 0, next() sleeps so that
@@ -67,6 +79,10 @@ class FileReplaySource final : public ChunkSource {
                    double pace_sample_rate_hz = 0.0);
 
   std::size_t next(IqBuffer& out, std::size_t max_samples) override;
+
+  /// True once the file ended in the middle of an IQ pair (see
+  /// IstreamSource::truncated_tail).
+  bool truncated_tail() const { return raw_.truncated_tail(); }
 
  private:
   std::ifstream file_;

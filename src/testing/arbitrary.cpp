@@ -1,0 +1,94 @@
+#include "testing/arbitrary.hpp"
+
+#include <algorithm>
+
+namespace tnb::testing {
+
+lora::Params arbitrary_params(FuzzInput& in) {
+  lora::Params p;
+  p.sf = static_cast<unsigned>(in.uniform(6, 12));
+  p.cr = static_cast<unsigned>(in.uniform(1, 4));
+  static constexpr unsigned kOsf[] = {1, 2, 4, 8};
+  p.osf = kOsf[in.uniform(0, 3)];
+  p.ldro = p.sf >= 8 && in.boolean();
+  p.validate();
+  return p;
+}
+
+lora::Params arbitrary_params_small(FuzzInput& in) {
+  lora::Params p;
+  p.sf = static_cast<unsigned>(in.uniform(7, 8));
+  p.cr = static_cast<unsigned>(in.uniform(1, 4));
+  p.osf = 1;
+  p.ldro = p.sf >= 8 && in.boolean();
+  p.validate();
+  return p;
+}
+
+lora::Header arbitrary_header(FuzzInput& in) {
+  lora::Header h;
+  h.payload_len = in.u8();
+  h.cr = static_cast<std::uint8_t>(in.uniform(1, 4));
+  h.has_crc = in.boolean();
+  return h;
+}
+
+std::vector<std::uint8_t> arbitrary_payload(FuzzInput& in,
+                                            std::size_t max_bytes) {
+  const std::size_t n = static_cast<std::size_t>(
+      in.uniform(1, std::min<std::uint64_t>(max_bytes, 253)));
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = in.u8();
+  return out;
+}
+
+std::vector<std::size_t> corrupt_symbols(std::vector<std::uint32_t>& symbols,
+                                         unsigned sf, FuzzInput& in,
+                                         std::size_t max_symbols) {
+  std::vector<std::size_t> hit;
+  if (symbols.empty() || max_symbols == 0) return hit;
+  const std::uint32_t mask = (1u << sf) - 1u;
+  const std::size_t n = static_cast<std::size_t>(in.uniform(0, max_symbols));
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t idx =
+        static_cast<std::size_t>(in.uniform(0, symbols.size() - 1));
+    const std::uint32_t x = static_cast<std::uint32_t>(in.uniform(1, mask));
+    symbols[idx] ^= x;
+    if (std::find(hit.begin(), hit.end(), idx) == hit.end()) hit.push_back(idx);
+  }
+  return hit;
+}
+
+void corrupt_block_columns(std::vector<std::uint8_t>& rows,
+                           const std::vector<unsigned>& cols, FuzzInput& in) {
+  for (unsigned c : cols) {
+    bool any = false;
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      // Force at least one flip in the column (otherwise it would not be
+      // an error column): the last row flips when nothing else did.
+      const bool flip = (r + 1 == rows.size() && !any) ? true : in.boolean();
+      if (flip) {
+        rows[r] ^= static_cast<std::uint8_t>(1u << c);
+        any = true;
+      }
+    }
+  }
+}
+
+std::vector<unsigned> arbitrary_columns(FuzzInput& in, unsigned cr,
+                                        unsigned n_cols) {
+  const unsigned cols = 4 + cr;
+  std::vector<unsigned> all(cols);
+  for (unsigned c = 0; c < cols; ++c) all[c] = c;
+  // Partial Fisher-Yates driven by the input bytes.
+  std::vector<unsigned> out;
+  for (unsigned k = 0; k < n_cols && k < cols; ++k) {
+    const unsigned j =
+        static_cast<unsigned>(in.uniform(k, cols - 1));
+    std::swap(all[k], all[j]);
+    out.push_back(all[k]);
+  }
+  return out;
+}
+
+}  // namespace tnb::testing

@@ -1,0 +1,89 @@
+// FuzzInput: turns an arbitrary byte string into structured values.
+//
+// The correctness-tooling subsystem (DESIGN.md "Correctness tooling") drives
+// every oracle from raw bytes so the same harness body serves three
+// masters: a libFuzzer engine mutating inputs (-DTNB_FUZZ=ON), the ctest
+// replay driver re-running the checked-in corpus, and the driver's
+// deterministic randomized sweep (tnb::Rng from a pinned seed). The reader
+// follows the FuzzedDataProvider contract: consuming past the end of the
+// input yields zeros instead of failing, so every harness is total — any
+// byte string maps to *some* structured input, and a short corpus seed
+// still exercises the code behind it.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tnb::testing {
+
+class FuzzInput {
+ public:
+  FuzzInput(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit FuzzInput(std::span<const std::uint8_t> bytes)
+      : FuzzInput(bytes.data(), bytes.size()) {}
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool empty() const { return pos_ == size_; }
+
+  /// Next byte; 0 once the input is exhausted.
+  std::uint8_t u8() {
+    return pos_ < size_ ? data_[pos_++] : std::uint8_t{0};
+  }
+
+  /// Little-endian unsigned of up to 8 bytes, zero-padded at end of input.
+  std::uint64_t u64(unsigned n_bytes = 8) {
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < n_bytes && i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(u8()) << (8 * i);
+    }
+    return v;
+  }
+
+  bool boolean() { return (u8() & 1) != 0; }
+
+  /// Uniform integer in [lo, hi] (inclusive; collapses to lo when hi<=lo).
+  /// Uses modulo reduction: every value reachable, bias irrelevant here.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) {
+    if (hi <= lo) return lo;
+    const std::uint64_t range = hi - lo + 1;
+    // 4 bytes cover every range the harnesses use while keeping corpus
+    // seeds compact; ranges beyond 2^32 would need u64() directly.
+    return lo + (range > 0xFFFFFFFFull ? u64() : u64(4)) % range;
+  }
+
+  /// Uniform double in [0, 1) from 4 bytes.
+  double unit() { return static_cast<double>(u64(4)) * 0x1p-32; }
+
+  double real(double lo, double hi) { return lo + unit() * (hi - lo); }
+
+  /// Up to `n` raw bytes (fewer when the input runs out — never padded,
+  /// so byte-level parsers see exactly what the corpus file holds).
+  std::vector<std::uint8_t> bytes(std::size_t n) {
+    const std::size_t take = std::min(n, remaining());
+    std::vector<std::uint8_t> out(data_ + pos_, data_ + pos_ + take);
+    pos_ += take;
+    return out;
+  }
+
+  /// Everything left, without padding.
+  std::vector<std::uint8_t> rest() { return bytes(remaining()); }
+
+  /// View of everything left (no copy); consumes the input.
+  std::span<const std::uint8_t> rest_view() {
+    std::span<const std::uint8_t> v(data_ + pos_, remaining());
+    pos_ = size_;
+    return v;
+  }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace tnb::testing

@@ -1,0 +1,539 @@
+#include "testing/oracles.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/bec.hpp"
+#include "lora/crc.hpp"
+#include "lora/frame.hpp"
+#include "lora/gray.hpp"
+#include "lora/hamming.hpp"
+#include "lora/header.hpp"
+#include "lora/interleaver.hpp"
+#include "lora/modulator.hpp"
+#include "lora/whitening.hpp"
+#include "sim/trace_io.hpp"
+#include "stream/chunk_source.hpp"
+#include "stream/streaming_receiver.hpp"
+#include "testing/arbitrary.hpp"
+
+namespace tnb::testing {
+
+void oracle_fail(const char* file, int line, const std::string& msg) {
+  throw OracleFailure(std::string(file) + ":" + std::to_string(line) +
+                      ": oracle violated: " + msg);
+}
+
+namespace {
+
+/// Serializes IQ-pair int16s little-endian — the reference encoder the
+/// trace_io oracles diff the production reader against.
+std::string serialize_i16_le(const std::vector<std::int16_t>& vals) {
+  std::string bytes;
+  bytes.reserve(vals.size() * 2);
+  for (std::int16_t v : vals) {
+    const auto u = static_cast<std::uint16_t>(v);
+    bytes.push_back(static_cast<char>(u & 0xFF));
+    bytes.push_back(static_cast<char>(u >> 8));
+  }
+  return bytes;
+}
+
+std::int16_t i16_at(std::span<const std::uint8_t> bytes, std::size_t i) {
+  return static_cast<std::int16_t>(
+      static_cast<std::uint16_t>(bytes[2 * i]) |
+      (static_cast<std::uint16_t>(bytes[2 * i + 1]) << 8));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- primitives
+
+void oracle_primitives_roundtrip(FuzzInput& in) {
+  // Gray code is a bijection on any 32-bit value.
+  const std::uint32_t x = static_cast<std::uint32_t>(in.u64(4));
+  TNB_ORACLE(lora::gray_decode(lora::gray_encode(x)) == x, "gray o gray^-1");
+  TNB_ORACLE(lora::gray_encode(lora::gray_decode(x)) == x, "gray^-1 o gray");
+
+  // Whitening is an involution on any byte string.
+  std::vector<std::uint8_t> data =
+      in.bytes(static_cast<std::size_t>(in.uniform(0, 128)));
+  const std::vector<std::uint8_t> orig = data;
+  lora::whiten(data);
+  lora::whiten(data);
+  TNB_ORACLE(data == orig, "whitening not an involution");
+
+  // Interleaver is a bijection, and one corrupted symbol lands in exactly
+  // one column of the deinterleaved block — the error model BEC rests on.
+  const unsigned sf = static_cast<unsigned>(in.uniform(6, 12));
+  const unsigned cr = static_cast<unsigned>(in.uniform(1, 4));
+  const std::uint8_t mask = static_cast<std::uint8_t>((1u << (4 + cr)) - 1u);
+  std::vector<std::uint8_t> rows(sf);
+  for (auto& r : rows) r = static_cast<std::uint8_t>(in.u8() & mask);
+  auto symbols = lora::interleave_block(rows, sf, cr);
+  TNB_ORACLE(lora::deinterleave_block(symbols, sf, cr) == rows,
+             "interleaver round trip");
+  const unsigned victim = static_cast<unsigned>(in.uniform(0, 4 + cr - 1));
+  const std::uint32_t sym_mask = (1u << sf) - 1u;
+  symbols[victim] ^= static_cast<std::uint32_t>(in.uniform(1, sym_mask));
+  const auto back = lora::deinterleave_block(symbols, sf, cr);
+  for (unsigned r = 0; r < sf; ++r) {
+    TNB_ORACLE((static_cast<std::uint8_t>(back[r] ^ rows[r]) &
+                static_cast<std::uint8_t>(~(1u << victim))) == 0,
+               "symbol corruption escaped its column");
+  }
+
+  // Hamming: every nibble encodes to its codebook entry and decodes back
+  // at distance 0; at CR >= 3 a single-bit error still decodes back.
+  const std::uint8_t nib = static_cast<std::uint8_t>(in.u8() & 0x0F);
+  for (unsigned c = 1; c <= 4; ++c) {
+    const std::uint8_t cw = lora::encode_cr(nib, c);
+    TNB_ORACLE(cw == lora::codewords(c)[nib], "encode_cr vs codebook");
+    const auto d0 = lora::default_decode(cw, c);
+    TNB_ORACLE(d0.data == nib && d0.distance == 0, "clean codeword decode");
+    if (c >= 3) {
+      const unsigned bit = static_cast<unsigned>(in.uniform(0, 4 + c - 1));
+      const auto d1 = lora::default_decode(
+          static_cast<std::uint8_t>(cw ^ (1u << bit)), c);
+      TNB_ORACLE(d1.data == nib, "1-bit error not corrected at CR>=3");
+    }
+  }
+
+  // CRC16: assembled payloads verify; any single-bit flip is caught.
+  std::vector<std::uint8_t> app =
+      in.bytes(static_cast<std::size_t>(in.uniform(1, 64)));
+  if (app.empty()) app.push_back(0);
+  auto payload = lora::assemble_payload(app);
+  TNB_ORACLE(lora::check_payload_crc(payload), "fresh payload fails CRC");
+  const std::size_t fb = static_cast<std::size_t>(
+      in.uniform(0, payload.size() * 8 - 1));
+  payload[fb / 8] ^= static_cast<std::uint8_t>(1u << (fb % 8));
+  TNB_ORACLE(!lora::check_payload_crc(payload),
+             "single-bit flip passed CRC16");
+}
+
+// --------------------------------------------------------------- full chain
+
+void oracle_coding_chain_roundtrip(FuzzInput& in) {
+  const lora::Params p = arbitrary_params(in);
+  const std::vector<std::uint8_t> app = arbitrary_payload(in, 48);
+  const auto payload = lora::assemble_payload(app);
+  const auto symbols = lora::make_packet_symbols(p, app);
+  TNB_ORACLE(symbols.size() == lora::num_packet_symbols(p, payload.size()),
+             "packet symbol count");
+  const std::uint32_t lim = 1u << p.bits_per_symbol();
+  for (std::uint32_t s : symbols) {
+    TNB_ORACLE(s < lim, "symbol value out of SF range");
+  }
+
+  const std::span<const std::uint32_t> all(symbols);
+  const auto hdr = lora::decode_header_default(p, all.first(lora::kHeaderSymbols));
+  TNB_ORACLE(hdr.has_value(), "clean header failed default decode");
+  TNB_ORACLE(hdr->payload_len == payload.size() && hdr->cr == p.cr,
+             "clean header fields");
+
+  const auto pay = lora::decode_payload_default(
+      p, all.subspan(lora::kHeaderSymbols), payload.size());
+  TNB_ORACLE(pay.has_value(), "clean payload failed default decode");
+  TNB_ORACLE(*pay == payload, "clean payload default decode mismatch");
+
+  // BEC on a clean packet: the default-decoder block is candidate #1 and
+  // already carries a valid CRC, so the result is deterministic.
+  Rng rng(in.u64());
+  const rx::BecPacketResult r = rx::decode_payload_bec(
+      p, all.subspan(lora::kHeaderSymbols), payload.size(), rng);
+  TNB_ORACLE(r.ok, "clean payload failed BEC decode");
+  TNB_ORACLE(r.payload == payload, "clean payload BEC mismatch");
+  TNB_ORACLE(r.rescued_codewords == 0, "clean packet claims rescues");
+
+  const auto hdr_bec =
+      rx::decode_header_bec(p, all.first(lora::kHeaderSymbols));
+  TNB_ORACLE(hdr_bec.has_value() && *hdr_bec == *hdr,
+             "clean header BEC mismatch");
+}
+
+void oracle_coding_chain_corrupted(FuzzInput& in) {
+  const lora::Params p = arbitrary_params(in);
+  const std::vector<std::uint8_t> app = arbitrary_payload(in, 48);
+  const auto payload = lora::assemble_payload(app);
+  std::vector<std::uint32_t> symbols = lora::make_packet_symbols(p, app);
+  corrupt_symbols(symbols, p.bits_per_symbol(), in, symbols.size());
+
+  const std::span<const std::uint32_t> all(symbols);
+  // Totality: arbitrary corruption must only ever yield nullopt/!ok or a
+  // value that passed the integrity gate.
+  const auto hdr = lora::decode_header_default(p, all.first(lora::kHeaderSymbols));
+  if (hdr.has_value()) {
+    TNB_ORACLE(hdr->cr >= 1 && hdr->cr <= 4, "accepted header has bad CR");
+  }
+  const auto hdr_bec = rx::decode_header_bec(p, all.first(lora::kHeaderSymbols));
+  if (hdr_bec.has_value()) {
+    TNB_ORACLE(hdr_bec->cr >= 1 && hdr_bec->cr <= 4,
+               "accepted BEC header has bad CR");
+  }
+
+  const auto pay = lora::decode_payload_default(
+      p, all.subspan(lora::kHeaderSymbols), payload.size());
+  if (pay.has_value()) {
+    TNB_ORACLE(lora::check_payload_crc(*pay),
+               "default decode accepted a payload failing its CRC");
+    TNB_ORACLE(pay->size() == payload.size(), "accepted payload length");
+  }
+
+  Rng rng(in.u64());
+  rx::BecStats stats;
+  const rx::BecPacketResult r = rx::decode_payload_bec(
+      p, all.subspan(lora::kHeaderSymbols), payload.size(), rng, &stats);
+  if (r.ok) {
+    TNB_ORACLE(lora::check_payload_crc(r.payload),
+               "BEC accepted a payload failing its CRC");
+    TNB_ORACLE(r.payload.size() == payload.size(), "BEC payload length");
+  }
+  TNB_ORACLE(stats.crc_checks <= rx::bec_w_budget(p.cr),
+             "BEC exceeded its W budget");
+}
+
+// -------------------------------------------------------------------- header
+
+void oracle_header_roundtrip(FuzzInput& in) {
+  const lora::Params p = arbitrary_params(in);
+  const lora::Header h = arbitrary_header(in);
+  const unsigned sf_bits = p.bits_per_symbol();
+
+  const auto nibbles = lora::header_to_nibbles(h, sf_bits);
+  TNB_ORACLE(nibbles.size() == sf_bits, "header nibble count");
+  const auto parsed = lora::header_from_nibbles(nibbles);
+  TNB_ORACLE(parsed.has_value() && *parsed == h, "header nibble round trip");
+
+  auto symbols = lora::encode_header_symbols(p, h);
+  TNB_ORACLE(symbols.size() == lora::kHeaderSymbols, "header symbol count");
+  const auto dec = lora::decode_header_default(p, symbols);
+  TNB_ORACLE(dec.has_value() && *dec == h, "header symbol round trip");
+
+  // One corrupted symbol = one corrupted column of the CR-4 header block:
+  // every row is within distance 1, the default decoder cleans all of
+  // them, and both decoders must return exactly h.
+  const std::size_t victim =
+      static_cast<std::size_t>(in.uniform(0, symbols.size() - 1));
+  const std::uint32_t sym_mask = (1u << sf_bits) - 1u;
+  symbols[victim] ^= static_cast<std::uint32_t>(in.uniform(1, sym_mask));
+  const auto dec1 = lora::decode_header_default(p, symbols);
+  TNB_ORACLE(dec1.has_value() && *dec1 == h,
+             "1-symbol corruption broke default header decode");
+  const auto bec1 = rx::decode_header_bec(p, symbols);
+  TNB_ORACLE(bec1.has_value() && *bec1 == h,
+             "1-symbol corruption broke BEC header decode");
+}
+
+void oracle_header_parse_total(FuzzInput& in) {
+  const std::vector<std::uint8_t> raw =
+      in.bytes(static_cast<std::size_t>(in.uniform(0, 64)));
+  const auto parsed = lora::header_from_nibbles(raw);
+  if (raw.size() < 5) {
+    TNB_ORACLE(!parsed.has_value(), "accepted a <5-nibble header");
+    return;
+  }
+  if (!parsed.has_value()) return;
+  // Accepted headers are serialize/parse fixpoints.
+  TNB_ORACLE(parsed->cr >= 1 && parsed->cr <= 4, "accepted header bad CR");
+  const unsigned sf = static_cast<unsigned>(std::max<std::size_t>(raw.size(), 6));
+  const auto nibbles = lora::header_to_nibbles(*parsed, sf);
+  const auto again = lora::header_from_nibbles(nibbles);
+  TNB_ORACLE(again.has_value() && *again == *parsed,
+             "accepted header is not a serialize/parse fixpoint");
+}
+
+// ----------------------------------------------------------------------- BEC
+
+namespace {
+
+std::vector<std::uint8_t> arbitrary_codeword_block(FuzzInput& in, unsigned sf,
+                                                   unsigned cr) {
+  std::vector<std::uint8_t> rows(sf);
+  for (auto& r : rows) {
+    r = lora::codewords(cr)[in.uniform(0, 15)];
+  }
+  return rows;
+}
+
+bool block_in(const std::vector<std::vector<std::uint8_t>>& candidates,
+              const std::vector<std::uint8_t>& truth) {
+  return std::find(candidates.begin(), candidates.end(), truth) !=
+         candidates.end();
+}
+
+}  // namespace
+
+void oracle_bec_arbitrary_block(FuzzInput& in) {
+  const unsigned sf = static_cast<unsigned>(in.uniform(6, 12));
+  const unsigned cr = static_cast<unsigned>(in.uniform(1, 4));
+  const rx::Bec bec(sf, cr);
+  const std::uint8_t mask = static_cast<std::uint8_t>((1u << (4 + cr)) - 1u);
+  std::vector<std::uint8_t> rows(sf);
+  for (auto& r : rows) r = static_cast<std::uint8_t>(in.u8() & mask);
+
+  rx::BecStats stats;
+  const auto cands = bec.decode_block(rows, &stats);
+  TNB_ORACLE(!cands.empty(), "no candidates for an in-contract block");
+  if (cr == 1) {
+    // CR 1 contract (paper 6.4): a block whose rows all pass parity is its
+    // own single candidate; otherwise only the <= 5 Delta' column rewrites
+    // are offered — Gamma is deliberately absent, keeping the packet-level
+    // combination count at 5^k, which the W = 125 budget is sized for.
+    const bool all_pass = std::all_of(
+        rows.begin(), rows.end(), [](std::uint8_t r) {
+          return std::popcount(static_cast<unsigned>(r)) % 2 == 0;
+        });
+    if (all_pass) {
+      TNB_ORACLE(cands.size() == 1 &&
+                     cands[0] == std::vector<std::uint8_t>(rows.begin(),
+                                                           rows.end()),
+                 "parity-clean CR1 block is not its own single candidate");
+    } else {
+      TNB_ORACLE(cands.size() <= 4 + cr, "CR1 produced more than one Delta' "
+                                         "candidate per column");
+    }
+  } else {
+    // CR >= 2: candidate #1 is the cleaned block Gamma (per-row default
+    // decode), so a caller taking the first candidate gets exactly the
+    // default decoder's answer.
+    for (unsigned r = 0; r < sf; ++r) {
+      TNB_ORACLE(cands[0][r] == lora::default_decode(rows[r], cr).codeword,
+                 "first candidate is not the default-decoder block");
+    }
+  }
+  for (std::size_t i = 0; i < cands.size(); ++i) {
+    TNB_ORACLE(cands[i].size() == sf, "candidate row count");
+    for (std::uint8_t row : cands[i]) {
+      const auto& cb = lora::codewords(cr);
+      TNB_ORACLE(std::find(cb.begin(), cb.end(), row) != cb.end(),
+                 "candidate contains a non-codeword row");
+    }
+    for (std::size_t j = i + 1; j < cands.size(); ++j) {
+      TNB_ORACLE(cands[i] != cands[j], "duplicate candidates");
+    }
+  }
+}
+
+void oracle_bec_correctable(FuzzInput& in) {
+  const unsigned sf = static_cast<unsigned>(in.uniform(6, 12));
+  const unsigned cr = static_cast<unsigned>(in.uniform(1, 4));
+  const rx::Bec bec(sf, cr);
+  const auto truth = arbitrary_codeword_block(in, sf, cr);
+  // Documented guaranteed capability (paper Table 1 / tests): one error
+  // column at every CR, two at CR 4. (Two columns at CR 3 succeed with
+  // probability 1 - ~2^-SF — probabilistic, so not asserted here.)
+  const unsigned t =
+      cr == 4 ? static_cast<unsigned>(in.uniform(1, 2)) : 1u;
+  const auto cols = arbitrary_columns(in, cr, t);
+  auto rx_rows = truth;
+  corrupt_block_columns(rx_rows, cols, in);
+  const auto cands = bec.decode_block(rx_rows);
+  TNB_ORACLE(block_in(cands, truth),
+             "correctable corruption lost the original block (cr=" +
+                 std::to_string(cr) + ", t=" + std::to_string(t) + ")");
+}
+
+void oracle_bec_packet(FuzzInput& in) {
+  const lora::Params p = arbitrary_params(in);
+  const std::vector<std::uint8_t> app = arbitrary_payload(in, 32);
+  const auto payload = lora::assemble_payload(app);
+  std::vector<std::uint32_t> symbols = lora::encode_payload_symbols(p, payload);
+
+  // One corrupted symbol in each of at most two blocks: inside both BEC's
+  // per-block capability and the packet-assembly W budget, so the decode
+  // is guaranteed (the paper's operating envelope, mirrored by
+  // tests/test_bec.cpp BecPacket).
+  const std::size_t cols = p.codeword_len();
+  const std::size_t n_blocks = symbols.size() / cols;
+  const std::uint32_t sym_mask = (1u << p.bits_per_symbol()) - 1u;
+  std::vector<std::size_t> hit;
+  hit.push_back(static_cast<std::size_t>(in.uniform(0, n_blocks - 1)));
+  if (n_blocks > 1 && in.boolean()) {
+    // A second, distinct block — two corruptions in one block would be two
+    // error columns, beyond the guarantee at CR < 4.
+    const std::size_t step =
+        1 + static_cast<std::size_t>(in.uniform(0, n_blocks - 2));
+    hit.push_back((hit[0] + step) % n_blocks);
+  }
+  for (std::size_t blk : hit) {
+    const std::size_t victim =
+        blk * cols + static_cast<std::size_t>(in.uniform(0, cols - 1));
+    symbols[victim] ^= static_cast<std::uint32_t>(in.uniform(1, sym_mask));
+  }
+
+  Rng rng(in.u64());
+  rx::BecStats stats;
+  const rx::BecPacketResult r =
+      rx::decode_payload_bec(p, symbols, payload.size(), rng, &stats);
+  TNB_ORACLE(r.ok, "within-capability corruption failed packet BEC");
+  TNB_ORACLE(lora::check_payload_crc(r.payload),
+             "accepted payload fails its own CRC");
+  TNB_ORACLE(r.payload.size() == payload.size(), "accepted payload length");
+  TNB_ORACLE(stats.crc_checks <= rx::bec_w_budget(p.cr), "W budget exceeded");
+}
+
+// ------------------------------------------------------------------ trace io
+
+void oracle_trace_chunk_arbitrary(FuzzInput& in) {
+  const bool tolerate_tear = in.boolean();
+  const std::size_t max_samples = static_cast<std::size_t>(in.uniform(1, 1500));
+  const std::vector<std::uint8_t> bytes = in.rest();
+  const double scale = 1024.0;
+  const float inv = static_cast<float>(1.0 / scale);
+
+  std::istringstream s(
+      std::string(reinterpret_cast<const char*>(bytes.data()), bytes.size()));
+  IqBuffer assembled, piece;
+  std::uint64_t offset = 0;
+  bool truncated = false;
+  bool threw = false;
+  try {
+    bool t = false;
+    while (sim::read_trace_i16_chunk(s, piece, max_samples, scale, &offset,
+                                     tolerate_tear ? &t : nullptr) > 0) {
+      assembled.insert(assembled.end(), piece.begin(), piece.end());
+      if (t) {
+        truncated = true;
+        break;
+      }
+    }
+    truncated = truncated || t;
+  } catch (const std::runtime_error&) {
+    threw = true;
+  }
+
+  const bool torn = bytes.size() % 4 != 0;
+  if (tolerate_tear) {
+    TNB_ORACLE(!threw, "chunk reader threw despite truncated_tail flag");
+    TNB_ORACLE(truncated == torn, "truncated_tail flag wrong");
+    TNB_ORACLE(offset == bytes.size(), "byte_offset != bytes consumed");
+  } else {
+    TNB_ORACLE(threw == torn, "legacy mid-pair contract changed");
+  }
+  if (!threw) {
+    TNB_ORACLE(assembled.size() == bytes.size() / 4,
+               "sample count != floor(bytes/4)");
+    for (std::size_t i = 0; i < assembled.size(); ++i) {
+      const cfloat want{i16_at(bytes, 2 * i) * inv,
+                        i16_at(bytes, 2 * i + 1) * inv};
+      TNB_ORACLE(assembled[i] == want, "sample value mismatch");
+    }
+  }
+}
+
+void oracle_trace_roundtrip(FuzzInput& in) {
+  const std::size_t chunk = static_cast<std::size_t>(in.uniform(1, 700));
+  const std::size_t n = static_cast<std::size_t>(in.uniform(0, 600));
+  std::vector<std::int16_t> vals(2 * n);
+  for (auto& v : vals) v = static_cast<std::int16_t>(in.u64(2));
+
+  std::istringstream s(serialize_i16_le(vals));
+  IqBuffer assembled, piece;
+  std::uint64_t offset = 0;
+  while (sim::read_trace_i16_chunk(s, piece, chunk, 1024.0, &offset) > 0) {
+    TNB_ORACLE(piece.size() <= chunk, "chunk larger than requested");
+    assembled.insert(assembled.end(), piece.begin(), piece.end());
+  }
+  TNB_ORACLE(offset == 4 * n, "round-trip byte_offset");
+  TNB_ORACLE(assembled.size() == n, "round-trip sample count");
+  const float inv = static_cast<float>(1.0 / 1024.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const cfloat want{vals[2 * i] * inv, vals[2 * i + 1] * inv};
+    TNB_ORACLE(assembled[i] == want, "round-trip sample mismatch");
+  }
+}
+
+void oracle_chunk_source_truncation(FuzzInput& in) {
+  const std::size_t max_samples = static_cast<std::size_t>(in.uniform(1, 900));
+  const std::vector<std::uint8_t> bytes = in.rest();
+  std::istringstream s(
+      std::string(reinterpret_cast<const char*>(bytes.data()), bytes.size()));
+  stream::IstreamSource src(s);
+  IqBuffer chunk;
+  std::size_t total = 0;
+  while (src.next(chunk, max_samples) > 0) total += chunk.size();
+  TNB_ORACLE(total == bytes.size() / 4, "IstreamSource sample total");
+  TNB_ORACLE(src.truncated_tail() == (bytes.size() % 4 != 0),
+             "IstreamSource truncation status");
+  TNB_ORACLE(src.byte_offset() == bytes.size(), "IstreamSource byte_offset");
+  // End of stream is sticky.
+  TNB_ORACLE(src.next(chunk, max_samples) == 0, "read past end of stream");
+}
+
+// ----------------------------------------------------------------- streaming
+
+void oracle_streaming_chunk_invariance(FuzzInput& in) {
+  const lora::Params p = arbitrary_params_small(in);
+
+  // The stimulus: either a clean synthesized packet embedded in silence
+  // (so segments actually decode something) or arbitrary int16-grid IQ.
+  IqBuffer iq;
+  if (in.boolean()) {
+    std::vector<std::uint8_t> app = arbitrary_payload(in, 12);
+    const auto symbols = lora::make_packet_symbols(p, app);
+    lora::Modulator mod(p);
+    lora::WaveformOptions wopt;
+    wopt.cfo_hz = in.real(-200.0, 200.0);
+    wopt.frac_delay = in.unit() * 0.99;
+    const IqBuffer pkt = mod.synthesize(symbols, wopt);
+    const std::size_t lead =
+        static_cast<std::size_t>(in.uniform(0, 4)) * p.sps() + p.sps();
+    iq.assign(lead, cfloat{0.0f, 0.0f});
+    iq.insert(iq.end(), pkt.begin(), pkt.end());
+    iq.insert(iq.end(), 8 * p.sps(), cfloat{0.0f, 0.0f});
+  } else {
+    const std::size_t n = static_cast<std::size_t>(in.uniform(256, 6000));
+    iq.resize(n);
+    const float inv = 1.0f / 1024.0f;
+    for (auto& v : iq) {
+      v = {static_cast<std::int16_t>(in.u64(2)) * inv,
+           static_cast<std::int16_t>(in.u64(2)) * inv};
+    }
+  }
+
+  stream::StreamingOptions sopt;
+  sopt.rng_seed = in.u64();
+  sopt.max_packet_symbols = 64;
+  sopt.window_symbols = static_cast<std::size_t>(in.uniform(40, 160));
+
+  stream::StreamingReceiver one_shot(p, {}, sopt);
+  one_shot.push_chunk(iq);
+  one_shot.finish();
+
+  stream::StreamingReceiver chunked(p, {}, sopt);
+  std::size_t pos = 0;
+  while (pos < iq.size()) {
+    const std::size_t len = std::min<std::size_t>(
+        static_cast<std::size_t>(in.uniform(1, 2048)), iq.size() - pos);
+    chunked.push_chunk(std::span<const cfloat>(iq).subspan(pos, len));
+    pos += len;
+  }
+  chunked.finish();
+
+  TNB_ORACLE(one_shot.stats().samples_in == iq.size() &&
+                 chunked.stats().samples_in == iq.size(),
+             "streaming samples_in accounting");
+  TNB_ORACLE(chunked.stats().samples_retired <= chunked.stats().samples_in,
+             "retired more samples than ingested");
+
+  const auto& a = one_shot.packets();
+  const auto& b = chunked.packets();
+  TNB_ORACLE(a.size() == b.size(),
+             "chunking changed the number of decoded packets (" +
+                 std::to_string(a.size()) + " vs " + std::to_string(b.size()) +
+                 ")");
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    TNB_ORACLE(a[i].payload == b[i].payload, "chunking changed a payload");
+    TNB_ORACLE(a[i].start_sample == b[i].start_sample,
+               "chunking moved a packet start");
+    TNB_ORACLE(a[i].cfo_hz == b[i].cfo_hz && a[i].snr_db == b[i].snr_db,
+               "chunking changed packet estimates");
+  }
+}
+
+}  // namespace tnb::testing

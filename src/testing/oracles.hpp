@@ -1,0 +1,97 @@
+// Round-trip oracles for the decode pipeline (DESIGN.md "Correctness
+// tooling").
+//
+// Each oracle consumes a FuzzInput, derives a structured case from it, and
+// checks an invariant the coding chain / parser stack promises
+// mechanically — the invertible-contract view of the gray/whitening/
+// interleave/Hamming/CRC chain that receivers like the EPFL multi-user
+// GNU Radio decoder rely on. A violation throws OracleFailure (which a
+// fuzzing engine or the replay driver turns into a crash with the
+// offending input); genuine memory errors are left to ASan/UBSan.
+//
+// Two kinds of oracle coexist:
+//   * totality — arbitrary bytes through a parser must never crash, leak,
+//     or overflow, only return a value or throw the documented
+//     std::runtime_error (header nibbles, int16 trace bytes, Prometheus
+//     text);
+//   * round-trip — decode(impair(encode(x))) must be x or a reported
+//     failure whenever the impairment is within the documented correction
+//     capability, and decode(encode(x)) == x always.
+//
+// The oracles deliberately avoid asserting facts that hold only with high
+// probability under *random* inputs (e.g. "no 16-bit CRC collision"), so
+// the same binary is sound both as a libFuzzer target and as the
+// deterministic corpus-replay ctest. Probabilistic-but-pinned variants
+// live in tests/ (test_bec.cpp BecFalseAccept) where the seed is fixed.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "testing/fuzz_input.hpp"
+
+namespace tnb::testing {
+
+/// An oracle property was violated (a real correctness finding, as opposed
+/// to a rejected malformed input).
+struct OracleFailure : std::logic_error {
+  using std::logic_error::logic_error;
+};
+
+[[noreturn]] void oracle_fail(const char* file, int line,
+                              const std::string& msg);
+
+#define TNB_ORACLE(cond, msg)                                  \
+  do {                                                         \
+    if (!(cond)) ::tnb::testing::oracle_fail(__FILE__, __LINE__, msg); \
+  } while (0)
+
+// ---- coding chain (lora::gray / whitening / interleaver / hamming / crc) --
+/// Involutions and bijections of the primitive stages on arbitrary data.
+void oracle_primitives_roundtrip(FuzzInput& in);
+/// Full chain: make_packet_symbols -> default decode == identity, BEC
+/// decode == identity, for an arbitrary valid (SF, CR, LDRO) and payload.
+void oracle_coding_chain_roundtrip(FuzzInput& in);
+/// Arbitrary symbol corruption: decoders never crash; anything they accept
+/// passed its integrity gate (header checksum / payload CRC).
+void oracle_coding_chain_corrupted(FuzzInput& in);
+
+// ---- lora::header ----
+/// Serialize/parse identity at every SF, through nibbles, symbols, default
+/// decode and BEC; single-symbol corruption still yields the true header.
+void oracle_header_roundtrip(FuzzInput& in);
+/// header_from_nibbles on arbitrary bytes: total, and any accepted header
+/// is a serialize/parse fixpoint.
+void oracle_header_parse_total(FuzzInput& in);
+
+// ---- core::Bec ----
+/// decode_block on an arbitrary in-contract block: candidates are valid
+/// codeword blocks, deduplicated, led by the default-decoder block.
+void oracle_bec_arbitrary_block(FuzzInput& in);
+/// Any corruption within the documented capability (1 column at every CR,
+/// 2 columns at CR 4) must put the original block among the candidates.
+void oracle_bec_correctable(FuzzInput& in);
+/// Packet level: one corrupted symbol per block decodes ok, and whatever
+/// decode_payload_bec accepts carries a valid packet CRC — the gate never
+/// reports ok on a payload that fails it.
+void oracle_bec_packet(FuzzInput& in);
+
+// ---- sim::trace_io ----
+/// Arbitrary bytes through read_trace_i16_chunk: total; sample count and
+/// truncation status exactly reflect the byte count; values match a
+/// reference little-endian int16 decode.
+void oracle_trace_chunk_arbitrary(FuzzInput& in);
+/// int16-grid samples serialize -> chunked read == identity for any chunk
+/// size; byte_offset lands on the exact byte count.
+void oracle_trace_roundtrip(FuzzInput& in);
+/// stream::IstreamSource over a torn stream: partial chunk + status, then
+/// a clean end of stream — never an exception for a mid-pair tail.
+void oracle_chunk_source_truncation(FuzzInput& in);
+
+// ---- stream::StreamingReceiver ----
+/// Chunked ingestion of arbitrary IQ at fuzz-chosen chunk boundaries
+/// decodes the same packet set as one-shot ingestion, with consistent
+/// sample accounting, and never crashes.
+void oracle_streaming_chunk_invariance(FuzzInput& in);
+
+}  // namespace tnb::testing

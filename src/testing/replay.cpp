@@ -1,0 +1,125 @@
+#include "testing/replay.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace tnb::testing {
+
+namespace {
+
+bool read_file(const std::filesystem::path& path,
+               std::vector<std::uint8_t>& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out.assign(std::istreambuf_iterator<char>(in),
+             std::istreambuf_iterator<char>());
+  return true;
+}
+
+/// Runs one input through the target, reporting any escaped exception as a
+/// crash tagged with `label`.
+bool run_one(FuzzTarget target, const std::vector<std::uint8_t>& data,
+             const std::string& label) {
+  try {
+    target(data.empty() ? nullptr : data.data(), data.size());
+    return true;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "replay: FAILED on %s (%zu bytes)\n  %s\n",
+                 label.c_str(), data.size(), e.what());
+  } catch (...) {
+    std::fprintf(stderr, "replay: FAILED on %s (%zu bytes): non-std exception\n",
+                 label.c_str(), data.size());
+  }
+  return false;
+}
+
+}  // namespace
+
+int replay_main(int argc, char** argv, FuzzTarget target) {
+  std::size_t rand_cases = 0;
+  std::uint64_t seed = 0x7E57C0DE5EEDull;
+  std::size_t max_len = 512;
+  std::vector<std::filesystem::path> corpus_paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "replay: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--rand") == 0) {
+      rand_cases = std::strtoull(need_value("--rand"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      seed = std::strtoull(need_value("--seed"), nullptr, 0);
+    } else if (std::strcmp(argv[i], "--max-len") == 0) {
+      max_len = std::strtoull(need_value("--max-len"), nullptr, 10);
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr,
+                   "usage: %s [--rand N] [--seed S] [--max-len L] [PATH...]\n",
+                   argv[0]);
+      return 2;
+    } else {
+      corpus_paths.emplace_back(argv[i]);
+    }
+  }
+
+  // Corpus replay: files directly, directories expanded and name-sorted so
+  // the run order never depends on readdir order.
+  std::vector<std::filesystem::path> files;
+  for (const auto& path : corpus_paths) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(path, ec)) {
+      std::vector<std::filesystem::path> entries;
+      for (const auto& e : std::filesystem::directory_iterator(path, ec)) {
+        if (e.is_regular_file()) entries.push_back(e.path());
+      }
+      std::sort(entries.begin(), entries.end());
+      files.insert(files.end(), entries.begin(), entries.end());
+    } else if (std::filesystem::is_regular_file(path, ec)) {
+      files.push_back(path);
+    } else {
+      std::fprintf(stderr, "replay: no such corpus path: %s\n",
+                   path.string().c_str());
+      return 2;
+    }
+  }
+
+  std::size_t failures = 0;
+  std::vector<std::uint8_t> data;
+  for (const auto& f : files) {
+    if (!read_file(f, data)) {
+      std::fprintf(stderr, "replay: cannot read %s\n", f.string().c_str());
+      return 2;
+    }
+    if (!run_one(target, data, f.string())) ++failures;
+  }
+
+  Rng rng(seed);
+  for (std::size_t i = 0; i < rand_cases; ++i) {
+    data.resize(rng.uniform_index(static_cast<std::uint64_t>(max_len) + 1));
+    for (auto& b : data) {
+      b = static_cast<std::uint8_t>(rng.uniform_index(256));
+    }
+    if (!run_one(target, data, "random case #" + std::to_string(i) +
+                                   " (seed " + std::to_string(seed) + ")")) {
+      ++failures;
+    }
+  }
+
+  std::printf("replay: %zu corpus file(s) + %zu random case(s), %zu failure(s)\n",
+              files.size(), rand_cases, failures);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace tnb::testing

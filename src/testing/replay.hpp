@@ -1,0 +1,28 @@
+// Deterministic replay driver for the fuzz harnesses.
+//
+// Every harness in tests/fuzz/ defines the libFuzzer entry point
+// `LLVMFuzzerTestOneInput`. Under -DTNB_FUZZ=ON that symbol is driven by
+// the real fuzzing engine; in the default build each harness links
+// replay_main.cpp instead and becomes a plain ctest binary:
+//
+//   fuzz_<name> [--rand N] [--seed S] [--max-len L] [PATH...]
+//
+// Each PATH is a corpus file or a directory of corpus files (sorted by
+// name, so runs are reproducible). After the corpus, N random inputs are
+// generated from a tnb::Rng pinned to S — fully deterministic, so a clean
+// local run guarantees a clean CI run. Exit status: 0 all inputs clean,
+// 1 an input crashed an oracle (the offending corpus file or random-case
+// index is printed), 2 usage error / unreadable path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tnb::testing {
+
+/// The libFuzzer target signature (return value is ignored).
+using FuzzTarget = int (*)(const std::uint8_t* data, std::size_t size);
+
+int replay_main(int argc, char** argv, FuzzTarget target);
+
+}  // namespace tnb::testing

@@ -1,0 +1,25 @@
+// Fuzz harness: core::Bec. Arbitrary in-contract blocks (candidate-list
+// invariants), corruption within the documented capability (original
+// block must be recoverable), and packet-level decode_payload_bec
+// (never accepts a CRC-failing payload, never exceeds the W budget).
+#include <cstddef>
+#include <cstdint>
+
+#include "testing/oracles.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  tnb::testing::FuzzInput in(data, size);
+  switch (in.u8() % 3) {
+    case 0:
+      tnb::testing::oracle_bec_arbitrary_block(in);
+      break;
+    case 1:
+      tnb::testing::oracle_bec_correctable(in);
+      break;
+    default:
+      tnb::testing::oracle_bec_packet(in);
+      break;
+  }
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Fuzz harness: the coding chain (gray / whitening / interleaver /
+// Hamming / CRC), from single-stage round trips up to full
+// encode -> impair -> decode packets. First input byte selects the oracle
+// so corpus seeds stay attached to one property.
+#include <cstddef>
+#include <cstdint>
+
+#include "testing/oracles.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  tnb::testing::FuzzInput in(data, size);
+  switch (in.u8() % 3) {
+    case 0:
+      tnb::testing::oracle_primitives_roundtrip(in);
+      break;
+    case 1:
+      tnb::testing::oracle_coding_chain_roundtrip(in);
+      break;
+    default:
+      tnb::testing::oracle_coding_chain_corrupted(in);
+      break;
+  }
+  return 0;
+}

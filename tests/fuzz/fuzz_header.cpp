@@ -1,0 +1,50 @@
+// Fuzz harness: lora::header. Round trips through nibbles/symbols/BEC,
+// parser totality on arbitrary bytes, and the serializer's argument
+// contract (rejects out-of-range SF/CR with the documented exception,
+// never anything else).
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+
+#include "lora/header.hpp"
+#include "testing/oracles.hpp"
+
+namespace {
+
+void serializer_contract(tnb::testing::FuzzInput& in) {
+  tnb::lora::Header h;
+  h.payload_len = in.u8();
+  h.cr = static_cast<std::uint8_t>(in.uniform(0, 7));
+  h.has_crc = in.boolean();
+  const unsigned sf = static_cast<unsigned>(in.uniform(0, 16));
+  const bool in_contract = sf >= 6 && h.cr >= 1 && h.cr <= 4;
+  try {
+    const auto nibbles = tnb::lora::header_to_nibbles(h, sf);
+    TNB_ORACLE(in_contract, "serializer accepted out-of-contract args");
+    TNB_ORACLE(nibbles.size() == sf, "nibble count != SF");
+    const auto parsed = tnb::lora::header_from_nibbles(nibbles);
+    TNB_ORACLE(parsed.has_value() && *parsed == h,
+               "serializer output does not parse back");
+  } catch (const std::invalid_argument&) {
+    TNB_ORACLE(!in_contract, "serializer rejected in-contract args");
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  tnb::testing::FuzzInput in(data, size);
+  switch (in.u8() % 3) {
+    case 0:
+      tnb::testing::oracle_header_roundtrip(in);
+      break;
+    case 1:
+      tnb::testing::oracle_header_parse_total(in);
+      break;
+    default:
+      serializer_contract(in);
+      break;
+  }
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Fuzz harness: Prometheus exposition validation (tools/promcheck_lib,
+// shared with the tnb_promcheck CLI).
+//
+// Mode 0 — totality: arbitrary bytes through parse/check_file/
+//   check_monotonic never crash; a file that passes its per-file checks is
+//   monotonic against itself.
+// Mode 1 — round trip: a fuzz-built obs::Registry exported with
+//   to_prometheus() must parse back violation-free; a second snapshot
+//   taken after further increments must be monotonic over the first, and
+//   (when a counter provably increased) the reversed order must be flagged
+//   as a regression. promcheck_lib shares no code with the exporter, so
+//   this is a genuine differential oracle.
+#include <cstddef>
+#include <cstdint>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "promcheck_lib.hpp"
+#include "testing/oracles.hpp"
+
+namespace {
+
+using tnb::testing::FuzzInput;
+
+std::string join_failures(const tnb::promcheck::Report& rep) {
+  std::string out;
+  for (const auto& f : rep.failures) {
+    out += "\n  ";
+    out += f;
+  }
+  return out;
+}
+
+void totality(FuzzInput& in) {
+  const std::vector<std::uint8_t> bytes = in.rest();
+  std::istringstream s(
+      std::string(reinterpret_cast<const char*>(bytes.data()), bytes.size()));
+  tnb::promcheck::Report rep;
+  const auto pf = tnb::promcheck::parse(s, "fuzz", rep);
+  tnb::promcheck::check_file("fuzz", pf, rep);
+  if (!rep.ok()) return;  // malformed input, correctly reported
+  // A well-formed file (unique sample keys) never regresses vs itself.
+  tnb::promcheck::Report self;
+  tnb::promcheck::check_monotonic("fuzz", pf, "fuzz", pf, self);
+  TNB_ORACLE(self.ok(),
+             "well-formed exposition regresses against itself:" +
+                 join_failures(self));
+}
+
+/// Metric-name-safe identifier from fuzz bytes (the exporter escapes label
+/// values but takes names verbatim, so the oracle constrains them).
+std::string arb_name(FuzzInput& in, const char* prefix) {
+  static const char alpha[] = "abcdefghijklmnopqrstuvwxyz_";
+  std::string s = prefix;
+  const std::size_t n = static_cast<std::size_t>(in.uniform(1, 6));
+  for (std::size_t i = 0; i < n; ++i) {
+    s += alpha[in.uniform(0, sizeof(alpha) - 2)];
+  }
+  return s;
+}
+
+tnb::obs::Labels arb_labels(FuzzInput& in) {
+  if (!in.boolean()) return {};
+  static const char alnum[] = "abcdefghijklmnopqrstuvwxyz0123456789";
+  std::string v;
+  const std::size_t n = static_cast<std::size_t>(in.uniform(1, 5));
+  for (std::size_t i = 0; i < n; ++i) {
+    v += alnum[in.uniform(0, sizeof(alnum) - 2)];
+  }
+  return {{"k", v}};
+}
+
+void registry_round_trip(FuzzInput& in) {
+  tnb::obs::Registry reg;
+
+  std::vector<tnb::obs::CounterRef> counters;
+  const std::size_t n_counters = static_cast<std::size_t>(in.uniform(1, 4));
+  for (std::size_t i = 0; i < n_counters; ++i) {
+    counters.push_back(
+        reg.counter(arb_name(in, "c_") + std::to_string(i), "", arb_labels(in)));
+    counters.back().inc(in.uniform(0, 1000));
+  }
+  tnb::obs::GaugeRef gauge = reg.gauge(arb_name(in, "g_"));
+  gauge.set(static_cast<std::int64_t>(in.uniform(0, 2000)) - 1000);
+  std::vector<double> bounds(static_cast<std::size_t>(in.uniform(1, 6)));
+  double b = static_cast<double>(in.uniform(0, 10));
+  for (auto& e : bounds) {
+    b += static_cast<double>(in.uniform(1, 10));
+    e = b;
+  }
+  tnb::obs::HistogramRef hist = reg.histogram(arb_name(in, "h_"), bounds);
+  const std::size_t n_obs = static_cast<std::size_t>(in.uniform(0, 16));
+  for (std::size_t i = 0; i < n_obs; ++i) {
+    hist.observe(in.real(-5.0, 50.0));
+  }
+
+  tnb::promcheck::Report rep;
+  std::istringstream s1(reg.snapshot().to_prometheus());
+  const auto pf1 = tnb::promcheck::parse(s1, "snap1", rep);
+  tnb::promcheck::check_file("snap1", pf1, rep);
+  TNB_ORACLE(rep.ok(),
+             "exporter output fails validation:" + join_failures(rep));
+  TNB_ORACLE(!pf1.samples.empty(), "exporter emitted no samples");
+
+  // Advance: counters and histogram only move up, the gauge moves freely.
+  const std::uint64_t bump = in.uniform(1, 100);
+  counters.front().inc(bump);
+  gauge.set(static_cast<std::int64_t>(in.uniform(0, 2000)) - 1000);
+  hist.observe(in.real(-5.0, 50.0));
+
+  tnb::promcheck::Report rep2;
+  std::istringstream s2(reg.snapshot().to_prometheus());
+  const auto pf2 = tnb::promcheck::parse(s2, "snap2", rep2);
+  tnb::promcheck::check_file("snap2", pf2, rep2);
+  tnb::promcheck::check_monotonic("snap1", pf1, "snap2", pf2, rep2);
+  TNB_ORACLE(rep2.ok(),
+             "monotonic advance flagged as regression:" + join_failures(rep2));
+
+  // The reversed order must be caught: counters.front() strictly grew.
+  tnb::promcheck::Report rev;
+  tnb::promcheck::check_monotonic("snap2", pf2, "snap1", pf1, rev);
+  TNB_ORACLE(!rev.ok(), "counter regression went undetected");
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  FuzzInput in(data, size);
+  if (in.boolean()) {
+    totality(in);
+  } else {
+    registry_round_trip(in);
+  }
+  return 0;
+}

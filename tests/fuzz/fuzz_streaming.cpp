@@ -1,0 +1,19 @@
+// Fuzz harness: stream ingestion. IstreamSource over torn byte streams
+// (partial chunk + status, sticky end of stream) and the
+// StreamingReceiver differential property: fuzz-chosen chunk boundaries
+// must decode exactly the one-shot packet set.
+#include <cstddef>
+#include <cstdint>
+
+#include "testing/oracles.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  tnb::testing::FuzzInput in(data, size);
+  if (in.boolean()) {
+    tnb::testing::oracle_chunk_source_truncation(in);
+  } else {
+    tnb::testing::oracle_streaming_chunk_invariance(in);
+  }
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Fuzz harness: sim::trace_io chunked reader. Arbitrary bytes (totality,
+// truncated-tail flag vs legacy throwing contract, value-exactness against
+// a reference little-endian decode) and int16-grid round trips at
+// arbitrary chunk sizes.
+#include <cstddef>
+#include <cstdint>
+
+#include "testing/oracles.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  tnb::testing::FuzzInput in(data, size);
+  if (in.boolean()) {
+    tnb::testing::oracle_trace_chunk_arbitrary(in);
+  } else {
+    tnb::testing::oracle_trace_roundtrip(in);
+  }
+  return 0;
+}

@@ -1,0 +1,15 @@
+// main() for the default (no fuzzing engine) build of every harness:
+// drives LLVMFuzzerTestOneInput with the corpus + pinned-seed random
+// inputs via the deterministic replay driver. Under -DTNB_FUZZ=ON this
+// file is not compiled and libFuzzer provides main().
+#include <cstddef>
+#include <cstdint>
+
+#include "testing/replay.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+int main(int argc, char** argv) {
+  return tnb::testing::replay_main(argc, argv, &LLVMFuzzerTestOneInput);
+}

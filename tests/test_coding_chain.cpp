@@ -204,18 +204,23 @@ TEST(Frame, CheckCrcRejectsTinyInputs) {
   EXPECT_FALSE(check_payload_crc(two));
 }
 
-class FrameRoundTrip
-    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>> {};
+class FrameRoundTrip : public ::testing::TestWithParam<
+                           std::tuple<unsigned, unsigned, bool>> {};
 
 TEST_P(FrameRoundTrip, EncodeDecodeClean) {
-  const auto [sf, cr] = GetParam();
-  Params p{.sf = sf, .cr = cr};
-  Rng rng(sf * 100 + cr);
+  const auto [sf, cr, ldro] = GetParam();
+  if (ldro && sf < 8) {
+    GTEST_SKIP() << "LDRO needs SF >= 8 (Params::validate)";
+  }
+  Params p{.sf = sf, .cr = cr, .ldro = ldro};
+  p.validate();
+  Rng rng(sf * 100 + cr * 10 + (ldro ? 1 : 0));
   std::vector<std::uint8_t> app(14);
   for (auto& b : app) b = static_cast<std::uint8_t>(rng.uniform_index(256));
 
   const auto symbols = make_packet_symbols(p, app);
   ASSERT_EQ(symbols.size(), num_packet_symbols(p, app.size() + 2));
+  for (std::uint32_t s : symbols) EXPECT_LT(s, 1u << p.bits_per_symbol());
 
   // Header first.
   const auto hdr = decode_header_default(
@@ -232,10 +237,13 @@ TEST_P(FrameRoundTrip, EncodeDecodeClean) {
   EXPECT_TRUE(std::equal(app.begin(), app.end(), payload->begin()));
 }
 
+// The full supported grid: every SF x CR x LDRO combination (invalid
+// LDRO/SF pairs skip themselves above).
 INSTANTIATE_TEST_SUITE_P(
-    SfCrGrid, FrameRoundTrip,
-    ::testing::Combine(::testing::Values(7u, 8u, 10u, 12u),
-                       ::testing::Values(1u, 2u, 3u, 4u)));
+    SfCrLdroGrid, FrameRoundTrip,
+    ::testing::Combine(::testing::Values(6u, 7u, 8u, 9u, 10u, 11u, 12u),
+                       ::testing::Values(1u, 2u, 3u, 4u),
+                       ::testing::Bool()));
 
 TEST(Frame, DecodeSurvivesOneBitErrorPerCodewordAtCr4) {
   Params p{.sf = 8, .cr = 4};

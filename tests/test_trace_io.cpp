@@ -1,8 +1,11 @@
 #include "sim/trace_io.hpp"
 
+#include "stream/chunk_source.hpp"
+
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <limits>
 #include <fstream>
 #include <sstream>
 
@@ -118,6 +121,98 @@ TEST(TraceIo, ChunkReaderReportsMidPairEofOffset) {
         }
       },
       std::runtime_error);
+}
+
+TEST(TraceIo, ChunkReaderTruncatedTailFlagInsteadOfThrow) {
+  // Same torn stream as above, but with the caller opting into the
+  // partial-chunk contract: complete samples are delivered, the flag is
+  // set, nothing throws.
+  std::stringstream s;
+  s.write("\0\1\2\3\4\5\6\7\10\11", 10);
+  IqBuffer out;
+  std::uint64_t offset = 0;
+  bool truncated = false;
+  const std::size_t got =
+      read_trace_i16_chunk(s, out, 1024, 1024.0, &offset, &truncated);
+  EXPECT_EQ(got, 2u);
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_TRUE(truncated);
+  EXPECT_EQ(offset, 10u);  // dangling bytes are accounted for
+  // The stream is exhausted: further reads return 0 and keep the flag off.
+  truncated = false;
+  EXPECT_EQ(read_trace_i16_chunk(s, out, 1024, 1024.0, &offset, &truncated),
+            0u);
+  EXPECT_FALSE(truncated);
+}
+
+TEST(TraceIo, ChunkReaderTruncatedTailOnCleanStreamStaysFalse) {
+  std::stringstream s;
+  s.write("\0\1\2\3", 4);
+  IqBuffer out;
+  bool truncated = true;
+  EXPECT_EQ(read_trace_i16_chunk(s, out, 8, 1024.0, nullptr, &truncated), 1u);
+  EXPECT_FALSE(truncated);
+}
+
+TEST(TraceIo, WriteClipsNanToZero) {
+  // A NaN sample must serialize as 0, not feed NaN into the int16 cast
+  // (undefined behaviour).
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  IqBuffer iq{{nan, 0.5f}, {-0.5f, nan}};
+  const std::string path = ::testing::TempDir() + "tnb_nan.bin";
+  write_trace_i16(path, iq, 1024.0);
+  const IqBuffer back = read_trace_i16(path, 1024.0);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].real(), 0.0f);
+  EXPECT_NEAR(back[0].imag(), 0.5f, 1e-3f);
+  EXPECT_NEAR(back[1].real(), -0.5f, 1e-3f);
+  EXPECT_EQ(back[1].imag(), 0.0f);
+  std::remove(path.c_str());
+}
+
+TEST(ChunkSourceHardening, IstreamSourceDeliversPartialChunkOnTornStream) {
+  // 13 bytes = 3 whole samples + 1 dangling byte. The source must hand
+  // over the 3 samples with a truncation status instead of throwing —
+  // tnb_streamd reads arbitrary pipes and a torn tail is an operational
+  // event, not a programming error.
+  std::istringstream s(std::string("\0\1\2\3\4\5\6\7\10\11\12\13\14", 13));
+  stream::IstreamSource src(s);
+  IqBuffer chunk;
+  std::size_t total = 0;
+  std::size_t n;
+  while ((n = src.next(chunk, 2)) > 0) total += n;
+  EXPECT_EQ(total, 3u);
+  EXPECT_TRUE(src.truncated_tail());
+  EXPECT_EQ(src.byte_offset(), 13u);
+  // End of stream is sticky: every further next() is an empty read.
+  EXPECT_EQ(src.next(chunk, 2), 0u);
+  EXPECT_TRUE(chunk.empty());
+}
+
+TEST(ChunkSourceHardening, IstreamSourceCleanStreamHasNoTruncation) {
+  std::istringstream s(std::string("\0\1\2\3\4\5\6\7", 8));
+  stream::IstreamSource src(s);
+  IqBuffer chunk;
+  std::size_t total = 0;
+  while (src.next(chunk, 64) > 0) total += chunk.size();
+  EXPECT_EQ(total, 2u);
+  EXPECT_FALSE(src.truncated_tail());
+  EXPECT_EQ(src.byte_offset(), 8u);
+}
+
+TEST(ChunkSourceHardening, FileReplaySourceSurfacesTruncationStatus) {
+  const std::string path = ::testing::TempDir() + "tnb_torn_replay.bin";
+  {
+    std::ofstream f(path, std::ios::binary);
+    f.write("\0\1\2\3\4\5", 6);  // 1 whole sample + half a pair
+  }
+  stream::FileReplaySource src(path);
+  IqBuffer chunk;
+  std::size_t total = 0;
+  while (src.next(chunk, 16) > 0) total += chunk.size();
+  EXPECT_EQ(total, 1u);
+  EXPECT_TRUE(src.truncated_tail());
+  std::remove(path.c_str());
 }
 
 }  // namespace

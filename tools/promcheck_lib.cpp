@@ -1,0 +1,192 @@
+#include "promcheck_lib.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace tnb::promcheck {
+
+std::string family_of(const std::string& series) {
+  for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+    const std::size_t n = std::strlen(suffix);
+    if (series.size() > n &&
+        series.compare(series.size() - n, n, suffix) == 0) {
+      return series.substr(0, series.size() - n);
+    }
+  }
+  return series;
+}
+
+std::optional<std::string> label_value(const std::string& labels,
+                                       const std::string& key) {
+  const std::string needle = key + "=\"";
+  const std::size_t at = labels.find(needle);
+  if (at == std::string::npos) return std::nullopt;
+  const std::size_t start = at + needle.size();
+  const std::size_t end = labels.find('"', start);
+  if (end == std::string::npos) return std::nullopt;
+  return labels.substr(start, end - start);
+}
+
+namespace {
+
+/// The label block with the `le` pair removed — the histogram identity all
+/// buckets of one series share.
+std::string strip_le(const std::string& labels) {
+  std::string out;
+  if (labels.empty()) return out;
+  std::string inner = labels.substr(1, labels.size() - 2);
+  std::string kept;
+  std::size_t pos = 0;
+  while (pos < inner.size()) {
+    // Label values are exporter-escaped and never contain a bare comma
+    // followed by an identifier+'='; splitting on ',' is safe here.
+    std::size_t end = inner.find("\",", pos);
+    const std::string pair = end == std::string::npos
+                                 ? inner.substr(pos)
+                                 : inner.substr(pos, end - pos + 1);
+    if (pair.compare(0, 4, "le=\"") != 0) {
+      if (!kept.empty()) kept += ',';
+      kept += pair;
+    }
+    if (end == std::string::npos) break;
+    pos = end + 2;
+  }
+  return kept.empty() ? "" : "{" + kept + "}";
+}
+
+}  // namespace
+
+ParsedFile parse(std::istream& in, const std::string& name, Report& rep) {
+  ParsedFile pf;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string where = name + ":" + std::to_string(lineno);
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // "# TYPE <name> <kind>" / "# HELP <name> <text>"
+      char tname[256], kind[64];
+      if (std::sscanf(line.c_str(), "# TYPE %255s %63s", tname, kind) == 2) {
+        if (pf.types.count(tname) != 0) {
+          rep.fail(where, std::string("duplicate # TYPE for ") + tname);
+        }
+        pf.types[tname] = kind;
+      }
+      continue;
+    }
+    Sample s;
+    const std::size_t brace = line.find('{');
+    const std::size_t sp = line.rfind(' ');
+    if (sp == std::string::npos || sp == 0) {
+      rep.fail(where, "unparsable sample line: " + line);
+      continue;
+    }
+    if (brace != std::string::npos && brace < sp) {
+      const std::size_t close = line.rfind('}', sp);
+      if (close == std::string::npos || close > sp || close < brace) {
+        rep.fail(where, "unbalanced label braces: " + line);
+        continue;
+      }
+      s.name = line.substr(0, brace);
+      s.labels = line.substr(brace, close - brace + 1);
+    } else {
+      s.name = line.substr(0, sp);
+    }
+    char* endp = nullptr;
+    s.value = std::strtod(line.c_str() + sp + 1, &endp);
+    if (endp == line.c_str() + sp + 1 || !std::isfinite(s.value)) {
+      rep.fail(where, "non-finite or unparsable value: " + line);
+      continue;
+    }
+    pf.samples.push_back(std::move(s));
+  }
+  return pf;
+}
+
+void check_file(const std::string& name, const ParsedFile& pf, Report& rep) {
+  std::map<std::string, double> seen;  ///< key -> value, uniqueness
+  // Histogram running state, keyed by family + identity labels.
+  struct HistState {
+    double last_bucket = -1.0;
+    bool saw_inf = false;
+    double inf_value = 0.0;
+  };
+  std::map<std::string, HistState> hists;
+
+  for (const Sample& s : pf.samples) {
+    const std::string key = s.name + s.labels;
+    if (!seen.emplace(key, s.value).second) {
+      rep.fail(name, "duplicate sample key: " + key);
+    }
+    const std::string family = family_of(s.name);
+    const auto type_it = pf.types.count(s.name) != 0 ? pf.types.find(s.name)
+                                                     : pf.types.find(family);
+    if (type_it == pf.types.end()) {
+      rep.fail(name, "sample without # TYPE: " + key);
+      continue;
+    }
+    const std::string& type = type_it->second;
+    if (type == "counter") {
+      if (s.value < 0.0 || s.value != std::floor(s.value)) {
+        rep.fail(name, "counter not a non-negative integer: " + key);
+      }
+    } else if (type == "histogram") {
+      const std::string id = family + strip_le(s.labels);
+      HistState& h = hists[id];
+      if (s.name == family + "_bucket") {
+        const std::optional<std::string> le = label_value(s.labels, "le");
+        if (!le.has_value()) {
+          rep.fail(name, "histogram bucket without le label: " + key);
+          continue;
+        }
+        if (h.saw_inf) rep.fail(name, "bucket after +Inf: " + key);
+        if (s.value + 1e-9 < h.last_bucket) {
+          rep.fail(name, "cumulative bucket decreases: " + key);
+        }
+        h.last_bucket = s.value;
+        if (*le == "+Inf") {
+          h.saw_inf = true;
+          h.inf_value = s.value;
+        }
+      } else if (s.name == family + "_count") {
+        if (!h.saw_inf) {
+          rep.fail(name, "histogram _count before/without +Inf bucket: " + key);
+        } else if (s.value != h.inf_value) {
+          rep.fail(name, "histogram _count != +Inf bucket: " + key);
+        }
+      }
+    }
+  }
+  for (const auto& [id, h] : hists) {
+    if (!h.saw_inf) rep.fail(name, "histogram missing +Inf bucket: " + id);
+  }
+}
+
+void check_monotonic(const std::string& prev_name, const ParsedFile& prev,
+                     const std::string& name, const ParsedFile& cur,
+                     Report& rep) {
+  std::map<std::string, double> prev_values;
+  for (const Sample& s : prev.samples) prev_values[s.name + s.labels] = s.value;
+  for (const Sample& s : cur.samples) {
+    const std::string family = family_of(s.name);
+    const auto type_it = cur.types.count(s.name) != 0 ? cur.types.find(s.name)
+                                                      : cur.types.find(family);
+    if (type_it == cur.types.end()) continue;
+    const bool monotonic =
+        type_it->second == "counter" ||
+        (type_it->second == "histogram" && s.name != family + "_sum");
+    if (!monotonic) continue;
+    const auto it = prev_values.find(s.name + s.labels);
+    if (it == prev_values.end()) continue;
+    if (s.value + 1e-9 < it->second) {
+      rep.fail(name, "counter regressed vs " + prev_name + ": " + s.name +
+                         s.labels + " " + std::to_string(it->second) + " -> " +
+                         std::to_string(s.value));
+    }
+  }
+}
+
+}  // namespace tnb::promcheck

@@ -1,0 +1,73 @@
+// Prometheus text-exposition validator, shared by the tnb_promcheck CLI
+// and the fuzz/property harnesses (tests/fuzz/fuzz_promcheck.cpp).
+//
+// Deliberately a standalone parser — it shares no code with the obs
+// exporter, so a serialization bug cannot hide in a common path; the
+// round-trip oracle (Registry -> to_prometheus() -> this parser) only
+// means something because the two sides are independent.
+//
+// Checks, per file:
+//   - every sample line parses as `name{labels} value` with a finite value;
+//   - every sample's family has a preceding # TYPE line (histogram series
+//     suffixes _bucket/_sum/_count resolve to their family);
+//   - sample keys (name + label set) are unique;
+//   - counter samples are non-negative integers;
+//   - histograms: cumulative buckets are non-decreasing in file order, end
+//     with le="+Inf", and the +Inf bucket equals the _count sample.
+// Across snapshots (check_monotonic): counter and histogram _count/_bucket
+// samples never decrease — the monotonicity a scraper relies on.
+#pragma once
+
+#include <istream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tnb::promcheck {
+
+struct Sample {
+  std::string name;    ///< series name (may carry _bucket/_sum/_count)
+  std::string labels;  ///< raw label block, "" when absent
+  double value = 0.0;
+};
+
+struct ParsedFile {
+  std::map<std::string, std::string> types;  ///< family -> counter|gauge|...
+  std::vector<Sample> samples;               ///< in file order
+};
+
+/// Collected violations; `where` is the file (or stream) name handed to the
+/// parse/check calls, optionally with a line number appended.
+struct Report {
+  std::vector<std::string> failures;
+
+  void fail(const std::string& where, const std::string& msg) {
+    failures.push_back(where + ": " + msg);
+  }
+  bool ok() const { return failures.empty(); }
+};
+
+/// Strips a histogram series suffix (_bucket/_sum/_count) to the family.
+std::string family_of(const std::string& series);
+
+/// Extracts the value of label `key` from a raw label block, if present.
+std::optional<std::string> label_value(const std::string& labels,
+                                       const std::string& key);
+
+/// Parses one exposition from `in`. Malformed lines are reported to `rep`
+/// and skipped; the parse itself never fails, so arbitrary bytes always
+/// yield a (possibly empty) ParsedFile.
+ParsedFile parse(std::istream& in, const std::string& name, Report& rep);
+
+/// Per-file semantic checks (uniqueness, TYPE coverage, counter integer-
+/// ness, histogram bucket consistency).
+void check_file(const std::string& name, const ParsedFile& pf, Report& rep);
+
+/// Cross-snapshot monotonicity: counters and histogram counts/buckets in
+/// `cur` must be >= their value in `prev`.
+void check_monotonic(const std::string& prev_name, const ParsedFile& prev,
+                     const std::string& name, const ParsedFile& cur,
+                     Report& rep);
+
+}  // namespace tnb::promcheck

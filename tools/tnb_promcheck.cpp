@@ -1,240 +1,26 @@
-// tnb_promcheck — validator for the Prometheus text exposition written by
-// tnb_streamd / tnb_eval (--metrics-file). The CI metrics-smoke job runs it
-// on real daemon output; it is deliberately a standalone parser so a bug in
-// the exporter cannot hide in a shared serialization path.
+// tnb_promcheck — CLI front end of the Prometheus exposition validator in
+// promcheck_lib (shared with the fuzz/property harnesses). The CI
+// metrics-smoke job runs it on real daemon output from tnb_streamd /
+// tnb_eval (--metrics-file).
 //
 //   tnb_promcheck [--require SUBSTRING]... FILE...
 //
-// Checks, per file:
-//   - every sample line parses as `name{labels} value` with a finite value;
-//   - every sample's family has a preceding # TYPE line (histogram series
-//     suffixes _bucket/_sum/_count resolve to their family);
-//   - sample keys (name + label set) are unique;
-//   - counter samples are non-negative integers;
-//   - histograms: cumulative buckets are non-decreasing in file order, end
-//     with le="+Inf", and the +Inf bucket equals the _count sample.
-// Across files (given in chronological order): counter and histogram
-// _count/_bucket samples never decrease — the monotonicity a scraper
-// relies on. --require asserts a substring is present in every file.
+// Per-file and cross-file checks are documented in promcheck_lib.hpp;
+// files are given in chronological order so counter monotonicity can be
+// checked across snapshots. --require asserts a substring is present in
+// every file.
 //
 // Exit status 0 = all checks pass; 1 = violation (printed to stderr);
 // 2 = usage / unreadable file.
-#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
-#include <map>
+#include <iterator>
 #include <optional>
 #include <string>
 #include <vector>
 
-namespace {
-
-struct Sample {
-  std::string name;    ///< series name (may carry _bucket/_sum/_count)
-  std::string labels;  ///< raw label block, "" when absent
-  double value = 0.0;
-};
-
-struct ParsedFile {
-  std::map<std::string, std::string> types;  ///< family -> counter|gauge|...
-  std::vector<Sample> samples;               ///< in file order
-};
-
-int g_failures = 0;
-
-void fail(const std::string& file, const std::string& msg) {
-  std::fprintf(stderr, "tnb_promcheck: %s: %s\n", file.c_str(), msg.c_str());
-  ++g_failures;
-}
-
-/// Strips a histogram series suffix to the family name.
-std::string family_of(const std::string& series) {
-  for (const char* suffix : {"_bucket", "_sum", "_count"}) {
-    const std::size_t n = std::strlen(suffix);
-    if (series.size() > n &&
-        series.compare(series.size() - n, n, suffix) == 0) {
-      return series.substr(0, series.size() - n);
-    }
-  }
-  return series;
-}
-
-/// Extracts the value of label `key` from a raw label block, if present.
-std::optional<std::string> label_value(const std::string& labels,
-                                       const std::string& key) {
-  const std::string needle = key + "=\"";
-  const std::size_t at = labels.find(needle);
-  if (at == std::string::npos) return std::nullopt;
-  const std::size_t start = at + needle.size();
-  const std::size_t end = labels.find('"', start);
-  if (end == std::string::npos) return std::nullopt;
-  return labels.substr(start, end - start);
-}
-
-/// The label block with the `le` pair removed — the histogram identity all
-/// buckets of one series share.
-std::string strip_le(const std::string& labels) {
-  std::string out;
-  if (labels.empty()) return out;
-  std::string inner = labels.substr(1, labels.size() - 2);
-  std::string kept;
-  std::size_t pos = 0;
-  while (pos < inner.size()) {
-    // Label values are exporter-escaped and never contain a bare comma
-    // followed by an identifier+'='; splitting on ',' is safe here.
-    std::size_t end = inner.find("\",", pos);
-    const std::string pair = end == std::string::npos
-                                 ? inner.substr(pos)
-                                 : inner.substr(pos, end - pos + 1);
-    if (pair.compare(0, 4, "le=\"") != 0) {
-      if (!kept.empty()) kept += ',';
-      kept += pair;
-    }
-    if (end == std::string::npos) break;
-    pos = end + 2;
-  }
-  return kept.empty() ? "" : "{" + kept + "}";
-}
-
-std::optional<ParsedFile> parse(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) {
-    std::fprintf(stderr, "tnb_promcheck: cannot read %s\n", path.c_str());
-    return std::nullopt;
-  }
-  ParsedFile pf;
-  std::string line;
-  int lineno = 0;
-  while (std::getline(in, line)) {
-    ++lineno;
-    const std::string where = path + ":" + std::to_string(lineno);
-    if (line.empty()) continue;
-    if (line[0] == '#') {
-      // "# TYPE <name> <kind>" / "# HELP <name> <text>"
-      char name[256], kind[64];
-      if (std::sscanf(line.c_str(), "# TYPE %255s %63s", name, kind) == 2) {
-        if (pf.types.count(name) != 0) {
-          fail(where, std::string("duplicate # TYPE for ") + name);
-        }
-        pf.types[name] = kind;
-      }
-      continue;
-    }
-    Sample s;
-    const std::size_t brace = line.find('{');
-    const std::size_t sp = line.rfind(' ');
-    if (sp == std::string::npos || sp == 0) {
-      fail(where, "unparsable sample line: " + line);
-      continue;
-    }
-    if (brace != std::string::npos && brace < sp) {
-      const std::size_t close = line.rfind('}', sp);
-      if (close == std::string::npos || close > sp) {
-        fail(where, "unbalanced label braces: " + line);
-        continue;
-      }
-      s.name = line.substr(0, brace);
-      s.labels = line.substr(brace, close - brace + 1);
-    } else {
-      s.name = line.substr(0, sp);
-    }
-    char* endp = nullptr;
-    s.value = std::strtod(line.c_str() + sp + 1, &endp);
-    if (endp == line.c_str() + sp + 1 || !std::isfinite(s.value)) {
-      fail(where, "non-finite or unparsable value: " + line);
-      continue;
-    }
-    pf.samples.push_back(std::move(s));
-  }
-  return pf;
-}
-
-void check_file(const std::string& path, const ParsedFile& pf) {
-  std::map<std::string, double> seen;  ///< key -> value, uniqueness
-  // Histogram running state, keyed by family + identity labels.
-  struct HistState {
-    double last_bucket = -1.0;
-    bool saw_inf = false;
-    double inf_value = 0.0;
-  };
-  std::map<std::string, HistState> hists;
-
-  for (const Sample& s : pf.samples) {
-    const std::string key = s.name + s.labels;
-    if (!seen.emplace(key, s.value).second) {
-      fail(path, "duplicate sample key: " + key);
-    }
-    const std::string family = family_of(s.name);
-    const auto type_it =
-        pf.types.count(s.name) != 0 ? pf.types.find(s.name) : pf.types.find(family);
-    if (type_it == pf.types.end()) {
-      fail(path, "sample without # TYPE: " + key);
-      continue;
-    }
-    const std::string& type = type_it->second;
-    if (type == "counter") {
-      if (s.value < 0.0 || s.value != std::floor(s.value)) {
-        fail(path, "counter not a non-negative integer: " + key);
-      }
-    } else if (type == "histogram") {
-      const std::string id = family + strip_le(s.labels);
-      HistState& h = hists[id];
-      if (s.name == family + "_bucket") {
-        const std::optional<std::string> le = label_value(s.labels, "le");
-        if (!le.has_value()) {
-          fail(path, "histogram bucket without le label: " + key);
-          continue;
-        }
-        if (h.saw_inf) fail(path, "bucket after +Inf: " + key);
-        if (s.value + 1e-9 < h.last_bucket) {
-          fail(path, "cumulative bucket decreases: " + key);
-        }
-        h.last_bucket = s.value;
-        if (*le == "+Inf") {
-          h.saw_inf = true;
-          h.inf_value = s.value;
-        }
-      } else if (s.name == family + "_count") {
-        if (!h.saw_inf) {
-          fail(path, "histogram _count before/without +Inf bucket: " + key);
-        } else if (s.value != h.inf_value) {
-          fail(path, "histogram _count != +Inf bucket: " + key);
-        }
-      }
-    }
-  }
-  for (const auto& [id, h] : hists) {
-    if (!h.saw_inf) fail(path, "histogram missing +Inf bucket: " + id);
-  }
-}
-
-/// Counters and histogram counts/buckets must be non-decreasing across
-/// successive snapshots of one process.
-void check_monotonic(const std::string& prev_path, const ParsedFile& prev,
-                     const std::string& path, const ParsedFile& cur) {
-  std::map<std::string, double> prev_values;
-  for (const Sample& s : prev.samples) prev_values[s.name + s.labels] = s.value;
-  for (const Sample& s : cur.samples) {
-    const std::string family = family_of(s.name);
-    const auto type_it = cur.types.count(s.name) != 0 ? cur.types.find(s.name)
-                                                      : cur.types.find(family);
-    if (type_it == cur.types.end()) continue;
-    const bool monotonic =
-        type_it->second == "counter" ||
-        (type_it->second == "histogram" && s.name != family + "_sum");
-    if (!monotonic) continue;
-    const auto it = prev_values.find(s.name + s.labels);
-    if (it == prev_values.end()) continue;
-    if (s.value + 1e-9 < it->second) {
-      fail(path, "counter regressed vs " + prev_path + ": " + s.name +
-                     s.labels + " " + std::to_string(it->second) + " -> " +
-                     std::to_string(s.value));
-    }
-  }
-}
-
-}  // namespace
+#include "promcheck_lib.hpp"
 
 int main(int argc, char** argv) {
   std::vector<std::string> files;
@@ -256,26 +42,37 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::optional<ParsedFile> prev;
+  tnb::promcheck::Report rep;
+  std::optional<tnb::promcheck::ParsedFile> prev;
   std::string prev_path;
   for (const std::string& path : files) {
-    std::optional<ParsedFile> pf = parse(path);
-    if (!pf.has_value()) return 2;
-    check_file(path, *pf);
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "tnb_promcheck: cannot read %s\n", path.c_str());
+      return 2;
+    }
+    tnb::promcheck::ParsedFile pf = tnb::promcheck::parse(in, path, rep);
+    tnb::promcheck::check_file(path, pf, rep);
     for (const std::string& r : required) {
-      std::ifstream in(path);
-      const std::string content((std::istreambuf_iterator<char>(in)),
+      std::ifstream again(path);
+      const std::string content((std::istreambuf_iterator<char>(again)),
                                 std::istreambuf_iterator<char>());
       if (content.find(r) == std::string::npos) {
-        fail(path, "missing required content: " + r);
+        rep.fail(path, "missing required content: " + r);
       }
     }
-    if (prev.has_value()) check_monotonic(prev_path, *prev, path, *pf);
+    if (prev.has_value()) {
+      tnb::promcheck::check_monotonic(prev_path, *prev, path, pf, rep);
+    }
     prev = std::move(pf);
     prev_path = path;
   }
-  if (g_failures > 0) {
-    std::fprintf(stderr, "tnb_promcheck: %d check(s) failed\n", g_failures);
+  if (!rep.ok()) {
+    for (const std::string& f : rep.failures) {
+      std::fprintf(stderr, "tnb_promcheck: %s\n", f.c_str());
+    }
+    std::fprintf(stderr, "tnb_promcheck: %zu check(s) failed\n",
+                 rep.failures.size());
     return 1;
   }
   std::printf("tnb_promcheck: %zu file(s) ok\n", files.size());
