@@ -78,20 +78,25 @@ Receiver::Receiver(lora::Params p, ReceiverOptions opt)
     return std::make_unique<Thrive>(params, topt);
   };
   obs::Registry* reg = obs::resolve(opt_.metrics);
-  obs_.stages = obs::StageTimer::for_registry(reg);
+  obs_.stages = obs::StageTimer::for_registry(reg, opt_.metric_labels);
   if (reg != nullptr) {
+    const obs::Labels& extra = opt_.metric_labels;
+    const auto with_extra = [&extra](obs::Labels labels) {
+      labels.insert(labels.end(), extra.begin(), extra.end());
+      return labels;
+    };
     obs_.detected = reg->counter("tnb_rx_detected_total",
-                                 "Packets detected (after dedup)");
+                                 "Packets detected (after dedup)", extra);
     obs_.header_ok =
-        reg->counter("tnb_rx_header_ok_total", "PHY headers decoded");
-    obs_.crc_ok =
-        reg->counter("tnb_rx_crc_ok_total", "Payload CRC16 checks passed");
+        reg->counter("tnb_rx_header_ok_total", "PHY headers decoded", extra);
+    obs_.crc_ok = reg->counter("tnb_rx_crc_ok_total",
+                               "Payload CRC16 checks passed", extra);
     obs_.decoded_first_pass =
         reg->counter("tnb_rx_decoded_total", "Packets fully decoded",
-                     {{"pass", "first"}});
+                     with_extra({{"pass", "first"}}));
     obs_.decoded_second_pass =
         reg->counter("tnb_rx_decoded_total", "Packets fully decoded",
-                     {{"pass", "second"}});
+                     with_extra({{"pass", "second"}}));
   }
 }
 

@@ -51,6 +51,12 @@ struct ReceiverOptions {
   /// Receiver construction); when that is also null, instrumentation is
   /// fully disabled and the decode output is bit-identical either way.
   obs::Registry* metrics = nullptr;
+  /// Extra labels appended to every metric this receiver (and a
+  /// StreamingReceiver wrapping it) registers — the fleet layer passes
+  /// {channel, sf} so each lane gets its own metric series. Labels never
+  /// affect decode arithmetic; the default (empty) keeps the label-free
+  /// single-receiver exposition schema.
+  obs::Labels metric_labels;
 };
 
 /// Decode counters. Every field accumulates: passing the same object to
@@ -67,8 +73,11 @@ struct ReceiverStats {
   /// Rescued-codeword count of each decoded packet (paper Fig. 16).
   std::vector<std::size_t> rescued_per_packet;
 
-  /// Merges counters from another decode (parallel sweeps aggregate their
-  /// per-run stats into one report); rescued_per_packet is concatenated.
+  /// Merges counters from another decode (parallel sweeps and the fleet's
+  /// per-channel aggregation merge per-run stats into one report);
+  /// rescued_per_packet is concatenated. Self-merge (`s += s`) doubles
+  /// every counter — the concatenation is sized up front so inserting from
+  /// our own vector never walks invalidated iterators.
   ReceiverStats& operator+=(const ReceiverStats& o) {
     detected += o.detected;
     header_ok += o.header_ok;
@@ -76,9 +85,11 @@ struct ReceiverStats {
     decoded_first_pass += o.decoded_first_pass;
     decoded_second_pass += o.decoded_second_pass;
     bec += o.bec;
-    rescued_per_packet.insert(rescued_per_packet.end(),
-                              o.rescued_per_packet.begin(),
-                              o.rescued_per_packet.end());
+    const std::size_t n = o.rescued_per_packet.size();
+    rescued_per_packet.reserve(rescued_per_packet.size() + n);
+    for (std::size_t i = 0; i < n; ++i) {
+      rescued_per_packet.push_back(o.rescued_per_packet[i]);
+    }
     return *this;
   }
 

@@ -1,0 +1,218 @@
+// tnb::fleet — the multi-channel gateway: one wideband stream, a
+// channelizer front end, and per-(channel, SF) StreamingReceiver lanes
+// scheduled on a work-stealing worker pool, merging into one packet
+// ledger (ROADMAP item 1; DESIGN.md "Gateway fleet").
+//
+// Data path: push_wideband() (producer thread) channelizes into per-
+// channel staging buffers; every `dispatch_samples` of a channel becomes
+// one chunk, copied into the bounded queue of each of that channel's SF
+// lanes (blocking when a queue is full — backpressure bounds total
+// resident IQ). `lanes` workers drain the queues: each worker owns a
+// round-robin partition of the lanes and steals a runnable lane from the
+// others when its own are idle (counted per worker). A lane is only ever
+// processed by one worker at a time and its chunks in arrival order, so
+// every lane decodes exactly as a standalone StreamingReceiver fed the
+// same channel stream — scheduling affects wall clock, never output.
+// Decoded packets are appended to the PacketLedger tagged with
+// (channel, SF, lane, t0); after finish() the ledger freezes into its
+// canonical (t0, channel) order, identical for every lane count and
+// chunk size.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include <condition_variable>
+
+#include "common/thread_pool.hpp"
+#include "fleet/channelizer.hpp"
+#include "fleet/ledger.hpp"
+#include "stream/ring_buffer.hpp"
+#include "stream/streaming_receiver.hpp"
+
+namespace tnb::fleet {
+
+struct FleetOptions {
+  /// Channels in the wideband input (power of two, see ChannelizerOptions).
+  unsigned n_channels = 8;
+  /// One lane per (channel, SF): every channel is decoded at each of these
+  /// spreading factors in parallel, the way a real gateway listens on
+  /// SF7-12 per frequency.
+  std::vector<unsigned> sfs = {8};
+  /// Worker threads draining the lanes. <= 0 resolves via TNB_JOBS
+  /// (common::resolve_jobs); the lane count caps it.
+  int lanes = 1;
+  /// Chunk granularity handed to a lane, in channel-rate samples.
+  /// 0 = 16 symbols of the largest configured SF.
+  std::size_t dispatch_samples = 0;
+  /// Bounded per-lane queue, in chunks; the producer blocks when full.
+  std::size_t lane_queue_chunks = 4;
+  /// Channelizer prototype taps (1 = exact block-DFT reconstruction).
+  unsigned taps = 1;
+  /// Per-lane streaming configuration (window, rng_seed, ...).
+  /// keep_packets is forced off — the ledger owns the packets.
+  stream::StreamingOptions stream;
+  /// Per-lane receiver configuration; metric_labels is overwritten with
+  /// each lane's {channel, sf} labels.
+  rx::ReceiverOptions receiver;
+};
+
+/// Identity and geometry of one lane.
+struct LaneInfo {
+  unsigned channel = 0;
+  unsigned sf = 0;
+  /// Effective assembly window (after the StreamingReceiver's floor), in
+  /// channel-rate samples; resident IQ per lane stays below twice this.
+  std::size_t window_samples = 0;
+};
+
+/// Counters of one fleet run. Cumulative like ReceiverStats: snapshots
+/// taken mid-run (the daemon's periodic stats line) are consistent,
+/// monotone views.
+struct FleetStats {
+  unsigned channels = 0;
+  std::vector<unsigned> sfs;
+  unsigned lanes = 0;                      ///< worker threads
+  std::size_t wideband_samples_in = 0;
+  std::size_t wideband_blocks = 0;         ///< channelizer blocks processed
+  std::size_t partial_tail_samples = 0;    ///< sub-block tail dropped at EOF
+  std::size_t chunks_dispatched = 0;       ///< lane-chunks enqueued
+  std::size_t steals = 0;                  ///< lanes run by a foreign worker
+  std::size_t resident_iq_samples = 0;     ///< queued + assembly, all lanes
+  std::size_t resident_iq_high_water = 0;
+  std::size_t resident_iq_bound = 0;       ///< documented ceiling (2W/lane + queues)
+  std::size_t packets = 0;                 ///< ledger size
+  /// Per-lane streaming stats, fleet lane order (channel-major, then SF).
+  std::vector<std::pair<LaneInfo, stream::StreamingStats>> lane_stats;
+
+  /// One-line JSON: {"fleet":{totals...},"channels":{"0":{merged
+  /// StreamingStats of channel 0's lanes},...},"totals":{merged
+  /// StreamingStats of every lane}} — schema pinned by
+  /// tests/test_obs.cpp (FleetStatsJson), documented in DESIGN.md
+  /// "Gateway fleet".
+  std::string to_json() const;
+};
+
+class Fleet {
+ public:
+  /// `base` carries the shared PHY configuration (bandwidth, OSF, CR);
+  /// each lane clones it with its own SF. Worker threads start here.
+  Fleet(lora::Params base, FleetOptions opt);
+  /// Winds down the workers (finish() if the caller has not already).
+  ~Fleet();
+
+  Fleet(const Fleet&) = delete;
+  Fleet& operator=(const Fleet&) = delete;
+
+  /// Feeds wideband samples (any chunking — the channelizer reassembles
+  /// blocks): channelize, stage, dispatch to lane queues. Blocks while
+  /// lane queues are full. Throws std::logic_error after finish().
+  void push_wideband(std::span<const cfloat> wideband);
+
+  /// End of stream: dispatches every staged sample (the channelizer's
+  /// sub-block tail is dropped and counted), lets the lanes drain and
+  /// finish, joins the workers, freezes the ledger. Idempotent.
+  void finish();
+
+  /// Pull loop: drains `src` in `chunk_samples` wideband chunks, then
+  /// finish(). Returns total wideband samples consumed.
+  std::size_t consume(stream::ChunkSource& src, std::size_t chunk_samples);
+
+  /// The frozen, canonically ordered ledger. Only valid after finish().
+  const std::vector<LedgerEntry>& ledger();
+
+  /// Aggregated counters; safe to call concurrently with the run (the
+  /// per-lane stream stats are the lane's last post-chunk snapshot).
+  FleetStats stats() const;
+
+  std::size_t lane_count() const { return lanes_.size(); }
+  const LaneInfo& lane_info(std::size_t i) const { return lanes_[i]->info; }
+  /// Post-chunk snapshot of one lane's streaming stats (exact after
+  /// finish()).
+  stream::StreamingStats lane_stream_stats(std::size_t i) const;
+
+  const FleetOptions& options() const { return opt_; }
+  const lora::Params& base_params() const { return base_; }
+
+ private:
+  struct Lane {
+    LaneInfo info;
+    stream::StreamingReceiver rx;
+    std::deque<IqBuffer> q;            ///< guarded by Fleet::mu_
+    std::size_t queued_samples = 0;
+    bool claimed = false;              ///< a worker is inside rx right now
+    bool finished = false;
+    std::size_t chunks_done = 0;
+    stream::StreamingStats snapshot;   ///< rx.stats() copy, post-chunk
+    obs::GaugeRef queue_depth;
+
+    Lane(const lora::Params& p, const rx::ReceiverOptions& ropt,
+         const stream::StreamingOptions& sopt)
+        : rx(p, ropt, sopt) {}
+  };
+
+  void worker_loop(unsigned worker);
+  /// Own partition first, then steal; nullptr = nothing runnable.
+  Lane* pick_lane(unsigned worker, bool* stolen);
+  bool all_lanes_finished() const;
+  void enqueue(Lane& lane, IqBuffer chunk);
+  void dispatch_staged(unsigned channel, bool eof);
+  void resident_add(std::size_t n);
+  void resident_sub(std::size_t n);
+
+  lora::Params base_;
+  FleetOptions opt_;
+  std::size_t dispatch_samples_ = 0;
+  unsigned n_workers_ = 1;
+
+  Channelizer chan_;
+  std::vector<IqBuffer> staging_;  ///< per-channel, producer thread only
+  std::vector<std::unique_ptr<Lane>> lanes_;  ///< channel-major, then SF
+  PacketLedger ledger_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;   ///< workers: a lane became runnable
+  std::condition_variable cv_space_;  ///< producer: a queue has room
+  bool done_ = false;                 ///< no more chunks will be enqueued
+  bool finished_ = false;
+
+  std::size_t wideband_samples_in_ = 0;   ///< guarded by mu_
+  std::size_t wideband_blocks_ = 0;       ///< guarded by mu_
+  std::size_t partial_tail_samples_ = 0;  ///< guarded by mu_
+  std::size_t chunks_dispatched_ = 0;     ///< guarded by mu_
+  std::vector<std::size_t> steals_;      ///< per worker, guarded by mu_
+  std::atomic<std::size_t> resident_{0};
+  std::atomic<std::size_t> resident_peak_{0};
+  std::size_t resident_bound_ = 0;
+
+  std::unique_ptr<common::ThreadPool> pool_;  ///< built once n_workers_ known
+
+  struct Instrumentation {
+    obs::CounterRef wideband_samples_in;
+    obs::CounterRef chunks_dispatched;
+    obs::CounterRef partial_tail;
+    obs::GaugeRef resident_iq;
+    obs::GaugeRef resident_iq_high_water;
+    std::vector<obs::CounterRef> steals;  ///< per worker
+  };
+  Instrumentation obs_;
+};
+
+/// Two-thread wideband pipeline, the fleet twin of stream::run_pipeline: a
+/// producer thread drains `src` into `ring` (blocking push when
+/// `backpressure`, counted drops otherwise) while the calling thread pops
+/// wideband chunks into `fleet`, then finishes it. `on_chunk`, when set,
+/// is called after each consumed chunk with the running wideband sample
+/// total (the daemon's stats hook). Returns wideband samples consumed.
+std::size_t run_fleet_pipeline(
+    stream::ChunkSource& src, stream::IqRing& ring, Fleet& fleet,
+    std::size_t chunk_samples, bool backpressure = true,
+    const std::function<void(std::size_t samples_consumed)>& on_chunk = {});
+
+}  // namespace tnb::fleet

@@ -80,13 +80,18 @@ struct StageTimer {
   HistogramRef bec;
   HistogramRef second_pass;
 
-  static StageTimer for_registry(Registry* reg) {
+  /// `extra` labels are appended after the `stage` label on every handle —
+  /// the fleet layer passes {channel, sf} so each lane gets its own series
+  /// while the label-free single-receiver schema stays unchanged.
+  static StageTimer for_registry(Registry* reg, const Labels& extra = {}) {
     StageTimer t;
     if (reg == nullptr) return t;
-    const auto stage = [reg](const char* name) {
+    const auto stage = [reg, &extra](const char* name) {
+      Labels labels{{"stage", name}};
+      labels.insert(labels.end(), extra.begin(), extra.end());
       return reg->histogram(kStageMetricName, duration_bounds(),
                             "Wall-clock seconds spent per pipeline stage",
-                            {{"stage", name}});
+                            std::move(labels));
     };
     t.detect = stage(kStageDetect);
     t.frac_sync = stage(kStageFracSync);

@@ -149,4 +149,19 @@ Trace build_trace(const lora::Params& params, const TraceOptions& opt, Rng& rng)
   return trace;
 }
 
+std::vector<Trace> build_multichannel_traces(const lora::Params& params,
+                                             const TraceOptions& opt,
+                                             unsigned n_channels, Rng& rng) {
+  std::vector<Trace> traces;
+  traces.reserve(n_channels);
+  for (unsigned c = 0; c < n_channels; ++c) {
+    TraceOptions per_channel = opt;
+    for (NodeConfig& node : per_channel.nodes) {
+      node.id = static_cast<std::uint16_t>(node.id + c * 1000);
+    }
+    traces.push_back(build_trace(params, per_channel, rng));
+  }
+  return traces;
+}
+
 }  // namespace tnb::sim

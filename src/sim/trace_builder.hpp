@@ -65,6 +65,16 @@ struct TraceOptions {
 /// Builds one trace. All randomness comes from `rng`.
 Trace build_trace(const lora::Params& params, const TraceOptions& opt, Rng& rng);
 
+/// Builds one independent trace per channel of a multi-channel gateway
+/// experiment (tnb::fleet): channel c reuses `opt` with its node ids offset
+/// by c * 1000, so a decoded payload identifies the channel it was
+/// transmitted on, and draws all randomness from `rng` in channel order
+/// (deterministic for a fixed seed). Every trace shares `params`, and with
+/// it length and sample rate — ready for fleet::mix_channels.
+std::vector<Trace> build_multichannel_traces(const lora::Params& params,
+                                             const TraceOptions& opt,
+                                             unsigned n_channels, Rng& rng);
+
 /// The paper's application payload layout: 4-byte app header, node id,
 /// sequence number, then filler data.
 std::vector<std::uint8_t> make_app_payload(std::uint16_t node_id,

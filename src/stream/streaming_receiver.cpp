@@ -75,38 +75,44 @@ StreamingReceiver::StreamingReceiver(lora::Params p, rx::ReceiverOptions ropt,
 
   obs::Registry* reg = obs::resolve(ropt.metrics);
   if (reg != nullptr) {
-    obs_.chunks = reg->counter("tnb_stream_chunks_total", "Chunks ingested");
+    // Per-lane fleet receivers pass {channel, sf} here; the default (no
+    // labels) keeps the single-gateway exposition schema unchanged.
+    const obs::Labels& ls = ropt.metric_labels;
+    obs_.chunks =
+        reg->counter("tnb_stream_chunks_total", "Chunks ingested", ls);
     obs_.samples_in =
-        reg->counter("tnb_stream_samples_in_total", "IQ samples ingested");
+        reg->counter("tnb_stream_samples_in_total", "IQ samples ingested", ls);
     obs_.segments = reg->counter("tnb_stream_segments_total",
-                                 "Segment decodes (clean + forced cuts)");
-    obs_.forced_cuts = reg->counter(
-        "tnb_stream_forced_cuts_total", "Cuts that may have split a packet");
+                                 "Segment decodes (clean + forced cuts)", ls);
+    obs_.forced_cuts =
+        reg->counter("tnb_stream_forced_cuts_total",
+                     "Cuts that may have split a packet", ls);
     obs_.spans_refined =
         reg->counter("tnb_stream_spans_refined_total",
-                     "Live spans shrunk via header checksum");
+                     "Live spans shrunk via header checksum", ls);
     obs_.samples_retired = reg->counter("tnb_stream_samples_retired_total",
-                                        "Decoded-and-released samples");
+                                        "Decoded-and-released samples", ls);
     obs_.packets_emitted =
-        reg->counter("tnb_stream_packets_emitted_total", "Decoded packets");
+        reg->counter("tnb_stream_packets_emitted_total", "Decoded packets", ls);
     obs_.live_packets = reg->gauge("tnb_stream_live_packets",
-                                   "Currently tracked detections");
-    obs_.peak_live_packets = reg->gauge("tnb_stream_peak_live_packets",
-                                        "Peak simultaneously tracked detections");
+                                   "Currently tracked detections", ls);
+    obs_.peak_live_packets =
+        reg->gauge("tnb_stream_peak_live_packets",
+                   "Peak simultaneously tracked detections", ls);
     obs_.window_samples = reg->gauge("tnb_stream_window_samples",
-                                     "Assembly-window resident IQ samples");
+                                     "Assembly-window resident IQ samples", ls);
     obs_.window_high_water =
         reg->gauge("tnb_stream_window_high_water_samples",
-                   "Assembly-window high-water mark");
+                   "Assembly-window high-water mark", ls);
     static constexpr double kSegmentBounds[] = {1e3, 4e3,  1.6e4, 6.6e4,
                                                 2.6e5, 1.1e6, 4.2e6, 1.7e7};
     obs_.segment_samples =
         reg->histogram("tnb_stream_segment_samples", kSegmentBounds,
-                       "Samples per decoded segment");
+                       "Samples per decoded segment", ls);
     obs_.segment_decode =
         reg->histogram("tnb_stream_segment_decode_seconds",
                        obs::duration_bounds(),
-                       "Wall-clock seconds per segment decode");
+                       "Wall-clock seconds per segment decode", ls);
   }
 }
 

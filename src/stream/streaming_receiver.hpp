@@ -72,6 +72,27 @@ struct StreamingStats {
   std::size_t packets_emitted = 0;
   rx::ReceiverStats rx;              ///< merged over all segments
 
+  /// Merges another run's counters (the fleet layer aggregates its
+  /// per-(channel, SF) lanes into per-channel and fleet-total objects this
+  /// way). Cumulative counters add; the occupancy marks (live_packets,
+  /// peak_live_packets, high_water_samples) also add, making the merged
+  /// marks the conservative simultaneous-occupancy bound across lanes
+  /// rather than an observed joint peak.
+  StreamingStats& operator+=(const StreamingStats& o) {
+    samples_in += o.samples_in;
+    chunks += o.chunks;
+    segments += o.segments;
+    forced_cuts += o.forced_cuts;
+    spans_refined += o.spans_refined;
+    samples_retired += o.samples_retired;
+    live_packets += o.live_packets;
+    peak_live_packets += o.peak_live_packets;
+    high_water_samples += o.high_water_samples;
+    packets_emitted += o.packets_emitted;
+    rx += o.rx;
+    return *this;
+  }
+
   /// One-line JSON (same schema as ReceiverStats::to_json for the "rx"
   /// member; documented in DESIGN.md "Streaming gateway").
   std::string to_json() const;

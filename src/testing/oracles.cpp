@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <bit>
+#include <complex>
 #include <cstring>
 #include <sstream>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "core/bec.hpp"
+#include "fleet/channelizer.hpp"
+#include "fleet/fleet.hpp"
 #include "lora/crc.hpp"
 #include "lora/frame.hpp"
 #include "lora/gray.hpp"
@@ -533,6 +536,123 @@ void oracle_streaming_chunk_invariance(FuzzInput& in) {
                "chunking moved a packet start");
     TNB_ORACLE(a[i].cfo_hz == b[i].cfo_hz && a[i].snr_db == b[i].snr_db,
                "chunking changed packet estimates");
+  }
+}
+
+// --------------------------------------------------------------------- fleet
+
+namespace {
+
+/// int16-grid IQ of n samples, the quantization every capture enters with.
+IqBuffer arbitrary_iq(FuzzInput& in, std::size_t n) {
+  IqBuffer iq(n);
+  const float inv = 1.0f / 1024.0f;
+  for (auto& v : iq) {
+    v = {static_cast<std::int16_t>(in.u64(2)) * inv,
+         static_cast<std::int16_t>(in.u64(2)) * inv};
+  }
+  return iq;
+}
+
+/// Pushes `iq` through a fresh taps == 1 Channelizer at fuzz-chosen chunk
+/// boundaries and returns the per-channel output.
+std::vector<IqBuffer> channelize_chunked(FuzzInput& in,
+                                         std::span<const cfloat> iq,
+                                         unsigned n_channels,
+                                         std::size_t* pending = nullptr) {
+  fleet::Channelizer chan({.n_channels = n_channels, .taps = 1});
+  std::vector<IqBuffer> out(n_channels);
+  std::size_t pos = 0;
+  while (pos < iq.size()) {
+    const std::size_t len = std::min<std::size_t>(
+        static_cast<std::size_t>(in.uniform(1, 1024)), iq.size() - pos);
+    chan.push(iq.subspan(pos, len), out);
+    pos += len;
+  }
+  if (pending != nullptr) *pending = chan.pending_samples();
+  return out;
+}
+
+}  // namespace
+
+void oracle_channelizer_roundtrip(FuzzInput& in) {
+  const unsigned n_channels = 1u << in.uniform(0, 4);  // 1..16
+  const std::size_t blocks = static_cast<std::size_t>(in.uniform(1, 96));
+  std::vector<IqBuffer> channels(n_channels);
+  for (auto& c : channels) c = arbitrary_iq(in, blocks);
+  const IqBuffer wideband = fleet::mix_channels(channels, n_channels);
+
+  // A fuzz-chosen sub-block tail must be sticky: never emitted, exactly
+  // accounted in pending_samples(). (n_channels == 1 has no sub-block
+  // granularity — every sample is a whole block.)
+  const std::size_t tail =
+      static_cast<std::size_t>(in.uniform(0, n_channels - 1));
+  IqBuffer input = wideband;
+  input.insert(input.end(), tail, cfloat{0.1f, -0.1f});
+  std::size_t pending_a = 0;
+  const auto out_a = channelize_chunked(in, input, n_channels, &pending_a);
+  TNB_ORACLE(pending_a == tail, "sub-block tail not accounted in pending");
+
+  std::size_t pending_b = 0;
+  const auto out_b = channelize_chunked(in, input, n_channels, &pending_b);
+  TNB_ORACLE(pending_a == pending_b, "chunking changed the pending tail");
+  for (unsigned k = 0; k < n_channels; ++k) {
+    TNB_ORACLE(out_a[k].size() == blocks,
+               "channel output length != whole blocks");
+    TNB_ORACLE(out_a[k] == out_b[k],
+               "wideband chunking changed channel output");
+    for (std::size_t m = 0; m < blocks; ++m) {
+      TNB_ORACLE(std::abs(out_a[k][m] - channels[k][m]) < 1e-3f,
+                 "taps == 1 analysis did not invert mix_channels");
+    }
+  }
+}
+
+void oracle_fleet_differential(FuzzInput& in) {
+  lora::Params p = arbitrary_params_small(in);
+  const unsigned n_channels = 1u << in.uniform(0, 1);  // 1 or 2
+  const std::size_t n =
+      static_cast<std::size_t>(in.uniform(256, 4000)) * n_channels;
+  const IqBuffer wideband = arbitrary_iq(in, n);
+
+  fleet::FleetOptions fopt;
+  fopt.n_channels = n_channels;
+  fopt.sfs = {p.sf};
+  fopt.taps = 1;
+  fopt.dispatch_samples = static_cast<std::size_t>(in.uniform(64, 2048));
+  fopt.lane_queue_chunks = static_cast<std::size_t>(in.uniform(1, 4));
+  fopt.stream.max_packet_symbols = 64;
+  fopt.stream.window_symbols = static_cast<std::size_t>(in.uniform(40, 160));
+  fopt.stream.rng_seed = in.u64();
+
+  const auto run = [&](int lanes, std::uint64_t chunk_lo) {
+    fleet::FleetOptions o = fopt;
+    o.lanes = lanes;
+    fleet::Fleet fl(p, o);
+    std::size_t pos = 0;
+    while (pos < wideband.size()) {
+      const std::size_t len = std::min<std::size_t>(
+          static_cast<std::size_t>(in.uniform(chunk_lo, 4096)),
+          wideband.size() - pos);
+      fl.push_wideband(std::span<const cfloat>(wideband).subspan(pos, len));
+      pos += len;
+    }
+    fl.finish();
+    return fl.ledger();
+  };
+
+  const auto a = run(1, 1);
+  const auto b = run(static_cast<int>(in.uniform(2, 3)), 16);
+  TNB_ORACLE(a.size() == b.size(),
+             "lane count changed the fleet packet count (" +
+                 std::to_string(a.size()) + " vs " + std::to_string(b.size()) +
+                 ")");
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    TNB_ORACLE(a[i].channel == b[i].channel && a[i].sf == b[i].sf,
+               "ledger entry origin mismatch");
+    TNB_ORACLE(a[i].t0 == b[i].t0, "ledger entry t0 mismatch");
+    TNB_ORACLE(a[i].pkt.payload == b[i].pkt.payload,
+               "ledger entry payload mismatch");
   }
 }
 

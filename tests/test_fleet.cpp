@@ -1,0 +1,320 @@
+// tnb::fleet differential lane equivalence: fleet decode of an N-channel
+// composite must be packet-identical, per channel, to N independent
+// one-shot Receiver::decode runs on the same channelized streams — for
+// every lane count and every wideband chunk size — and the merged ledger
+// must come out in one deterministic order regardless of scheduling.
+// This binary also runs under the thread-sanitizer CI job.
+#include "fleet/fleet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/receiver.hpp"
+#include "fleet/channelizer.hpp"
+#include "sim/trace_builder.hpp"
+#include "stream/chunk_source.hpp"
+
+namespace tnb::fleet {
+namespace {
+
+// osf 2 keeps the FFTs small enough for many-lane tests (same trade as
+// test_streaming / test_concurrency).
+lora::Params test_params(unsigned sf = 8) {
+  return {.sf = sf, .cr = 4, .bandwidth_hz = 125e3, .osf = 2};
+}
+
+sim::TraceOptions traffic(double duration_s, double load_pps) {
+  sim::TraceOptions opt;
+  opt.duration_s = duration_s;
+  opt.load_pps = load_pps;
+  opt.nodes = {{1, 20.0, 900.0}, {2, 15.0, -1800.0}, {3, 12.0, 400.0}};
+  return opt;
+}
+
+/// The composite stimulus plus its channelized per-channel ground truth.
+struct Composite {
+  IqBuffer wideband;
+  std::vector<IqBuffer> channels;  ///< offline taps == 1 channelizer output
+};
+
+Composite make_composite(const std::vector<IqBuffer>& per_channel,
+                         unsigned n_channels) {
+  Composite c;
+  c.wideband = mix_channels(per_channel, n_channels);
+  Channelizer chan({.n_channels = n_channels, .taps = 1});
+  c.channels.resize(n_channels);
+  chan.push(c.wideband, c.channels);
+  return c;
+}
+
+std::vector<std::vector<std::uint8_t>> payload_multiset(
+    const std::vector<sim::DecodedPacket>& pkts) {
+  std::vector<std::vector<std::uint8_t>> out;
+  out.reserve(pkts.size());
+  for (const auto& p : pkts) out.push_back(p.payload);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Ledger entries of one (channel, sf) lane as a decoded packet list.
+std::vector<sim::DecodedPacket> lane_packets(
+    const std::vector<LedgerEntry>& ledger, unsigned channel, unsigned sf) {
+  std::vector<sim::DecodedPacket> out;
+  for (const auto& e : ledger) {
+    if (e.channel == channel && e.sf == sf) out.push_back(e.pkt);
+  }
+  return out;
+}
+
+TEST(Fleet, DifferentialLaneEquivalence) {
+  // N = 4 channels of independent collided traffic, J in {1, 2, 8}
+  // workers, three wideband chunkings (sub-block odd, bulk, whole trace).
+  const lora::Params p = test_params();
+  const unsigned n_channels = 4;
+  Rng rng(42);
+  const auto traces = sim::build_multichannel_traces(
+      p, traffic(1.5, 8.0), n_channels, rng);
+  std::vector<IqBuffer> per_channel;
+  for (const auto& t : traces) per_channel.push_back(t.iq);
+  const Composite comp = make_composite(per_channel, n_channels);
+
+  // Ground truth: N independent one-shot decodes of the channelized
+  // streams (the headline claim's right-hand side).
+  rx::Receiver oneshot(p);
+  std::vector<std::vector<sim::DecodedPacket>> reference(n_channels);
+  std::size_t total_ref = 0;
+  for (unsigned c = 0; c < n_channels; ++c) {
+    Rng drng(1);
+    reference[c] = oneshot.decode(comp.channels[c], drng);
+    total_ref += reference[c].size();
+  }
+  ASSERT_GE(total_ref, 3u) << "composite too quiet to be a meaningful test";
+
+  for (const int lanes : {1, 2, 8}) {
+    for (const std::size_t chunk :
+         {std::size_t{999}, std::size_t{65536}, comp.wideband.size()}) {
+      SCOPED_TRACE("lanes=" + std::to_string(lanes) +
+                   " chunk=" + std::to_string(chunk));
+      FleetOptions fopt;
+      fopt.n_channels = n_channels;
+      fopt.sfs = {p.sf};
+      fopt.lanes = lanes;
+      fopt.stream.window_symbols = 512;
+      fopt.stream.rng_seed = 1;
+      Fleet fleet(p, fopt);
+      stream::BufferSource src(comp.wideband);
+      EXPECT_EQ(fleet.consume(src, chunk), comp.wideband.size());
+
+      const auto& ledger = fleet.ledger();
+      for (unsigned c = 0; c < n_channels; ++c) {
+        const auto got = lane_packets(ledger, c, p.sf);
+        EXPECT_EQ(payload_multiset(got), payload_multiset(reference[c]))
+            << "channel " << c;
+        // t0 is trace-global on the shared per-channel clock.
+        std::vector<double> got_t0, want_t0;
+        for (const auto& pkt : got) got_t0.push_back(pkt.start_sample);
+        for (const auto& pkt : reference[c]) {
+          want_t0.push_back(pkt.start_sample);
+        }
+        std::sort(got_t0.begin(), got_t0.end());
+        std::sort(want_t0.begin(), want_t0.end());
+        ASSERT_EQ(got_t0.size(), want_t0.size());
+        for (std::size_t i = 0; i < got_t0.size(); ++i) {
+          EXPECT_NEAR(got_t0[i], want_t0[i], 1.0);
+        }
+      }
+
+      // The equivalence property stands on clean cuts only.
+      const FleetStats st = fleet.stats();
+      ASSERT_EQ(st.lane_stats.size(), n_channels);
+      const std::size_t blocks = comp.wideband.size() / n_channels;
+      for (const auto& [info, lane_st] : st.lane_stats) {
+        EXPECT_EQ(lane_st.forced_cuts, 0u);
+        EXPECT_EQ(lane_st.samples_in, blocks);
+        EXPECT_EQ(lane_st.samples_retired, blocks);
+      }
+      EXPECT_EQ(st.wideband_samples_in, comp.wideband.size());
+      EXPECT_EQ(st.wideband_blocks, blocks);
+      EXPECT_EQ(st.packets, ledger.size());
+      EXPECT_EQ(st.resident_iq_samples, 0u);
+      EXPECT_LE(st.resident_iq_high_water, st.resident_iq_bound);
+    }
+  }
+}
+
+TEST(Fleet, WideSfMatrixAcrossEightChannels) {
+  // N = 8 channels, each carrying traffic at its own SF out of 7..12, and
+  // a lane bank listening at every SF on every channel (48 lanes). Every
+  // lane must reproduce its channelized one-shot reference — the lanes
+  // whose SF does not match their channel's traffic included.
+  const std::vector<unsigned> sfs = {7, 8, 9, 10, 11, 12};
+  // Traffic sits at SF 7..10 — an SF 11/12 packet would not fit the short
+  // trace — but the SF 11/12 lanes still run and must agree with their
+  // (empty or false-detection) references.
+  const auto traffic_sf = [](unsigned c) { return 7 + c % 4; };
+  const unsigned n_channels = 8;
+  Rng rng(77);
+  std::vector<IqBuffer> per_channel(n_channels);
+  for (unsigned c = 0; c < n_channels; ++c) {
+    const lora::Params pc = test_params(traffic_sf(c));
+    sim::TraceOptions topt = traffic(1.0, 5.0);
+    for (auto& node : topt.nodes) {
+      node.id = static_cast<std::uint16_t>(node.id + c * 1000);
+    }
+    per_channel[c] = sim::build_trace(pc, topt, rng).iq;
+  }
+  const Composite comp = make_composite(per_channel, n_channels);
+
+  FleetOptions fopt;
+  fopt.n_channels = n_channels;
+  fopt.sfs = sfs;
+  fopt.lanes = 8;
+  fopt.stream.rng_seed = 1;
+  Fleet fleet(test_params(), fopt);
+  stream::BufferSource src(comp.wideband);
+  fleet.consume(src, 65536);
+  const auto& ledger = fleet.ledger();
+  EXPECT_GE(ledger.size(), n_channels) << "matrix decoded almost nothing";
+
+  std::size_t matched_lanes_with_packets = 0;
+  for (unsigned c = 0; c < n_channels; ++c) {
+    for (unsigned sf : sfs) {
+      SCOPED_TRACE("channel=" + std::to_string(c) + " sf=" + std::to_string(sf));
+      rx::Receiver oneshot(test_params(sf));
+      Rng drng(1);
+      const auto reference = oneshot.decode(comp.channels[c], drng);
+      const auto got = lane_packets(ledger, c, sf);
+      EXPECT_EQ(payload_multiset(got), payload_multiset(reference));
+      if (sf == traffic_sf(c) && !reference.empty()) {
+        ++matched_lanes_with_packets;
+      }
+    }
+  }
+  EXPECT_GE(matched_lanes_with_packets, n_channels / 2)
+      << "too few matching-SF lanes decoded traffic to be meaningful";
+}
+
+TEST(Fleet, LedgerOrderIsDeterministicAcrossSchedules) {
+  const lora::Params p = test_params();
+  const unsigned n_channels = 4;
+  Rng rng(42);
+  const auto traces = sim::build_multichannel_traces(
+      p, traffic(1.2, 8.0), n_channels, rng);
+  std::vector<IqBuffer> per_channel;
+  for (const auto& t : traces) per_channel.push_back(t.iq);
+  const Composite comp = make_composite(per_channel, n_channels);
+
+  struct Run {
+    int lanes;
+    std::size_t chunk;
+  };
+  std::vector<std::vector<LedgerEntry>> ledgers;
+  for (const Run r : {Run{1, 65536}, Run{2, 999}, Run{8, 4096}}) {
+    FleetOptions fopt;
+    fopt.n_channels = n_channels;
+    fopt.sfs = {p.sf};
+    fopt.lanes = r.lanes;
+    fopt.stream.rng_seed = 1;
+    Fleet fleet(p, fopt);
+    stream::BufferSource src(comp.wideband);
+    fleet.consume(src, r.chunk);
+    ledgers.push_back(fleet.ledger());
+  }
+  ASSERT_GE(ledgers[0].size(), 3u);
+  for (std::size_t i = 1; i < ledgers.size(); ++i) {
+    ASSERT_EQ(ledgers[i].size(), ledgers[0].size());
+    for (std::size_t j = 0; j < ledgers[0].size(); ++j) {
+      EXPECT_EQ(ledgers[i][j].channel, ledgers[0][j].channel);
+      EXPECT_EQ(ledgers[i][j].sf, ledgers[0][j].sf);
+      EXPECT_EQ(ledgers[i][j].t0, ledgers[0][j].t0);
+      EXPECT_EQ(ledgers[i][j].pkt.payload, ledgers[0][j].pkt.payload);
+    }
+  }
+  // Canonical order: sorted by (t0, channel), lane tag matches the
+  // channel-major lane layout.
+  const auto& led = ledgers[0];
+  for (std::size_t j = 0; j + 1 < led.size(); ++j) {
+    EXPECT_FALSE(ledger_entry_less(led[j + 1], led[j])) << "entry " << j;
+  }
+  for (const auto& e : led) EXPECT_EQ(e.lane, e.channel);  // one SF per channel
+}
+
+TEST(Fleet, FleetOfOneMatchesStreamingReceiver) {
+  // N = 1 degenerates to a passthrough channelizer: the single lane must
+  // behave exactly like a standalone StreamingReceiver on the raw trace.
+  const lora::Params p = test_params();
+  Rng rng(7);
+  const sim::Trace trace = sim::build_trace(p, traffic(1.5, 10.0), rng);
+
+  stream::StreamingOptions sopt;
+  sopt.window_symbols = 512;
+  sopt.rng_seed = 1;
+  stream::StreamingReceiver srx(p, {}, sopt);
+  stream::BufferSource ssrc(trace.iq);
+  srx.consume(ssrc, 4096);
+  ASSERT_GE(srx.packets().size(), 2u);
+
+  FleetOptions fopt;
+  fopt.n_channels = 1;
+  fopt.sfs = {p.sf};
+  fopt.lanes = 2;  // more workers than lanes: clamped, still correct
+  fopt.stream = sopt;
+  Fleet fleet(p, fopt);
+  stream::BufferSource fsrc(trace.iq);
+  fleet.consume(fsrc, 4096);
+
+  std::vector<sim::DecodedPacket> got;
+  for (const auto& e : fleet.ledger()) {
+    EXPECT_EQ(e.channel, 0u);
+    EXPECT_EQ(e.sf, p.sf);
+    EXPECT_EQ(e.t0, e.pkt.start_sample);
+    got.push_back(e.pkt);
+  }
+  EXPECT_EQ(payload_multiset(got), payload_multiset(srx.packets()));
+}
+
+TEST(Fleet, LifecycleAndAccounting) {
+  const lora::Params p = test_params();
+  FleetOptions fopt;
+  fopt.n_channels = 2;
+  fopt.sfs = {p.sf};
+  fopt.dispatch_samples = 1024;
+  Fleet fleet(p, fopt);
+
+  // 2 channels x 100 blocks + a 1-sample sub-block tail.
+  const IqBuffer wideband(2 * 100 + 1, cfloat{0.01f, 0.0f});
+  fleet.push_wideband(wideband);
+  EXPECT_THROW(fleet.ledger(), std::logic_error);
+  fleet.finish();
+  fleet.finish();  // idempotent
+  EXPECT_THROW(fleet.push_wideband(wideband), std::logic_error);
+  EXPECT_TRUE(fleet.ledger().empty());
+
+  const FleetStats st = fleet.stats();
+  EXPECT_EQ(st.wideband_samples_in, wideband.size());
+  EXPECT_EQ(st.wideband_blocks, 100u);
+  EXPECT_EQ(st.partial_tail_samples, 1u);
+  EXPECT_EQ(st.chunks_dispatched, 2u);  // one short chunk per lane at EOF
+  EXPECT_EQ(st.resident_iq_samples, 0u);
+  ASSERT_EQ(st.lane_stats.size(), 2u);
+  for (const auto& [info, lane_st] : st.lane_stats) {
+    EXPECT_EQ(lane_st.samples_in, 100u);
+    EXPECT_EQ(info.sf, p.sf);
+  }
+
+  FleetOptions bad;
+  bad.n_channels = 2;
+  bad.sfs.clear();
+  EXPECT_THROW(Fleet(p, bad), std::invalid_argument);
+  bad = FleetOptions{};
+  bad.n_channels = 3;  // not a power of two
+  EXPECT_THROW(Fleet(p, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tnb::fleet

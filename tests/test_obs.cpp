@@ -5,9 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstddef>
 #include <string>
+#include <vector>
 
 #include "core/receiver.hpp"
+#include "fleet/fleet.hpp"
 #include "obs/json.hpp"
 #include "obs/stage_timer.hpp"
 #include "stream/streaming_receiver.hpp"
@@ -304,6 +307,68 @@ TEST(ReceiverStatsJson, SchemaIsPinned) {
             "\"rescued_packets\":3,\"rescued_codewords\":5}");
 }
 
+TEST(ReceiverStatsMerge, AddsCountersAndConcatenatesRescues) {
+  rx::ReceiverStats a;
+  a.detected = 3;
+  a.crc_ok = 2;
+  a.bec.delta1 = 4;
+  a.rescued_per_packet = {1, 2};
+  rx::ReceiverStats b;
+  b.detected = 10;
+  b.header_ok = 5;
+  b.bec.delta1 = 6;
+  b.rescued_per_packet = {7};
+  a += b;
+  EXPECT_EQ(a.detected, 13u);
+  EXPECT_EQ(a.header_ok, 5u);
+  EXPECT_EQ(a.crc_ok, 2u);
+  EXPECT_EQ(a.bec.delta1, 10u);
+  EXPECT_EQ(a.rescued_per_packet, (std::vector<std::size_t>{1, 2, 7}));
+  // Self-merge doubles every counter and the rescue list — the fleet's
+  // per-channel aggregation must never corrupt a stats object that appears
+  // on both sides.
+  a += a;
+  EXPECT_EQ(a.detected, 26u);
+  EXPECT_EQ(a.bec.delta1, 20u);
+  EXPECT_EQ(a.rescued_per_packet,
+            (std::vector<std::size_t>{1, 2, 7, 1, 2, 7}));
+}
+
+TEST(StreamingStatsMerge, AddsEveryFieldIncludingOccupancyMarks) {
+  stream::StreamingStats a;
+  a.samples_in = 100;
+  a.chunks = 2;
+  a.segments = 3;
+  a.forced_cuts = 1;
+  a.spans_refined = 4;
+  a.samples_retired = 90;
+  a.live_packets = 1;
+  a.peak_live_packets = 2;
+  a.high_water_samples = 50;
+  a.packets_emitted = 5;
+  a.rx.detected = 5;
+  stream::StreamingStats b = a;
+  b.samples_in = 11;
+  b.high_water_samples = 7;
+  a += b;
+  EXPECT_EQ(a.samples_in, 111u);
+  EXPECT_EQ(a.chunks, 4u);
+  EXPECT_EQ(a.segments, 6u);
+  EXPECT_EQ(a.forced_cuts, 2u);
+  EXPECT_EQ(a.spans_refined, 8u);
+  EXPECT_EQ(a.samples_retired, 180u);
+  // Occupancy marks add: the merged value is the conservative
+  // simultaneous-occupancy bound across lanes, not an observed peak.
+  EXPECT_EQ(a.live_packets, 2u);
+  EXPECT_EQ(a.peak_live_packets, 4u);
+  EXPECT_EQ(a.high_water_samples, 57u);
+  EXPECT_EQ(a.packets_emitted, 10u);
+  EXPECT_EQ(a.rx.detected, 10u);
+  a += a;  // self-merge safe
+  EXPECT_EQ(a.samples_in, 222u);
+  EXPECT_EQ(a.rx.detected, 20u);
+}
+
 TEST(StreamingStatsJson, SchemaIsPinned) {
   stream::StreamingStats st;
   st.samples_in = 100;
@@ -325,6 +390,70 @@ TEST(StreamingStatsJson, SchemaIsPinned) {
             "\"high_water_samples\":80,\"packets_emitted\":7,");
   // The embedded rx object is exactly the ReceiverStats schema.
   EXPECT_NE(json.find("\"rx\":" + st.rx.to_json() + "}"), std::string::npos);
+}
+
+TEST(FleetStatsJson, SchemaIsPinned) {
+  // Two channels, two SF lanes each. The per-channel objects merge the
+  // channel's SF lanes; "totals" merges all four. Both reuse the pinned
+  // StreamingStats schema, so this test only needs to pin the fleet
+  // header and the grouping structure.
+  fleet::FleetStats st;
+  st.channels = 2;
+  st.sfs = {7, 9};
+  st.lanes = 3;
+  st.wideband_samples_in = 4000;
+  st.wideband_blocks = 2000;
+  st.partial_tail_samples = 1;
+  st.chunks_dispatched = 8;
+  st.steals = 5;
+  st.resident_iq_samples = 0;
+  st.resident_iq_high_water = 1234;
+  st.resident_iq_bound = 9999;
+  st.packets = 6;
+  stream::StreamingStats lane;
+  for (unsigned c = 0; c < 2; ++c) {
+    for (unsigned sf : st.sfs) {
+      lane.samples_in = 100 * (c + 1) + sf;
+      lane.packets_emitted = c + sf;
+      st.lane_stats.push_back(
+          {fleet::LaneInfo{c, sf, std::size_t{1} << sf}, lane});
+    }
+  }
+  stream::StreamingStats ch0 = st.lane_stats[0].second;
+  ch0 += st.lane_stats[1].second;
+  stream::StreamingStats ch1 = st.lane_stats[2].second;
+  ch1 += st.lane_stats[3].second;
+  stream::StreamingStats totals = ch0;
+  totals += ch1;
+  EXPECT_EQ(st.to_json(),
+            "{\"fleet\":{\"channels\":2,\"sfs\":[7,9],\"lanes\":3,"
+            "\"wideband_samples_in\":4000,\"wideband_blocks\":2000,"
+            "\"partial_tail_samples\":1,\"chunks_dispatched\":8,"
+            "\"steals\":5,\"resident_iq_samples\":0,"
+            "\"resident_iq_high_water\":1234,\"resident_iq_bound\":9999,"
+            "\"packets\":6},"
+            "\"channels\":{\"0\":" + ch0.to_json() +
+            ",\"1\":" + ch1.to_json() + "},"
+            "\"totals\":" + totals.to_json() + "}");
+}
+
+TEST(Exposition, DefaultReceiverSeriesStayUnlabeled) {
+  // A single-gateway Receiver (no metric_labels) must register exactly the
+  // label-free series it always has — the fleet's per-lane labels must not
+  // leak into the default exposition schema.
+  Registry reg;
+  rx::ReceiverOptions opt;
+  opt.metrics = &reg;
+  rx::Receiver rx({.sf = 7, .cr = 4, .bandwidth_hz = 125e3, .osf = 2}, opt);
+  const Snapshot snap = reg.snapshot();
+  EXPECT_NE(snap.find("tnb_rx_detected_total", {}), nullptr);
+  EXPECT_NE(snap.find("tnb_rx_decoded_total", {{"pass", "first"}}), nullptr);
+  for (const auto& m : snap.metrics) {
+    for (const auto& [k, v] : m.labels) {
+      EXPECT_NE(k, "channel") << m.name;
+      EXPECT_NE(k, "sf") << m.name;
+    }
+  }
 }
 
 }  // namespace

@@ -4,17 +4,28 @@
 //   tnb_gen --out PREFIX [--deployment indoor|outdoor1|outdoor2|etu]
 //           [--sf N] [--cr N] [--osf N] [--load PPS] [--duration S]
 //           [--seed N] [--antennas N] [--channel none|epa|eva|etu]
-//           [--implicit]
+//           [--channels N] [--implicit]
 //
 // Writes PREFIX.bin (antenna 0), PREFIX.ant1.bin... (extra antennas) and
 // PREFIX.csv (ground truth).
+//
+// With --channels N > 1, generates independent traffic on each of N
+// frequency channels and writes the interleaved wideband composite (rate
+// N x OSF x BW) to PREFIX.bin plus one ground truth per channel,
+// PREFIX.ch0.csv ... — the input format of `tnb_streamd --channels N`.
+// The int16 scale is auto-reduced when the composite would clip; the
+// chosen value is printed (pass it to tnb_streamd --scale).
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "channel/tdl.hpp"
 #include "common/rng.hpp"
+#include "fleet/channelizer.hpp"
 #include "sim/deployment.hpp"
 #include "sim/ground_truth.hpp"
 #include "sim/trace_builder.hpp"
@@ -28,7 +39,8 @@ namespace {
                "[--cr N] [--osf N]\n"
                "               [--load PPS] [--duration S] [--seed N] "
                "[--antennas N]\n"
-               "               [--channel none|epa|eva|etu] [--implicit]\n");
+               "               [--channel none|epa|eva|etu] [--channels N] "
+               "[--implicit]\n");
   std::exit(2);
 }
 
@@ -41,7 +53,7 @@ int main(int argc, char** argv) {
   lora::Params params{.sf = 8, .cr = 4, .bandwidth_hz = 125e3, .osf = 8};
   double load = 10.0, duration = 2.0;
   std::uint64_t seed = 1;
-  unsigned antennas = 1;
+  unsigned antennas = 1, n_channels = 1;
   bool implicit = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -60,6 +72,8 @@ int main(int argc, char** argv) {
     else if (arg == "--seed") seed = std::strtoull(value(), nullptr, 10);
     else if (arg == "--antennas") antennas = std::strtoul(value(), nullptr, 10);
     else if (arg == "--channel") channel = value();
+    else if (arg == "--channels")
+      n_channels = std::strtoul(value(), nullptr, 10);
     else if (arg == "--implicit") implicit = true;
     else usage();
   }
@@ -86,6 +100,43 @@ int main(int argc, char** argv) {
   opt.channel = tdl.get();
   opt.n_antennas = antennas;
   opt.implicit_header = implicit;
+
+  if (n_channels > 1) {
+    if (antennas != 1) {
+      std::fprintf(stderr, "tnb_gen: --channels excludes --antennas\n");
+      return 2;
+    }
+    const auto traces =
+        sim::build_multichannel_traces(params, opt, n_channels, rng);
+    std::vector<IqBuffer> per_channel;
+    per_channel.reserve(traces.size());
+    std::size_t total_packets = 0;
+    for (const auto& t : traces) per_channel.push_back(t.iq);
+    const IqBuffer wideband = fleet::mix_channels(per_channel, n_channels);
+    float peak = 0.0f;
+    for (const cfloat& v : wideband) {
+      peak = std::max({peak, std::abs(v.real()), std::abs(v.imag())});
+    }
+    double wb_scale = 1024.0;
+    if (peak * wb_scale > 30000.0) wb_scale = 30000.0 / peak;
+    sim::write_trace_i16(out + ".bin", wideband, wb_scale);
+    for (unsigned c = 0; c < n_channels; ++c) {
+      sim::write_ground_truth_csv(
+          out + ".ch" + std::to_string(c) + ".csv", traces[c].packets);
+      total_packets += traces[c].packets.size();
+    }
+    std::printf("wrote %s.bin (%zu wideband samples, %u channels) and "
+                "%s.ch*.csv (%zu packets)\n",
+                out.c_str(), wideband.size(), n_channels, out.c_str(),
+                total_packets);
+    std::printf("deployment=%s sf=%u cr=%u osf=%u load=%.1f duration=%.1f "
+                "channels=%u scale=%.1f seed=%llu\n",
+                dep.name.c_str(), params.sf, params.cr, params.osf, load,
+                duration, n_channels, wb_scale,
+                static_cast<unsigned long long>(seed));
+    return 0;
+  }
+
   const sim::Trace trace = sim::build_trace(params, opt, rng);
 
   sim::write_trace_i16(out + ".bin", trace.iq);

@@ -6,6 +6,17 @@
 //               [--stats-interval SECONDS] [--metrics-file FILE]
 //               [--metrics-history PREFIX] [--realtime] [--drop]
 //               [--implicit-len BYTES] [--seed N] [--quiet]
+//               [--channels N] [--sfs LIST] [--lanes J] [--taps N]
+//
+// --channels N > 1 switches to the gateway-fleet pipeline (tnb::fleet):
+// the input is an interleaved N-channel wideband stream at N x OSF x BW
+// (the format tnb_gen --channels writes), split by the polyphase
+// channelizer into per-channel streams and decoded by one StreamingReceiver
+// lane per (channel, SF in --sfs) on --lanes workers. Decoded packets
+// print (with channel/SF tags) from the merged ledger after the stream
+// ends, in the canonical (t0, channel) order; the periodic `stats` line
+// carries FleetStats::to_json plus the ring counters. The single-channel
+// path is untouched by these flags.
 //
 // Without --in (or with `--in -`) samples are read from stdin, so a trace
 // can be piped straight through:  tnb_gen ... && tnb_streamd < trace.bin
@@ -37,7 +48,9 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <vector>
 
+#include "fleet/fleet.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "sim/trace_builder.hpp"
@@ -56,7 +69,9 @@ namespace {
                "                   [--metrics-history PREFIX] [--realtime] "
                "[--drop]\n"
                "                   [--implicit-len BYTES] [--seed N] "
-               "[--quiet]\n");
+               "[--quiet]\n"
+               "                   [--channels N] [--sfs LIST] [--lanes J] "
+               "[--taps N]\n");
   std::exit(2);
 }
 
@@ -78,6 +93,9 @@ int main(int argc, char** argv) {
   stream::StreamingOptions sopt;
   bool realtime = false, drop = false, quiet = false;
   int implicit_len = 0;
+  unsigned n_channels = 1, taps = 1;
+  int lanes = 1;
+  std::vector<unsigned> fleet_sfs;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -103,10 +121,27 @@ int main(int argc, char** argv) {
     else if (arg == "--implicit-len") implicit_len = std::atoi(value());
     else if (arg == "--seed") sopt.rng_seed = std::strtoull(value(), nullptr, 10);
     else if (arg == "--quiet") quiet = true;
+    else if (arg == "--channels")
+      n_channels = std::strtoul(value(), nullptr, 10);
+    else if (arg == "--sfs") {
+      // Comma-separated list, e.g. --sfs 7,8,9.
+      for (const char* p = value(); *p != '\0';) {
+        char* end = nullptr;
+        const unsigned long sf = std::strtoul(p, &end, 10);
+        if (end == p) usage();
+        fleet_sfs.push_back(static_cast<unsigned>(sf));
+        p = *end == ',' ? end + 1 : end;
+        if (*end != ',' && *end != '\0') usage();
+      }
+      if (fleet_sfs.empty()) usage();
+    }
+    else if (arg == "--lanes") lanes = std::atoi(value());
+    else if (arg == "--taps") taps = std::strtoul(value(), nullptr, 10);
     else usage();
   }
   params.validate();
-  if (chunk == 0) chunk = 16 * params.sps();
+  const bool fleet_mode = n_channels > 1;
+  if (chunk == 0) chunk = 16 * params.sps() * (fleet_mode ? n_channels : 1);
   if (ring_capacity == 0) ring_capacity = 8 * chunk;
 
   // The registry must be installed before the receiver and ring are
@@ -123,24 +158,46 @@ int main(int argc, char** argv) {
   }
   sopt.keep_packets = false;  // a daemon must not grow with uptime
 
-  stream::StreamingReceiver receiver(params, ropt, sopt);
-  const double fs = params.sample_rate_hz();
-  receiver.set_packet_callback([&](const sim::DecodedPacket& pkt) {
-    if (quiet) return;
-    std::uint16_t node = 0, seq = 0;
-    if (sim::parse_app_payload(pkt.payload, node, seq)) {
-      std::printf("pkt t=%.4fs node=%u seq=%u snr=%.1fdB cfo=%.0fHz len=%zu\n",
-                  pkt.start_sample / fs, node, seq, pkt.snr_db, pkt.cfo_hz,
-                  pkt.payload.size());
-    } else {
-      std::printf("pkt t=%.4fs snr=%.1fdB cfo=%.0fHz len=%zu payload=",
-                  pkt.start_sample / fs, pkt.snr_db, pkt.cfo_hz,
-                  pkt.payload.size());
-      for (std::uint8_t b : pkt.payload) std::printf("%02x", b);
-      std::printf("\n");
+  const double fs = params.sample_rate_hz();   // channel rate
+  const double in_rate = fs * n_channels;      // input stream rate
+
+  std::optional<stream::StreamingReceiver> receiver;
+  std::unique_ptr<fleet::Fleet> gw;
+  if (fleet_mode) {
+    fleet::FleetOptions fopt;
+    fopt.n_channels = n_channels;
+    fopt.sfs = fleet_sfs.empty() ? std::vector<unsigned>{params.sf}
+                                 : fleet_sfs;
+    fopt.lanes = lanes;
+    fopt.taps = taps;
+    fopt.stream = sopt;
+    fopt.receiver = ropt;
+    try {
+      gw = std::make_unique<fleet::Fleet>(params, fopt);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "tnb_streamd: %s\n", e.what());
+      return 2;
     }
-    std::fflush(stdout);
-  });
+  } else {
+    receiver.emplace(params, ropt, sopt);
+    receiver->set_packet_callback([&](const sim::DecodedPacket& pkt) {
+      if (quiet) return;
+      std::uint16_t node = 0, seq = 0;
+      if (sim::parse_app_payload(pkt.payload, node, seq)) {
+        std::printf(
+            "pkt t=%.4fs node=%u seq=%u snr=%.1fdB cfo=%.0fHz len=%zu\n",
+            pkt.start_sample / fs, node, seq, pkt.snr_db, pkt.cfo_hz,
+            pkt.payload.size());
+      } else {
+        std::printf("pkt t=%.4fs snr=%.1fdB cfo=%.0fHz len=%zu payload=",
+                    pkt.start_sample / fs, pkt.snr_db, pkt.cfo_hz,
+                    pkt.payload.size());
+        for (std::uint8_t b : pkt.payload) std::printf("%02x", b);
+        std::printf("\n");
+      }
+      std::fflush(stdout);
+    });
+  }
 
   std::unique_ptr<stream::ChunkSource> source;
   if (in == "-") {
@@ -148,13 +205,14 @@ int main(int argc, char** argv) {
     source = std::make_unique<stream::IstreamSource>(std::cin, scale);
   } else {
     source = std::make_unique<stream::FileReplaySource>(
-        in, scale, realtime ? fs : 0.0);
+        in, scale, realtime ? in_rate : 0.0);
   }
 
   stream::IqRing ring(ring_capacity);
   const std::size_t stats_interval_samples =
-      stats_interval_s > 0.0 ? static_cast<std::size_t>(stats_interval_s * fs)
-                             : 0;
+      stats_interval_s > 0.0
+          ? static_cast<std::size_t>(stats_interval_s * in_rate)
+          : 0;
   std::size_t next_stats_at = stats_interval_samples;
 
   // Both emitters are called with g_stats_mu held.
@@ -162,7 +220,11 @@ int main(int argc, char** argv) {
     const stream::RingStats rs = ring.stats();
     obs::JsonWriter w;
     w.begin_object();
-    w.key("stream").raw(receiver.stats().to_json());
+    if (fleet_mode) {
+      w.key("fleet").raw(gw->stats().to_json());
+    } else {
+      w.key("stream").raw(receiver->stats().to_json());
+    }
     w.key("ring");
     w.begin_object();
     w.field("capacity", static_cast<std::uint64_t>(rs.capacity));
@@ -232,17 +294,23 @@ int main(int argc, char** argv) {
     std::_Exit(0);
   }).detach();
 
+  const auto on_chunk = [&](std::size_t consumed) {
+    if (stats_interval_samples == 0) return;
+    if (consumed >= next_stats_at) {
+      std::lock_guard<std::mutex> lock(g_stats_mu);
+      print_stats();
+      write_metrics();
+      next_stats_at = consumed + stats_interval_samples;
+    }
+  };
   try {
-    stream::run_pipeline(*source, ring, receiver, chunk, /*backpressure=*/!drop,
-                         [&](std::size_t consumed) {
-                           if (stats_interval_samples == 0) return;
-                           if (consumed >= next_stats_at) {
-                             std::lock_guard<std::mutex> lock(g_stats_mu);
-                             print_stats();
-                             write_metrics();
-                             next_stats_at = consumed + stats_interval_samples;
-                           }
-                         });
+    if (fleet_mode) {
+      fleet::run_fleet_pipeline(*source, ring, *gw, chunk,
+                                /*backpressure=*/!drop, on_chunk);
+    } else {
+      stream::run_pipeline(*source, ring, *receiver, chunk,
+                           /*backpressure=*/!drop, on_chunk);
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "tnb_streamd: %s\n", e.what());
     return 1;
@@ -250,9 +318,35 @@ int main(int argc, char** argv) {
 
   {
     std::lock_guard<std::mutex> lock(g_stats_mu);
+    std::size_t decoded = 0;
+    if (fleet_mode) {
+      // The ledger freezes at finish(); print it in its canonical
+      // (t0, channel) order — identical for every lane count.
+      for (const auto& e : gw->ledger()) {
+        ++decoded;
+        if (quiet) continue;
+        std::uint16_t node = 0, seq = 0;
+        if (sim::parse_app_payload(e.pkt.payload, node, seq)) {
+          std::printf(
+              "pkt t=%.4fs ch=%u sf=%u node=%u seq=%u snr=%.1fdB "
+              "cfo=%.0fHz len=%zu\n",
+              e.t0 / fs, e.channel, e.sf, node, seq, e.pkt.snr_db,
+              e.pkt.cfo_hz, e.pkt.payload.size());
+        } else {
+          std::printf("pkt t=%.4fs ch=%u sf=%u snr=%.1fdB cfo=%.0fHz "
+                      "len=%zu payload=",
+                      e.t0 / fs, e.channel, e.sf, e.pkt.snr_db, e.pkt.cfo_hz,
+                      e.pkt.payload.size());
+          for (std::uint8_t b : e.pkt.payload) std::printf("%02x", b);
+          std::printf("\n");
+        }
+      }
+    } else {
+      decoded = receiver->stats().packets_emitted;
+    }
     print_stats();
     write_metrics();
-    std::printf("decoded=%zu\n", receiver.stats().packets_emitted);
+    std::printf("decoded=%zu\n", decoded);
     g_done.store(true);
   }
   return 0;
