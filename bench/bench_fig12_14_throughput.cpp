@@ -51,8 +51,10 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--streaming") == 0) streaming = true;
   }
   const std::vector<base::Scheme> schemes = {
-      base::Scheme::kTnB, base::Scheme::kCic, base::Scheme::kAlignTrack,
-      base::Scheme::kLoRaPhy};
+      base::Scheme::kTnB,       base::Scheme::kCic,
+      base::Scheme::kAlignTrack, base::Scheme::kLoRaPhy,
+      base::Scheme::kCoRa,      base::Scheme::kCoRaTnB,
+      base::Scheme::kLZnThrive};
   const std::vector<unsigned> crs =
       bench::full_mode() ? std::vector<unsigned>{1, 2, 3, 4}
                          : std::vector<unsigned>{4};

@@ -16,8 +16,8 @@ int main(int argc, char** argv) {
                       "paper Fig. 15");
   const int jobs = bench::parse_jobs(argc, argv);
   const std::vector<base::Scheme> schemes = {
-      base::Scheme::kTnB, base::Scheme::kThrive, base::Scheme::kSibling,
-      base::Scheme::kCic};
+      base::Scheme::kTnB,  base::Scheme::kThrive, base::Scheme::kSibling,
+      base::Scheme::kCic,  base::Scheme::kCoRa,   base::Scheme::kCoRaTnB};
   const double load = bench::load_sweep().back();
   const std::vector<sim::Deployment> deps = {sim::indoor_deployment(),
                                              sim::outdoor1_deployment(),

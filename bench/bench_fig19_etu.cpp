@@ -14,6 +14,8 @@ int main() {
   const std::vector<base::Scheme> schemes = {
       base::Scheme::kCic,        base::Scheme::kCicBec,
       base::Scheme::kAlignTrack, base::Scheme::kAlignTrackBec,
+      base::Scheme::kCoRa,       base::Scheme::kCoRaBec,
+      base::Scheme::kLZnThrive,  base::Scheme::kCoRaTnB,
       base::Scheme::kThrive,     base::Scheme::kTnB};
   const std::vector<unsigned> crs =
       bench::full_mode() ? std::vector<unsigned>{1, 2, 3, 4}

@@ -168,8 +168,11 @@ inline SchemeResult run_scheme(
   const std::vector<std::span<const cfloat>> spans =
       use_all_antennas ? trace.antenna_spans()
                        : std::vector<std::span<const cfloat>>{trace.iq};
+  // Schemes with their own synchronization front end (LZn) must not take
+  // shared Detector results — their detection path IS the thing measured.
+  const bool own_sync = base::scheme_uses_custom_sync(scheme);
   const auto decoded =
-      detections != nullptr
+      detections != nullptr && !own_sync
           ? receiver.decode_with_detections(spans, *detections, rng, &r.stats)
           : receiver.decode_multi(spans, rng, &r.stats);
   r.eval = sim::evaluate(trace, decoded);

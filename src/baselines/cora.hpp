@@ -1,0 +1,61 @@
+// CoRa — low-complexity collision-resistant symbol decision (Álamos et al.,
+// PAPERS.md), reimplemented as a PeakAssigner peer of CicAssigner and
+// AlignTrackStar.
+//
+// Where Thrive ranks peaks by the cross-packet sibling cost (O(M^2) signal
+// vectors per checking point) and CIC re-FFTs sub-windows, CoRa decides each
+// symbol from its own cached signal vector alone: the transmitted tone spans
+// the full symbol window, so its peak amplitude matches the amplitude the
+// node's preamble promised, while an interferer whose symbol boundary
+// crosses the window contributes a *pair* of fragment tones whose amplitudes
+// split as f : (1-f) at the boundary fraction f. CoRa eliminates
+// amplitude-consistent fragment pairs, then picks the surviving peak whose
+// amplitude is closest to the expectation from the peak-height history.
+// Everything it consults (cached symbol view, boundary geometry, history) is
+// already at hand — no extra spectra, hence "low complexity".
+//
+// assign_with_confidence exposes a per-symbol confidence in [0, 1] (how
+// cleanly the amplitude match singled out one peak), which the CoRa->TnB
+// hybrid (hybrid.hpp) uses to escalate only doubtful symbols to Thrive.
+#pragma once
+
+#include "core/assign.hpp"
+#include "lora/params.hpp"
+
+namespace tnb::base {
+
+struct CoRaOptions {
+  /// Peaks whose amplitude is within this relative error of the history
+  /// expectation are protected from fragment elimination (they are
+  /// plausibly the target even if a boundary could explain them).
+  double amp_tol = 0.3;
+  /// A peak pair is a fragment pair if the two interferer-amplitude
+  /// estimates a_p/f and a_q/(1-f) agree within this relative tolerance.
+  double fragment_tol = 0.25;
+  /// Cyclic-bin distance to a masked (known-interference) location at
+  /// which a peak is discarded, matching the CIC/AlignTrack convention.
+  double mask_tol = 1.5;
+  /// Candidate peaks examined per symbol (height-sorted view peaks).
+  std::size_t max_candidates = 8;
+  /// Boundary fractions closer than this to the window edge are ignored:
+  /// the smaller fragment carries too little energy to show as a peak.
+  double min_boundary_frac = 0.04;
+};
+
+class CoRaDetector final : public rx::PeakAssigner {
+ public:
+  explicit CoRaDetector(lora::Params p, CoRaOptions opt = {});
+
+  std::vector<rx::Assignment> assign(const rx::AssignInput& in) override;
+
+  /// Like assign(), additionally writing one confidence in [0, 1] per
+  /// symbol into `confidence` (resized to in.symbols.size()).
+  std::vector<rx::Assignment> assign_with_confidence(
+      const rx::AssignInput& in, std::vector<double>& confidence);
+
+ private:
+  lora::Params p_;
+  CoRaOptions opt_;
+};
+
+}  // namespace tnb::base

@@ -1,13 +1,16 @@
 // Preconfigured receivers for every scheme in the paper's evaluation
-// (Section 8.2 and 8.5): TnB, Thrive (TnB without BEC), Sibling (Thrive
-// without the history cost), LoRaPHY, CIC, CIC+BEC, AlignTrack*, and
-// AlignTrack*+BEC. All share the same detection / synchronization /
-// checking-point machinery, differing only in the peak assigner and the
-// error-correction decoder — mirroring how the paper lends its packet
-// detection to the compared schemes so the comparison isolates the
-// assignment and decoding algorithms.
+// (Section 8.2 and 8.5) plus the related-work peers and hybrids of ISSUE 7:
+// TnB, Thrive (TnB without BEC), Sibling (Thrive without the history cost),
+// LoRaPHY, CIC, CIC+BEC, AlignTrack*, AlignTrack*+BEC, CoRa, CoRa+BEC,
+// LZn-Thrive (LZn-style sync front end feeding Thrive) and CoRa-TnB (CoRa
+// first pass, Thrive arbitrating low-confidence symbols, BEC). All share
+// the same checking-point machinery, differing only in the peak assigner,
+// the synchronization front end and the error-correction decoder —
+// mirroring how the paper lends its packet detection to the compared
+// schemes so the comparison isolates the algorithms.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -24,12 +27,33 @@ enum class Scheme {
   kCicBec,         ///< CIC assignment + BEC ("CIC+")
   kAlignTrack,     ///< AlignTrack* assignment + default decoder
   kAlignTrackBec,  ///< AlignTrack* assignment + BEC ("AlignTrack*+")
+  kCoRa,           ///< CoRa amplitude decision + default decoder
+  kCoRaBec,        ///< CoRa amplitude decision + BEC ("CoRa+")
+  kLZnThrive,      ///< LZn-style sync front end + Thrive + default decoder
+  kCoRaTnB,        ///< CoRa first pass, Thrive arbiter, BEC ("CoRa-TnB")
 };
 
 /// Human-readable scheme name as used in the paper's figures.
 std::string scheme_name(Scheme s);
 
-/// All schemes, in the order the paper lists them.
+/// Lowercase command-line token for the scheme (what tnb_eval --scheme
+/// accepts): scheme_name lowercased with '*' dropped, e.g. "aligntrack+".
+std::string scheme_cli_name(Scheme s);
+
+/// Parses a command-line token (as produced by scheme_cli_name);
+/// std::nullopt on an unknown token.
+std::optional<Scheme> parse_scheme(const std::string& token);
+
+/// Comma-separated scheme_cli_name list of all schemes, for --help text
+/// and unknown-scheme error messages.
+std::string scheme_cli_list();
+
+/// True for schemes that replace the Detector + FracSync front end with
+/// their own synchronizer — their detections cannot be shared with the
+/// default-front-end schemes.
+bool scheme_uses_custom_sync(Scheme s);
+
+/// All schemes, in the order the paper lists them (new peers appended).
 std::vector<Scheme> all_schemes();
 
 /// Builds a fully configured receiver for the scheme. `implicit` switches

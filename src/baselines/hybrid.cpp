@@ -1,0 +1,40 @@
+#include "baselines/hybrid.hpp"
+
+namespace tnb::base {
+
+HybridAssigner::HybridAssigner(lora::Params p, HybridOptions opt)
+    : p_(p),
+      opt_(opt),
+      cora_(p, opt.cora),
+      thrive_(p, opt.thrive) {
+  p_.validate();
+}
+
+std::vector<rx::Assignment> HybridAssigner::assign(const rx::AssignInput& in) {
+  std::vector<double> confidence;
+  std::vector<rx::Assignment> out = cora_.assign_with_confidence(in, confidence);
+  ++stats_.calls;
+  stats_.symbols += out.size();
+
+  bool any_doubtful = false;
+  for (double c : confidence) {
+    if (c < opt_.escalate_below) {
+      any_doubtful = true;
+      break;
+    }
+  }
+  if (!any_doubtful) return out;
+
+  // Thrive sees the full checking point (its cost model needs every
+  // symbol's peaks anyway); only the doubtful symbols take its verdict.
+  const std::vector<rx::Assignment> arbitrated = thrive_.assign(in);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (confidence[i] < opt_.escalate_below) {
+      out[i] = arbitrated[i];
+      ++stats_.escalated;
+    }
+  }
+  return out;
+}
+
+}  // namespace tnb::base

@@ -1,0 +1,104 @@
+// LZn-style collision-robust frame synchronization (Álamos et al.,
+// PAPERS.md), implemented as an rx::FrameSync front end — a drop-in
+// alternative to the receiver's built-in Detector + FracSync block
+// (installed via Receiver::set_sync_factory).
+//
+// Where Detector demodulates each symbol-length window once and calls a
+// preamble from a run of matching peaks, LZn slides the window at a
+// sub-symbol step and non-coherently ACCUMULATES the folded spectra of the
+// 8 preamble-upchirp positions: A_k = sum_{j=0..7} SV(k + j*T). All eight
+// upchirps share one dechirp bin, so the accumulation grows the preamble
+// peak ~8x while a collider's data symbols (whose bins change every T)
+// stay spread — the SNR headroom that lets a weak preamble surface under a
+// strong collider. The accumulated peak is then resolved exactly like the
+// paper's step 3 (downchirp hypotheses -> eps/delta -> 12-point validation
+// at +/-2 symbol shifts) and optionally polished by FracSync, so the
+// returned detections feed the unchanged checking-point walk.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/frac_sync.hpp"
+#include "core/frame_sync.hpp"
+#include "lora/demodulator.hpp"
+#include "lora/params.hpp"
+
+namespace tnb::base {
+
+struct LZnOptions {
+  /// Sub-symbol window positions per symbol period (the slide granularity;
+  /// must divide the samples-per-symbol).
+  std::size_t steps_per_symbol = 2;
+  /// Accumulated-spectrum peaks must exceed this multiple of the noise
+  /// floor. Lower than Detector's 8: accumulation already buys ~8x.
+  double peak_floor_ratio = 5.0;
+  /// Minimum consecutive accumulation steps with a matching peak. The
+  /// slot-support gate below carries the specificity; the run check only
+  /// rejects one-step flukes.
+  std::size_t min_run = 3;
+  /// An accumulated peak only counts when at least this many of its 8
+  /// contributing slot spectra carry energy at the peak bin. A preamble
+  /// feeds all 8 slots; a lone collider data symbol (which persists across
+  /// ~15 overlapping accumulation windows) feeds exactly one.
+  int min_slot_support = 6;
+  /// Per-slot energy (at the peak bin, +/-1) must reach this fraction of
+  /// the peak's mean slot contribution (value / 8) to count as support.
+  double slot_support_ratio = 0.2;
+  /// Maximum peaks tracked per accumulation step.
+  std::size_t max_peaks_per_step = 8;
+  /// |CFO| bound (cycles/symbol) for the half-period branch pick.
+  double max_cfo_cycles = 0.0;  ///< 0 = derive from 4.88 kHz and params
+  /// Minimum step-2 validation checks (out of 12) to accept a preamble.
+  int min_validation_score = 8;
+  /// A validation check must also hold this fraction of its own window's
+  /// spectrum maximum — the floor ratio alone passes on sidelobe leakage
+  /// when the noise floor is tiny (high SNR). Far sidelobes of a dominant
+  /// peak sit near 1e-3 of it; a weak packet under a strong collider
+  /// (near-far) still holds ~1e-1..1e-2, so 5e-3 separates the two.
+  double validation_dominance_ratio = 5e-3;
+  /// Polish accepted detections with FracSync (gated, like the built-in
+  /// front end) — gives sub-sample timing at high SNR.
+  bool refine = true;
+};
+
+class LZnSync final : public rx::FrameSync {
+ public:
+  explicit LZnSync(lora::Params p, LZnOptions opt = {});
+
+  std::vector<rx::DetectedPacket> sync(
+      std::span<const cfloat> trace) override;
+
+ private:
+  struct Candidate {
+    double w0 = 0.0;    ///< trace position of the strongest accumulated peak
+    double x1 = 0.0;    ///< interpolated accumulated-upchirp peak (bins)
+    double power = 0.0;
+  };
+
+  /// Slides + accumulates, returning preamble candidates.
+  std::vector<Candidate> find_candidates(std::span<const cfloat> trace,
+                                         lora::Workspace& ws);
+
+  /// Downchirp hypotheses + step-3 math + 12-point validation for one
+  /// candidate (mirrors Detector::resolve_candidate on the finer grid).
+  void resolve(std::span<const cfloat> trace, const Candidate& cand,
+               lora::Workspace& ws,
+               std::vector<rx::DetectedPacket>& out) const;
+
+  /// Peak energy at `bin` (+/-1) of the dechirped window at `start`:
+  /// {relative to the spectrum's noise floor, relative to its maximum}.
+  std::pair<double, double> energy_at(std::span<const cfloat> trace,
+                                      double start, double cfo_cycles,
+                                      std::size_t bin, bool up,
+                                      lora::Workspace& ws) const;
+
+  lora::Params p_;
+  LZnOptions opt_;
+  lora::Demodulator demod_;
+  rx::FracSync fsync_;
+};
+
+}  // namespace tnb::base

@@ -104,6 +104,10 @@ void Receiver::set_assigner_factory(AssignerFactory factory) {
   factory_ = std::move(factory);
 }
 
+void Receiver::set_sync_factory(SyncFactory factory) {
+  sync_factory_ = std::move(factory);
+}
+
 std::vector<sim::DecodedPacket> Receiver::decode(
     std::span<const cfloat> trace, Rng& rng, ReceiverStats* stats) const {
   return decode_multi({trace}, rng, stats);
@@ -113,32 +117,47 @@ std::vector<DetectedPacket> Receiver::detect(
     std::vector<std::span<const cfloat>> antennas) const {
   std::vector<DetectedPacket> detections;
   if (antennas.empty() || antennas[0].empty()) return detections;
-  const Detector detector(p_, opt_.detector);
-  const FracSync fsync(p_);
-  lora::Workspace ws(p_);  // one workspace serves the whole detection pass
-
-  // Detect on every antenna: a packet faded on one antenna during its
-  // preamble is often clean on another (the diversity TnB2ant relies on).
-  for (const auto& ant : antennas) {
-    std::vector<DetectedPacket> found;
-    {
-      const obs::ScopedSpan span(obs_.stages.detect);
-      found = detector.detect(ant, ws);
+  if (sync_factory_) {
+    // Custom front end (set_sync_factory): the FrameSync owns detection AND
+    // refinement per antenna; only the cross-antenna merge below is shared.
+    const std::unique_ptr<FrameSync> fs = sync_factory_();
+    for (const auto& ant : antennas) {
+      std::vector<DetectedPacket> found;
+      {
+        const obs::ScopedSpan span(obs_.stages.detect);
+        found = fs->sync(ant);
+      }
+      detections.insert(detections.end(), found.begin(), found.end());
     }
-    if (opt_.use_frac_sync) {
-      const obs::ScopedSpan span(obs_.stages.frac_sync);
-      for (DetectedPacket& det : found) {
-        const FracSyncResult r = fsync.refine(ant, det.t0, det.cfo_cycles, ws);
-        // Only trust the refinement when the Q* gate confirmed it: with a
-        // heavily collided preamble the ungated fallback can be steered by
-        // an interferer, and the coarse estimate is then the safer choice.
-        if (r.gated) {
-          det.t0 += r.dt;
-          det.cfo_cycles += r.df;
+  } else {
+    const Detector detector(p_, opt_.detector);
+    const FracSync fsync(p_);
+    lora::Workspace ws(p_);  // one workspace serves the whole detection pass
+
+    // Detect on every antenna: a packet faded on one antenna during its
+    // preamble is often clean on another (the diversity TnB2ant relies on).
+    for (const auto& ant : antennas) {
+      std::vector<DetectedPacket> found;
+      {
+        const obs::ScopedSpan span(obs_.stages.detect);
+        found = detector.detect(ant, ws);
+      }
+      if (opt_.use_frac_sync) {
+        const obs::ScopedSpan span(obs_.stages.frac_sync);
+        for (DetectedPacket& det : found) {
+          const FracSyncResult r =
+              fsync.refine(ant, det.t0, det.cfo_cycles, ws);
+          // Only trust the refinement when the Q* gate confirmed it: with a
+          // heavily collided preamble the ungated fallback can be steered by
+          // an interferer, and the coarse estimate is then the safer choice.
+          if (r.gated) {
+            det.t0 += r.dt;
+            det.cfo_cycles += r.df;
+          }
         }
       }
+      detections.insert(detections.end(), found.begin(), found.end());
     }
-    detections.insert(detections.end(), found.begin(), found.end());
   }
   if (antennas.size() > 1) {
     // Merge duplicates across antennas (same packet, near-equal timing/CFO).

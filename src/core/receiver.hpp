@@ -20,6 +20,7 @@
 #include "core/bec.hpp"
 #include "core/detect.hpp"
 #include "core/frac_sync.hpp"
+#include "core/frame_sync.hpp"
 #include "core/thrive.hpp"
 #include "obs/stage_timer.hpp"
 #include "sim/metrics.hpp"
@@ -108,6 +109,15 @@ class Receiver {
   using AssignerFactory = std::function<std::unique_ptr<PeakAssigner>()>;
   void set_assigner_factory(AssignerFactory factory);
 
+  /// Installs a frame-synchronization front end factory (called once per
+  /// detect pass; the instance is shared across that pass's antennas). When
+  /// set, detect() hands each antenna to the FrameSync instead of the
+  /// built-in Detector + FracSync block — the front end owns its own
+  /// refinement (use_frac_sync is ignored). Cross-antenna merging is
+  /// unchanged. Default: none (built-in front end).
+  using SyncFactory = std::function<std::unique_ptr<FrameSync>()>;
+  void set_sync_factory(SyncFactory factory);
+
   /// Decodes a single-antenna trace.
   std::vector<sim::DecodedPacket> decode(std::span<const cfloat> trace,
                                          Rng& rng,
@@ -148,7 +158,8 @@ class Receiver {
   lora::Params p_;
   ReceiverOptions opt_;
   AssignerFactory factory_;
-  Instrumentation obs_;  ///< null handles when metrics are disabled
+  SyncFactory sync_factory_;  ///< empty = built-in Detector + FracSync
+  Instrumentation obs_;       ///< null handles when metrics are disabled
 };
 
 }  // namespace tnb::rx

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <complex>
 #include <cstring>
 #include <sstream>
 #include <vector>
 
+#include "baselines/factories.hpp"
+#include "baselines/lzn_sync.hpp"
 #include "common/rng.hpp"
 #include "core/bec.hpp"
 #include "fleet/channelizer.hpp"
@@ -653,6 +656,66 @@ void oracle_fleet_differential(FuzzInput& in) {
     TNB_ORACLE(a[i].t0 == b[i].t0, "ledger entry t0 mismatch");
     TNB_ORACLE(a[i].pkt.payload == b[i].pkt.payload,
                "ledger entry payload mismatch");
+  }
+}
+
+// ----------------------------------------------------------------- baselines
+
+void oracle_baseline_receiver_totality(FuzzInput& in) {
+  const lora::Params p = arbitrary_params_small(in);
+  static constexpr base::Scheme kSchemes[] = {
+      base::Scheme::kCoRa, base::Scheme::kCoRaBec, base::Scheme::kCoRaTnB,
+      base::Scheme::kLZnThrive};
+  const base::Scheme scheme = kSchemes[in.uniform(0, 3)];
+  const std::size_t n = static_cast<std::size_t>(in.uniform(0, 24)) * p.sps();
+  const IqBuffer iq = arbitrary_iq(in, n);
+  const std::uint64_t seed = in.u64();
+
+  const auto run = [&] {
+    rx::Receiver r = base::make_receiver(scheme, p);
+    Rng rng(seed);
+    return r.decode(iq, rng);
+  };
+  const auto a = run();
+  for (const auto& pkt : a) {
+    TNB_ORACLE(std::isfinite(pkt.start_sample) && std::isfinite(pkt.cfo_hz),
+               "decoded packet with non-finite fields");
+    TNB_ORACLE(pkt.payload.size() <= 255, "payload beyond the on-air limit");
+  }
+  const auto b = run();
+  TNB_ORACLE(a.size() == b.size(),
+             "baseline decode not deterministic (packet count)");
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    TNB_ORACLE(a[i].payload == b[i].payload &&
+                   a[i].start_sample == b[i].start_sample,
+               "baseline decode not deterministic (packet content)");
+  }
+}
+
+void oracle_lzn_sync_totality(FuzzInput& in) {
+  const lora::Params p = arbitrary_params_small(in);
+  base::LZnOptions opt;
+  opt.refine = in.boolean();
+  const std::size_t n = static_cast<std::size_t>(in.uniform(0, 30)) * p.sps();
+  const IqBuffer iq = arbitrary_iq(in, n);
+
+  base::LZnSync sync(p, opt);
+  const auto a = sync.sync(iq);
+  for (const auto& d : a) {
+    TNB_ORACLE(std::isfinite(d.t0) && std::isfinite(d.cfo_cycles),
+               "detection with non-finite timing/CFO");
+    TNB_ORACLE(d.t0 > -static_cast<double>(p.sps()) &&
+                   d.t0 < static_cast<double>(iq.size()),
+               "detection outside the trace");
+    TNB_ORACLE(d.validation_score >= opt.min_validation_score &&
+                   d.validation_score <= 12,
+               "validation score out of contract");
+  }
+  const auto b = sync.sync(iq);
+  TNB_ORACLE(a.size() == b.size(), "sync not deterministic (count)");
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    TNB_ORACLE(a[i].t0 == b[i].t0 && a[i].cfo_cycles == b[i].cfo_cycles,
+               "sync not deterministic (detection)");
   }
 }
 

@@ -105,4 +105,15 @@ void oracle_channelizer_roundtrip(FuzzInput& in);
 /// at different chunk boundaries — entry for entry, after finalize.
 void oracle_fleet_differential(FuzzInput& in);
 
+// ---- base::CoRaDetector / base::LZnSync (the baseline peers) ----
+/// Arbitrary IQ through a fuzz-chosen baseline receiver (CoRa, CoRa+,
+/// CoRa-TnB, LZn-Thrive): total — never crashes — deterministic for a
+/// fixed Rng seed, and every reported packet has finite fields and an
+/// in-air-limit payload.
+void oracle_baseline_receiver_totality(FuzzInput& in);
+/// LZnSync::sync on arbitrary IQ: total, every detection finite and
+/// in-bounds with a score that meets the configured threshold, and the
+/// detection list identical across repeated calls.
+void oracle_lzn_sync_totality(FuzzInput& in);
+
 }  // namespace tnb::testing

@@ -1,0 +1,20 @@
+// Fuzz harness: baseline receivers (ISSUE 7). Arbitrary int16-grid IQ
+// through the CoRa / hybrid / LZn-Thrive receivers and through LZnSync
+// directly: decode and sync must be total on hostile input (NaN bursts,
+// truncated preambles, garbage), deterministic for a fixed seed, and
+// every reported packet/detection must satisfy its documented contract.
+#include <cstddef>
+#include <cstdint>
+
+#include "testing/oracles.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  tnb::testing::FuzzInput in(data, size);
+  if (in.boolean()) {
+    tnb::testing::oracle_lzn_sync_totality(in);
+  } else {
+    tnb::testing::oracle_baseline_receiver_totality(in);
+  }
+  return 0;
+}

@@ -107,6 +107,46 @@ TEST(Factories, AllSchemesConstructAndName) {
   EXPECT_EQ(scheme_name(Scheme::kTnB), "TnB");
   EXPECT_EQ(scheme_name(Scheme::kCicBec), "CIC+");
   EXPECT_EQ(scheme_name(Scheme::kAlignTrack), "AlignTrack*");
+  EXPECT_EQ(scheme_name(Scheme::kCoRa), "CoRa");
+  EXPECT_EQ(scheme_name(Scheme::kCoRaBec), "CoRa+");
+  EXPECT_EQ(scheme_name(Scheme::kLZnThrive), "LZn-Thrive");
+  EXPECT_EQ(scheme_name(Scheme::kCoRaTnB), "CoRa-TnB");
+}
+
+TEST(Factories, CliNamesRoundTripAndListEverything) {
+  // The tnb_eval CLI derives its tokens and --help list from these; a
+  // token must parse back to exactly its scheme.
+  for (Scheme s : all_schemes()) {
+    const std::string token = scheme_cli_name(s);
+    EXPECT_FALSE(token.empty());
+    const auto parsed = parse_scheme(token);
+    ASSERT_TRUE(parsed.has_value()) << token;
+    EXPECT_EQ(*parsed, s) << token;
+    EXPECT_NE(scheme_cli_list().find(token), std::string::npos);
+  }
+  // Historical tokens are pinned (scripts depend on them).
+  EXPECT_EQ(scheme_cli_name(Scheme::kTnB), "tnb");
+  EXPECT_EQ(scheme_cli_name(Scheme::kLoRaPhy), "loraphy");
+  EXPECT_EQ(scheme_cli_name(Scheme::kCicBec), "cic+");
+  EXPECT_EQ(scheme_cli_name(Scheme::kAlignTrack), "aligntrack");
+  EXPECT_EQ(scheme_cli_name(Scheme::kAlignTrackBec), "aligntrack+");
+  EXPECT_EQ(scheme_cli_name(Scheme::kCoRa), "cora");
+  EXPECT_EQ(scheme_cli_name(Scheme::kLZnThrive), "lzn-thrive");
+  EXPECT_EQ(scheme_cli_name(Scheme::kCoRaTnB), "cora-tnb");
+  EXPECT_FALSE(parse_scheme("nonsense").has_value());
+  EXPECT_FALSE(parse_scheme("").has_value());
+}
+
+TEST(Factories, NewSchemeConfigs) {
+  const lora::Params p = fixture_params();
+  EXPECT_FALSE(make_receiver(Scheme::kCoRa, p).options().use_bec);
+  EXPECT_TRUE(make_receiver(Scheme::kCoRaBec, p).options().use_bec);
+  EXPECT_FALSE(make_receiver(Scheme::kLZnThrive, p).options().use_bec);
+  EXPECT_TRUE(make_receiver(Scheme::kCoRaTnB, p).options().use_bec);
+  EXPECT_TRUE(make_receiver(Scheme::kCoRaTnB, p).options().two_pass);
+  EXPECT_TRUE(scheme_uses_custom_sync(Scheme::kLZnThrive));
+  EXPECT_FALSE(scheme_uses_custom_sync(Scheme::kCoRa));
+  EXPECT_FALSE(scheme_uses_custom_sync(Scheme::kTnB));
 }
 
 TEST(Factories, SchemeConfigsMatchPaper) {

@@ -1,0 +1,161 @@
+// tnb::fleet windowed-prototype tolerance harness (ISSUE 7): taps > 1
+// trades the taps == 1 exact block-DFT reconstruction for adjacent-channel
+// rejection, so lane output is no longer bit-identical to the exact
+// channelizer's. This file pins how close it must stay: per-channel packet
+// agreement against the taps == 1 reference above a fixed threshold, and
+// full scheduling determinism for any lane count / chunk size at fixed
+// taps.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fleet/channelizer.hpp"
+#include "fleet/fleet.hpp"
+#include "sim/trace_builder.hpp"
+#include "stream/chunk_source.hpp"
+
+namespace tnb::fleet {
+namespace {
+
+// Minimum fraction of taps==1 reference packets the windowed-prototype
+// lanes must reproduce (and vice versa — agreement is symmetric). The
+// prototype's passband covers the half-band LoRa occupies at osf 2, so in
+// practice agreement is ~1.0; the pin leaves room for edge-of-band loss
+// only.
+constexpr double kAgreementThreshold = 0.85;
+
+lora::Params test_params() {
+  return {.sf = 8, .cr = 4, .bandwidth_hz = 125e3, .osf = 2};
+}
+
+sim::TraceOptions traffic(double duration_s, double load_pps) {
+  sim::TraceOptions opt;
+  opt.duration_s = duration_s;
+  opt.load_pps = load_pps;
+  opt.nodes = {{1, 20.0, 900.0}, {2, 15.0, -1800.0}, {3, 12.0, 400.0}};
+  return opt;
+}
+
+IqBuffer make_wideband(const lora::Params& p, unsigned n_channels,
+                       std::uint64_t seed) {
+  Rng rng(seed);
+  const auto traces =
+      sim::build_multichannel_traces(p, traffic(1.5, 8.0), n_channels, rng);
+  std::vector<IqBuffer> per_channel;
+  for (const auto& t : traces) per_channel.push_back(t.iq);
+  return mix_channels(per_channel, n_channels);
+}
+
+std::vector<std::vector<std::uint8_t>> lane_payloads(
+    const std::vector<LedgerEntry>& ledger, unsigned channel, unsigned sf) {
+  std::vector<std::vector<std::uint8_t>> out;
+  for (const auto& e : ledger) {
+    if (e.channel == channel && e.sf == sf) out.push_back(e.pkt.payload);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<LedgerEntry> run_fleet(const lora::Params& p,
+                                   const IqBuffer& wideband,
+                                   unsigned n_channels, unsigned taps,
+                                   int lanes, std::size_t chunk) {
+  FleetOptions fopt;
+  fopt.n_channels = n_channels;
+  fopt.sfs = {p.sf};
+  fopt.lanes = lanes;
+  fopt.taps = taps;
+  fopt.stream.rng_seed = 1;
+  Fleet fleet(p, fopt);
+  stream::BufferSource src(wideband);
+  fleet.consume(src, chunk);
+  return fleet.ledger();
+}
+
+/// Multiset intersection size (both inputs sorted).
+std::size_t agreement_count(std::vector<std::vector<std::uint8_t>> a,
+                            std::vector<std::vector<std::uint8_t>> b) {
+  std::vector<std::vector<std::uint8_t>> both;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(both));
+  return both.size();
+}
+
+TEST(FleetTaps, WindowedPrototypeAgreesWithExactLanes) {
+  const lora::Params p = test_params();
+  const unsigned n_channels = 4;
+  const IqBuffer wideband = make_wideband(p, n_channels, 42);
+
+  const auto exact = run_fleet(p, wideband, n_channels, 1, 2, 65536);
+  std::size_t ref_total = 0;
+  for (unsigned c = 0; c < n_channels; ++c) {
+    ref_total += lane_payloads(exact, c, p.sf).size();
+  }
+  ASSERT_GE(ref_total, 4u) << "reference too quiet to be a meaningful test";
+
+  for (const unsigned taps : {2u, 3u, 4u}) {
+    SCOPED_TRACE("taps=" + std::to_string(taps));
+    const auto windowed = run_fleet(p, wideband, n_channels, taps, 2, 65536);
+    std::size_t win_total = 0, agreed = 0;
+    for (unsigned c = 0; c < n_channels; ++c) {
+      const auto ref = lane_payloads(exact, c, p.sf);
+      const auto got = lane_payloads(windowed, c, p.sf);
+      win_total += got.size();
+      agreed += agreement_count(ref, got);
+    }
+    // Symmetric tolerance: the windowed lanes must reproduce most of the
+    // reference AND not invent packets the exact lanes never saw.
+    EXPECT_GE(static_cast<double>(agreed),
+              kAgreementThreshold * static_cast<double>(ref_total))
+        << "windowed lanes dropped too many reference packets ("
+        << agreed << "/" << ref_total << ")";
+    EXPECT_GE(static_cast<double>(agreed),
+              kAgreementThreshold * static_cast<double>(win_total))
+        << "windowed lanes invented packets (" << agreed << "/" << win_total
+        << ")";
+  }
+}
+
+TEST(FleetTaps, WindowedLanesAreScheduleDeterministic) {
+  // The tolerance is against taps == 1 only. At fixed taps the fleet's
+  // determinism guarantee is unconditional: every lane count and chunking
+  // must produce the identical frozen ledger.
+  const lora::Params p = test_params();
+  const unsigned n_channels = 4;
+  const IqBuffer wideband = make_wideband(p, n_channels, 42);
+
+  struct Run {
+    int lanes;
+    std::size_t chunk;
+  };
+  std::vector<std::vector<LedgerEntry>> ledgers;
+  for (const Run r : {Run{1, std::size_t{65536}}, Run{2, std::size_t{999}},
+                      Run{8, std::size_t{4096}}}) {
+    ledgers.push_back(run_fleet(p, wideband, n_channels, 3, r.lanes, r.chunk));
+  }
+  ASSERT_GE(ledgers[0].size(), 3u);
+  for (std::size_t i = 1; i < ledgers.size(); ++i) {
+    ASSERT_EQ(ledgers[i].size(), ledgers[0].size());
+    for (std::size_t j = 0; j < ledgers[0].size(); ++j) {
+      EXPECT_EQ(ledgers[i][j].channel, ledgers[0][j].channel);
+      EXPECT_EQ(ledgers[i][j].t0, ledgers[0][j].t0);
+      EXPECT_EQ(ledgers[i][j].pkt.payload, ledgers[0][j].pkt.payload);
+    }
+  }
+}
+
+TEST(FleetTaps, TapsPlumbedThroughToChannelizer) {
+  const lora::Params p = test_params();
+  FleetOptions fopt;
+  fopt.n_channels = 2;
+  fopt.sfs = {p.sf};
+  fopt.taps = 3;
+  const Fleet fleet(p, fopt);
+  EXPECT_EQ(fleet.options().taps, 3u);
+}
+
+}  // namespace
+}  // namespace tnb::fleet

@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "baselines/factories.hpp"
 #include "core/receiver.hpp"
 #include "sim/experiment.hpp"
 #include "sim/metrics.hpp"
@@ -66,6 +67,30 @@ TEST(ParallelDeterminism, RunRepeatedMatchesSequential) {
       EXPECT_EQ(par_report.run_wall_s.size(), 6u);
       EXPECT_GT(par_report.sequential_s(), 0.0);
     }
+  }
+}
+
+TEST(ParallelDeterminism, BaselineSchemesMatchSequential) {
+  // The new-subsystem schemes (ISSUE 7): CoRa's amplitude decision and the
+  // CoRa->TnB hybrid (plus LZn's custom sync front end) must be
+  // bit-identical for any jobs value, like every other scheme in the grid.
+  for (const base::Scheme scheme :
+       {base::Scheme::kCoRa, base::Scheme::kCoRaTnB,
+        base::Scheme::kLZnThrive}) {
+    const auto score = [scheme](const Trace& t, int run) {
+      rx::Receiver receiver = base::make_receiver(scheme, t.params);
+      Rng rng(1000 + static_cast<std::uint64_t>(run));
+      const auto decoded = receiver.decode(t.iq, rng);
+      return static_cast<double>(evaluate(t, decoded).decoded_unique) +
+             1e-7 * static_cast<double>(t.packets.size());
+    };
+    const Scenario sc = light_scenario();
+    const Series seq =
+        run_repeated(sc, 4, 42, score, RunOptions{.jobs = 1});
+    const Series par =
+        run_repeated(sc, 4, 42, score, RunOptions{.jobs = 8});
+    EXPECT_EQ(par.values, seq.values)
+        << base::scheme_name(scheme) << " not jobs-deterministic";
   }
 }
 

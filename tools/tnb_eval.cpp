@@ -33,27 +33,25 @@
 namespace {
 
 [[noreturn]] void usage() {
+  // The scheme list comes from base::all_schemes() so a new scheme in the
+  // factory automatically shows up here (and in parse errors below).
   std::fprintf(stderr,
                "usage: tnb_eval --in PREFIX [--sf N] [--cr N] [--osf N] "
                "[--scheme NAME|all]\n"
                "                [--antennas N] [--implicit-len BYTES] "
                "[--jobs N]\n"
-               "                [--metrics-file FILE]\n");
+               "                [--metrics-file FILE]\n"
+               "schemes: %s, sic, all\n",
+               tnb::base::scheme_cli_list().c_str());
   std::exit(2);
 }
 
 std::vector<tnb::base::Scheme> parse_schemes(const std::string& name) {
-  using tnb::base::Scheme;
   if (name == "all") return tnb::base::all_schemes();
-  if (name == "tnb") return {Scheme::kTnB};
-  if (name == "thrive") return {Scheme::kThrive};
-  if (name == "sibling") return {Scheme::kSibling};
-  if (name == "loraphy") return {Scheme::kLoRaPhy};
-  if (name == "cic") return {Scheme::kCic};
-  if (name == "cic+") return {Scheme::kCicBec};
-  if (name == "aligntrack") return {Scheme::kAlignTrack};
-  if (name == "aligntrack+") return {Scheme::kAlignTrackBec};
-  usage();
+  if (const auto s = tnb::base::parse_scheme(name)) return {*s};
+  std::fprintf(stderr, "tnb_eval: unknown scheme '%s' (valid: %s, sic, all)\n",
+               name.c_str(), tnb::base::scheme_cli_list().c_str());
+  std::exit(2);
 }
 
 }  // namespace
