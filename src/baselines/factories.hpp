@@ -57,8 +57,12 @@ bool scheme_uses_custom_sync(Scheme s);
 std::vector<Scheme> all_schemes();
 
 /// Builds a fully configured receiver for the scheme. `implicit` switches
-/// every scheme to LoRa implicit-header operation.
+/// every scheme to LoRa implicit-header operation; `codec` overrides the
+/// frame-coding convention (null = paper format, wire::wire_codec_factory()
+/// = gr-lora-sdr wire format) — orthogonal to the scheme, which only picks
+/// the peak assigner / sync front end / error-correction decoder.
 rx::Receiver make_receiver(Scheme s, const lora::Params& p,
-                           std::optional<rx::ImplicitHeader> implicit = {});
+                           std::optional<rx::ImplicitHeader> implicit = {},
+                           rx::CodecFactory codec = {});
 
 }  // namespace tnb::base

@@ -39,17 +39,41 @@ BecStats& BecStats::operator+=(const BecStats& o) {
 }
 
 Bec::Bec(unsigned sf, unsigned cr) : sf_(sf), cr_(cr) {
-  if (sf < 6 || sf > 12) throw std::invalid_argument("Bec: SF must be 6..12");
+  // SF here is the block row count; the wire format's reduced-rate header
+  // block has sf_app = sf - 2 rows, so 5 rows (SF5, or SF7 reduced) is the
+  // floor.
+  if (sf < 5 || sf > 12) throw std::invalid_argument("Bec: SF must be 5..12");
   if (cr < 1 || cr > 4) throw std::invalid_argument("Bec: CR must be 1..4");
   n_cols_ = 4 + cr;
   dmin_ = lora::min_distance(cr);
+  for (unsigned d = 0; d < 16; ++d) book_[d] = lora::codewords(cr)[d];
+}
+
+Bec::Bec(unsigned sf, unsigned cr, const std::array<std::uint8_t, 16>& codebook)
+    : Bec(sf, cr) {
+  book_ = codebook;
+  dmin_ = n_cols_;  // linear code: dmin = min nonzero codeword weight
+  for (unsigned d = 1; d < 16; ++d) dmin_ = std::min(dmin_, weight(book_[d]));
+}
+
+std::uint8_t Bec::nearest(std::uint8_t row) const {
+  unsigned best_dist = 9;
+  std::uint8_t best = 0;
+  for (unsigned d = 0; d < 16; ++d) {
+    const unsigned dist = weight(static_cast<std::uint8_t>(row ^ book_[d]));
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = book_[d];
+    }
+  }
+  return best;
 }
 
 std::vector<std::uint8_t> Bec::companions(std::uint8_t mask) const {
   std::vector<std::uint8_t> out;
   if (weight(mask) >= dmin_) return out;
   for (unsigned d = 1; d < 16; ++d) {
-    const std::uint8_t cw = lora::codewords(cr_)[d];
+    const std::uint8_t cw = book_[d];
     if (weight(cw) != dmin_) continue;
     if ((cw & mask) != mask) continue;
     out.push_back(static_cast<std::uint8_t>(cw ^ mask));
@@ -69,7 +93,7 @@ std::optional<std::vector<std::uint8_t>> Bec::delta1(
   for (std::size_t r = 0; r < rows.size(); ++r) {
     bool found = false;
     for (unsigned d = 0; d < 16; ++d) {
-      const std::uint8_t cw = lora::codewords(cr_)[d];
+      const std::uint8_t cw = book_[d];
       if (((cw ^ rows[r]) & keep) == 0) {
         fixed[r] = cw;
         found = true;
@@ -91,7 +115,7 @@ std::vector<unsigned> Bec::delta2_mismatch_columns(
         static_cast<std::uint8_t>(rows[r] ^ (1u << k1));
     bool found = false;
     for (unsigned d = 0; d < 16 && !found; ++d) {
-      const std::uint8_t cw = lora::codewords(cr_)[d];
+      const std::uint8_t cw = book_[d];
       const std::uint8_t diff = static_cast<std::uint8_t>(cw ^ flipped);
       if (weight(diff) == 1) {
         cols.insert(static_cast<unsigned>(std::countr_zero(
@@ -125,7 +149,7 @@ std::optional<std::vector<std::uint8_t>> Bec::delta2(
         static_cast<std::uint8_t>(rows[r] ^ (1u << k1));
     bool found = false;
     for (unsigned d = 0; d < 16 && !found; ++d) {
-      const std::uint8_t cw = lora::codewords(cr_)[d];
+      const std::uint8_t cw = book_[d];
       const std::uint8_t diff = static_cast<std::uint8_t>(cw ^ flipped);
       if (weight(diff) == 1) {
         const int col = std::countr_zero(static_cast<unsigned>(diff));
@@ -155,7 +179,7 @@ std::optional<std::vector<std::uint8_t>> Bec::delta3(
     const std::uint8_t candidate = static_cast<std::uint8_t>(rows[r] ^ flip);
     bool found = false;
     for (unsigned d = 0; d < 16 && !found; ++d) {
-      if (lora::codewords(cr_)[d] == candidate) {
+      if (book_[d] == candidate) {
         fixed[r] = candidate;
         found = true;
       }
@@ -213,7 +237,7 @@ std::vector<std::vector<std::uint8_t>> Bec::decode_block(
   bool any_diff = false;
   bool has_phi2 = false;
   for (unsigned r = 0; r < sf_; ++r) {
-    gamma[r] = lora::default_decode(rows[r], cr_).codeword;
+    gamma[r] = nearest(rows[r]);
     const std::uint8_t diff = static_cast<std::uint8_t>(rows[r] ^ gamma[r]);
     dw[r] = weight(diff);
     if (dw[r] == 1) xi |= diff;

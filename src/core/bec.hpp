@@ -14,6 +14,7 @@
 // one consistent mismatch column), Delta_3 (flip two columns, exact match).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -41,7 +42,15 @@ struct BecStats {
 /// Joint decoder for one SF x (4+CR) code block.
 class Bec {
  public:
+  /// Paper codebook (lora::codewords) for the given coding rate.
   Bec(unsigned sf, unsigned cr);
+
+  /// Custom linear codebook: `codebook[d]` is the (4+cr)-bit codeword of
+  /// data nibble d. The column error model is codebook-agnostic — the wire
+  /// codec passes its column-major (bit-reversed) codewords here so BEC
+  /// repairs gr-lora-sdr blocks too. The minimum distance is derived from
+  /// the codebook (minimum nonzero codeword weight; the code is linear).
+  Bec(unsigned sf, unsigned cr, const std::array<std::uint8_t, 16>& codebook);
 
   unsigned sf() const { return sf_; }
   unsigned cr() const { return cr_; }
@@ -92,10 +101,16 @@ class Bec {
       std::span<const unsigned> diff_weight, unsigned k1, unsigned k2,
       BecStats* stats) const;
 
+  /// Nearest codeword to `row` under the codebook (Hamming distance, first
+  /// strictly-smaller match wins — identical tie-break to
+  /// lora::default_decode, which keeps the paper path byte-identical).
+  std::uint8_t nearest(std::uint8_t row) const;
+
   unsigned sf_;
   unsigned cr_;
   unsigned n_cols_;
   unsigned dmin_;
+  std::array<std::uint8_t, 16> book_;
 };
 
 /// CRC budget W per coding rate (paper 6.9): 125 for CR 1, 16 otherwise.

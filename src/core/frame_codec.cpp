@@ -1,0 +1,116 @@
+#include "core/frame_codec.hpp"
+
+#include "lora/frame.hpp"
+
+namespace tnb::rx {
+
+std::unique_ptr<const FrameCodec> make_frame_codec(const CodecConfig& cfg,
+                                                   const CodecFactory& factory) {
+  if (factory) return factory(cfg);
+  return std::make_unique<PaperCodec>(cfg);
+}
+
+PaperCodec::PaperCodec(const CodecConfig& cfg) : cfg_(cfg) {
+  cfg_.params.validate();
+}
+
+std::size_t PaperCodec::header_symbols() const {
+  return cfg_.implicit_header.has_value() ? 0 : lora::kHeaderSymbols;
+}
+
+std::optional<lora::Header> PaperCodec::implicit_header() const {
+  if (!cfg_.implicit_header.has_value()) return std::nullopt;
+  lora::Header h;
+  h.payload_len = cfg_.implicit_header->payload_len;
+  h.cr = cfg_.implicit_header->cr;
+  h.has_crc = true;
+  return h;
+}
+
+std::optional<lora::Header> PaperCodec::decode_header(
+    std::span<const std::uint32_t> bins, BecStats* stats) const {
+  std::vector<std::uint32_t> hs(bins.size());
+  for (std::size_t d = 0; d < bins.size(); ++d) {
+    hs[d] = cfg_.params.value_for_shift(bins[d]);
+  }
+  if (cfg_.use_bec) return decode_header_bec(cfg_.params, hs, stats);
+  return lora::decode_header_default(cfg_.params, hs);
+}
+
+std::size_t PaperCodec::payload_symbols(const lora::Header& h) const {
+  lora::Params pp = cfg_.params;
+  pp.cr = h.cr;
+  return lora::num_payload_symbols(pp, h.payload_len);
+}
+
+FrameDecodeResult PaperCodec::decode_frame(std::span<const std::uint32_t> bins,
+                                           const lora::Header& h, Rng& rng,
+                                           BecStats* stats) const {
+  FrameDecodeResult out;
+  const std::size_t hsyms = header_symbols();
+  std::vector<std::uint32_t> ps;
+  ps.reserve(bins.size() - hsyms);
+  for (std::size_t d = hsyms; d < bins.size(); ++d) {
+    ps.push_back(cfg_.params.value_for_shift(bins[d]));
+  }
+  lora::Params pp = cfg_.params;
+  pp.cr = h.cr;
+  if (cfg_.use_bec) {
+    BecPacketResult r = decode_payload_bec(pp, ps, h.payload_len, rng, stats);
+    out.ok = r.ok;
+    out.payload = std::move(r.payload);
+    out.rescued_codewords = r.rescued_codewords;
+  } else {
+    auto r = lora::decode_payload_default(pp, ps, h.payload_len);
+    out.ok = r.has_value();
+    if (out.ok) out.payload = std::move(*r);
+  }
+  if (out.ok) {
+    // Strip the CRC16: the application payload is what gets reported.
+    out.payload.resize(out.payload.size() >= 2 ? out.payload.size() - 2 : 0);
+  }
+  return out;
+}
+
+std::optional<std::size_t> PaperCodec::peek_frame_symbols(
+    std::span<const std::uint32_t> header_bins) const {
+  std::vector<std::uint32_t> hs(header_bins.size());
+  for (std::size_t d = 0; d < header_bins.size(); ++d) {
+    hs[d] = cfg_.params.value_for_shift(header_bins[d]);
+  }
+  const std::optional<lora::Header> hdr =
+      lora::decode_header_default(cfg_.params, hs);
+  if (!hdr.has_value() || hdr->cr < 1 || hdr->cr > 4) return std::nullopt;
+  lora::Params pp = cfg_.params;
+  pp.cr = hdr->cr;
+  return lora::kHeaderSymbols + lora::num_payload_symbols(pp, hdr->payload_len);
+}
+
+std::vector<std::uint32_t> PaperCodec::encode_shifts(
+    std::span<const std::uint8_t> app_bytes) const {
+  lora::Params pp = cfg_.params;
+  std::vector<std::uint32_t> values;
+  if (cfg_.implicit_header.has_value()) {
+    pp.cr = cfg_.implicit_header->cr;
+    values = lora::encode_payload_symbols(pp, lora::assemble_payload(app_bytes));
+  } else {
+    values = lora::make_packet_symbols(pp, app_bytes);
+  }
+  const std::uint32_t mask = static_cast<std::uint32_t>(pp.n_bins() - 1);
+  std::vector<std::uint32_t> shifts(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    shifts[i] = pp.shift_for_value(values[i]) & mask;
+  }
+  return shifts;
+}
+
+std::size_t PaperCodec::frame_symbols(std::size_t app_bytes) const {
+  lora::Params pp = cfg_.params;
+  if (cfg_.implicit_header.has_value()) {
+    pp.cr = cfg_.implicit_header->cr;
+    return lora::num_payload_symbols(pp, app_bytes + 2);
+  }
+  return lora::num_packet_symbols(pp, app_bytes + 2);
+}
+
+}  // namespace tnb::rx

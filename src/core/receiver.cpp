@@ -17,7 +17,6 @@ namespace {
 
 /// Receiver-side tracking state of one detected packet.
 struct Tracked {
-  const lora::Params* params = nullptr;
   PacketContext ctx;
   bool dead = false;         ///< header failed / gave up
   bool decoded = false;
@@ -28,12 +27,10 @@ struct Tracked {
   std::vector<std::uint8_t> payload;  ///< app bytes once decoded
   std::size_t rescued = 0;
 
-  Tracked(const lora::Params& p, PacketContext c)
-      : params(&p), ctx(std::move(c)) {}
+  explicit Tracked(PacketContext c) : ctx(std::move(c)) {}
 
-  std::uint32_t value_at(int d) const {
-    return params->value_for_shift(
-        static_cast<std::uint32_t>(bins[static_cast<std::size_t>(d)]));
+  std::uint32_t bin_at(int d) const {
+    return static_cast<std::uint32_t>(bins[static_cast<std::size_t>(d)]);
   }
 };
 
@@ -71,6 +68,8 @@ std::string ReceiverStats::to_json() const {
 Receiver::Receiver(lora::Params p, ReceiverOptions opt)
     : p_(p), opt_(opt) {
   p_.validate();
+  codec_ = make_frame_codec({p_, opt_.use_bec, opt_.implicit_header},
+                            opt_.codec_factory);
   ThriveOptions topt = opt_.thrive;
   topt.use_history = opt_.use_history;
   const lora::Params params = p_;
@@ -210,20 +209,17 @@ std::vector<sim::DecodedPacket> Receiver::decode_with_detections(
   std::vector<Tracked> pkts;
   std::vector<PacketContext> contexts;
   pkts.reserve(detections.size());
+  const std::optional<lora::Header> implicit = codec_->implicit_header();
   for (const DetectedPacket& det : detections) {
     PacketContext ctx(p_, det);
-    pkts.emplace_back(p_, ctx);
+    pkts.emplace_back(ctx);
     Tracked& t = pkts.back();
-    if (opt_.implicit_header.has_value()) {
-      t.header.payload_len = opt_.implicit_header->payload_len;
-      t.header.cr = opt_.implicit_header->cr;
-      t.header.has_crc = true;
+    t.header_syms = codec_->header_symbols();
+    if (implicit.has_value()) {
+      t.header = *implicit;
       t.have_header = true;
-      t.header_syms = 0;
-      lora::Params pp = p_;
-      pp.cr = t.header.cr;
-      t.ctx.n_data_symbols = static_cast<int>(
-          lora::num_payload_symbols(pp, t.header.payload_len));
+      t.ctx.n_data_symbols =
+          static_cast<int>(codec_->payload_symbols(t.header));
     }
     contexts.push_back(t.ctx);
   }
@@ -248,28 +244,24 @@ std::vector<sim::DecodedPacket> Receiver::decode_with_detections(
     Tracked& t = pkts[pi];
     if (t.dead || t.decoded) return;
 
-    // Header: first 8 data symbols (skipped in implicit-header mode).
+    // Header: the codec's leading data symbols (none in implicit mode).
     if (!t.have_header) {
-      if (t.bins.size() < lora::kHeaderSymbols) return;
+      if (t.bins.size() < t.header_syms) return;
       bool complete = true;
-      std::vector<std::uint32_t> hs(lora::kHeaderSymbols);
-      for (std::size_t d = 0; d < lora::kHeaderSymbols; ++d) {
+      std::vector<std::uint32_t> hs(t.header_syms);
+      for (std::size_t d = 0; d < t.header_syms; ++d) {
         if (t.bins[d] < 0) {
           complete = false;
           break;
         }
-        hs[d] = t.value_at(static_cast<int>(d));
+        hs[d] = t.bin_at(static_cast<int>(d));
       }
       if (!complete) return;
       std::optional<lora::Header> hdr;
       {
         const obs::ScopedSpan span(obs_.stages.header);
-        if (opt_.use_bec) {
-          hdr = decode_header_bec(p_, hs,
-                                  stats != nullptr ? &stats->bec : nullptr);
-        } else {
-          hdr = lora::decode_header_default(p_, hs);
-        }
+        hdr = codec_->decode_header(hs,
+                                    stats != nullptr ? &stats->bec : nullptr);
       }
       if (!hdr.has_value()) {
         if (static_cast<int>(t.bins.size()) >= opt_.max_tracked_symbols) {
@@ -282,57 +274,40 @@ std::vector<sim::DecodedPacket> Receiver::decode_with_detections(
       }
       t.header = *hdr;
       t.have_header = true;
-      lora::Params pp = p_;
-      pp.cr = t.header.cr;
       const int n_data = static_cast<int>(
-          t.header_syms +
-          lora::num_payload_symbols(pp, t.header.payload_len));
+          t.header_syms + codec_->payload_symbols(t.header));
       t.ctx.n_data_symbols = n_data;
       contexts[pi].n_data_symbols = n_data;
       if (stats != nullptr) ++stats->header_ok;
       obs_.header_ok.inc();
     }
 
-    // Payload: all remaining symbols.
+    // Payload: the codec consumes the whole frame's bins (the wire format's
+    // header block carries payload nibbles in its spare rows).
     const int n_data = t.ctx.n_data_symbols;
     if (static_cast<int>(t.bins.size()) < n_data) return;
-    for (int d = static_cast<int>(t.header_syms); d < n_data; ++d) {
+    // Assignments arrive in symbol order, so by the time the tail is set the
+    // header bins are too; the full check guards the second pass, where the
+    // header survives the bin reset.
+    for (int d = 0; d < n_data; ++d) {
       if (t.bins[static_cast<std::size_t>(d)] < 0) return;
     }
-    std::vector<std::uint32_t> ps;
-    ps.reserve(static_cast<std::size_t>(n_data) - t.header_syms);
-    for (int d = static_cast<int>(t.header_syms); d < n_data; ++d) {
-      ps.push_back(t.value_at(d));
-    }
-    lora::Params pp = p_;
-    pp.cr = t.header.cr;
-    bool ok = false;
-    std::vector<std::uint8_t> payload;
-    std::size_t rescued = 0;
+    std::vector<std::uint32_t> fs;
+    fs.reserve(static_cast<std::size_t>(n_data));
+    for (int d = 0; d < n_data; ++d) fs.push_back(t.bin_at(d));
+    FrameDecodeResult r;
     {
       const obs::ScopedSpan span(obs_.stages.bec);
-      if (opt_.use_bec) {
-        BecPacketResult r = decode_payload_bec(
-            pp, ps, t.header.payload_len, rng,
-            stats != nullptr ? &stats->bec : nullptr);
-        ok = r.ok;
-        payload = std::move(r.payload);
-        rescued = r.rescued_codewords;
-      } else {
-        auto r = lora::decode_payload_default(pp, ps, t.header.payload_len);
-        ok = r.has_value();
-        if (ok) payload = std::move(*r);
-      }
+      r = codec_->decode_frame(fs, t.header, rng,
+                               stats != nullptr ? &stats->bec : nullptr);
     }
-    if (!ok) {
+    if (!r.ok) {
       if (second_pass || !opt_.two_pass) t.dead = true;
       return;
     }
     t.decoded = true;
-    t.rescued = rescued;
-    // Strip the CRC16: the application payload is what gets reported.
-    payload.resize(payload.size() >= 2 ? payload.size() - 2 : 0);
-    t.payload = std::move(payload);
+    t.rescued = r.rescued_codewords;
+    t.payload = std::move(r.payload);
     if (stats != nullptr) {
       ++stats->crc_ok;
       if (second_pass) {
@@ -340,7 +315,7 @@ std::vector<sim::DecodedPacket> Receiver::decode_with_detections(
       } else {
         ++stats->decoded_first_pass;
       }
-      stats->rescued_per_packet.push_back(rescued);
+      stats->rescued_per_packet.push_back(r.rescued_codewords);
     }
     obs_.crc_ok.inc();
     (second_pass ? obs_.decoded_second_pass : obs_.decoded_first_pass).inc();

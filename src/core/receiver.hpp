@@ -20,20 +20,13 @@
 #include "core/bec.hpp"
 #include "core/detect.hpp"
 #include "core/frac_sync.hpp"
+#include "core/frame_codec.hpp"
 #include "core/frame_sync.hpp"
 #include "core/thrive.hpp"
 #include "obs/stage_timer.hpp"
 #include "sim/metrics.hpp"
 
 namespace tnb::rx {
-
-/// Implicit-header operation: the receiver knows the payload length and
-/// coding rate a priori and packets carry no PHY header symbols (LoRa's
-/// implicit header mode).
-struct ImplicitHeader {
-  std::uint8_t payload_len = 0;  ///< on-air bytes including CRC16
-  std::uint8_t cr = 4;
-};
 
 struct ReceiverOptions {
   bool use_bec = true;      ///< false = default Hamming decoder ("Thrive")
@@ -44,6 +37,12 @@ struct ReceiverOptions {
   ThriveOptions thrive;
   /// Engaged when set: no header symbols are expected or decoded.
   std::optional<ImplicitHeader> implicit_header;
+  /// Frame-coding convention applied to assigned peak bins. Null selects
+  /// the paper format (PaperCodec, byte-identical to the pre-seam
+  /// receiver); wire::wire_codec_factory() selects the gr-lora-sdr wire
+  /// format. The factory receives this receiver's {params, use_bec,
+  /// implicit_header} as its CodecConfig.
+  CodecFactory codec_factory;
   /// Stop tracking a packet whose header has not resolved after this many
   /// data symbols (robustness against false detections).
   int max_tracked_symbols = 96;
@@ -144,6 +143,8 @@ class Receiver {
 
   const lora::Params& params() const { return p_; }
   const ReceiverOptions& options() const { return opt_; }
+  /// The frame codec decoding this receiver's packets (never null).
+  const FrameCodec& codec() const { return *codec_; }
 
  private:
   struct Instrumentation {
@@ -157,6 +158,8 @@ class Receiver {
 
   lora::Params p_;
   ReceiverOptions opt_;
+  /// Shared so Receiver stays copyable (lanes copy their template receiver).
+  std::shared_ptr<const FrameCodec> codec_;
   AssignerFactory factory_;
   SyncFactory sync_factory_;  ///< empty = built-in Detector + FracSync
   Instrumentation obs_;       ///< null handles when metrics are disabled

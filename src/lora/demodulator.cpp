@@ -159,8 +159,13 @@ std::size_t Demodulator::argmax(std::span<const float> sv) {
 
 std::uint32_t Demodulator::demod_value(std::span<const cfloat> window,
                                        double cfo_cycles, Workspace& ws) const {
+  return p_.value_for_shift(demod_bin(window, cfo_cycles, ws));
+}
+
+std::uint32_t Demodulator::demod_bin(std::span<const cfloat> window,
+                                     double cfo_cycles, Workspace& ws) const {
   signal_vector_into(window, cfo_cycles, /*up=*/true, ws, ws.sv_);
-  return p_.value_for_shift(static_cast<std::uint32_t>(argmax(ws.sv_)));
+  return static_cast<std::uint32_t>(argmax(ws.sv_));
 }
 
 std::uint32_t Demodulator::demod_value(std::span<const cfloat> window,

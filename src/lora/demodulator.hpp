@@ -137,6 +137,11 @@ class Demodulator {
   std::uint32_t demod_value(std::span<const cfloat> window,
                             double cfo_cycles, Workspace& ws) const;
 
+  /// Raw peak bin (argmax, no Gray mapping) — what FrameCodecs consume.
+  /// demod_value(w, c, ws) == params().value_for_shift(demod_bin(w, c, ws)).
+  std::uint32_t demod_bin(std::span<const cfloat> window, double cfo_cycles,
+                          Workspace& ws) const;
+
  private:
   /// Per-thread workspace backing the by-value wrapper methods.
   Workspace& scratch() const;

@@ -9,7 +9,8 @@
 namespace tnb::lora {
 
 std::vector<std::uint8_t> header_to_nibbles(const Header& h, unsigned sf) {
-  if (sf < 6) throw std::invalid_argument("header_to_nibbles: SF too small");
+  // 5 header nibbles per block: the SF5 floor is exactly enough rows.
+  if (sf < 5) throw std::invalid_argument("header_to_nibbles: SF too small");
   if (h.cr < 1 || h.cr > 4) throw std::invalid_argument("header_to_nibbles: bad CR");
   std::vector<std::uint8_t> nibbles(sf, 0);
   const std::uint8_t checksum = header_checksum(h.payload_len, h.cr, h.has_crc);

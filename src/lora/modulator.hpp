@@ -43,12 +43,26 @@ class Modulator {
   IqBuffer synthesize(std::span<const std::uint32_t> data_symbols,
                       const WaveformOptions& opt = {}) const;
 
+  /// Synthesizes from raw chirp shifts (no Gray mapping) — the entry point
+  /// for alternate frame codecs (wire::WireCodec::encode_shifts) whose
+  /// value -> shift convention differs from the paper's.
+  IqBuffer synthesize_shifts(std::span<const std::uint32_t> shifts,
+                             const WaveformOptions& opt = {}) const;
+
   /// Complex value of the packet waveform at continuous chirp-sample time
   /// `t` in [0, packet_chirp_samples) — exposed for tests and for the
   /// synchronizer's reference correlations.
   cfloat eval(double t, std::span<const std::uint32_t> data_symbols) const;
 
+  /// eval with raw chirp shifts instead of data symbol values.
+  cfloat eval_shifts(double t, std::span<const std::uint32_t> shifts) const;
+
  private:
+  cfloat eval_impl(double t, std::span<const std::uint32_t> data_symbols,
+                   bool raw_shifts) const;
+  IqBuffer synthesize_impl(std::span<const std::uint32_t> data_symbols,
+                           const WaveformOptions& opt, bool raw_shifts) const;
+
   Params p_;
 };
 

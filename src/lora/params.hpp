@@ -24,8 +24,9 @@ inline constexpr std::size_t kHeaderSymbols = 8;
 
 /// Static configuration of one LoRa link.
 ///
-/// Invariants are checked by `validate()`: SF in [6,12], CR in [1,4],
-/// OSF >= 1. Everything else is derived.
+/// Invariants are checked by `validate()`: SF in [5,12] (5 and 6 exist for
+/// wire-format links; the paper evaluates 7..12), CR in [1,4], OSF >= 1.
+/// Everything else is derived.
 struct Params {
   unsigned sf = 8;        ///< spreading factor
   unsigned cr = 4;        ///< coding rate: number of parity bits sent (1..4)
@@ -37,7 +38,7 @@ struct Params {
   bool ldro = false;
 
   void validate() const {
-    if (sf < 6 || sf > 12) throw std::invalid_argument("Params: SF must be 6..12");
+    if (sf < 5 || sf > 12) throw std::invalid_argument("Params: SF must be 5..12");
     if (cr < 1 || cr > 4) throw std::invalid_argument("Params: CR must be 1..4");
     if (osf < 1) throw std::invalid_argument("Params: OSF must be >= 1");
     if (bandwidth_hz <= 0) throw std::invalid_argument("Params: bandwidth must be positive");

@@ -72,10 +72,16 @@ Trace build_trace(const lora::Params& params, const TraceOptions& opt, Rng& rng)
   };
 
   const lora::Modulator mod(params);
+  // With a custom shift encoder the symbol count comes from the encoder
+  // itself (it depends only on the payload length, fixed per trace).
   const std::size_t n_data_symbols =
-      opt.implicit_header
-          ? lora::num_payload_symbols(params, opt.app_payload_bytes + 2)
-          : lora::num_packet_symbols(params, opt.app_payload_bytes + 2);
+      opt.shift_encoder
+          ? opt.shift_encoder(
+                    std::vector<std::uint8_t>(opt.app_payload_bytes, 0))
+                .size()
+          : (opt.implicit_header
+                 ? lora::num_payload_symbols(params, opt.app_payload_bytes + 2)
+                 : lora::num_packet_symbols(params, opt.app_payload_bytes + 2));
   const std::size_t pkt_samples = mod.packet_samples(n_data_symbols);
   if (pkt_samples >= trace_samples) {
     throw std::invalid_argument("build_trace: trace shorter than one packet");
@@ -105,17 +111,21 @@ Trace build_trace(const lora::Params& params, const TraceOptions& opt, Rng& rng)
       rec.start_sample = rng.uniform(
           0.0, static_cast<double>(trace_samples - pkt_samples - 2));
 
-      const auto symbols =
-          opt.implicit_header
-              ? lora::encode_payload_symbols(
-                    params, lora::assemble_payload(rec.app_payload))
-              : lora::make_packet_symbols(params, rec.app_payload);
       const std::size_t start_int = static_cast<std::size_t>(rec.start_sample);
       lora::WaveformOptions wopt;
       wopt.frac_delay = rec.start_sample - static_cast<double>(start_int);
       wopt.cfo_hz = rec.cfo_hz;
       wopt.amplitude = chan::amplitude_for_snr_db(rec.snr_db);
-      const IqBuffer clean = mod.synthesize(symbols, wopt);
+      const IqBuffer clean =
+          opt.shift_encoder
+              ? mod.synthesize_shifts(opt.shift_encoder(rec.app_payload), wopt)
+              : mod.synthesize(opt.implicit_header
+                                   ? lora::encode_payload_symbols(
+                                         params,
+                                         lora::assemble_payload(rec.app_payload))
+                                   : lora::make_packet_symbols(params,
+                                                               rec.app_payload),
+                               wopt);
       rec.n_samples = clean.size();
 
       for (unsigned a = 0; a < opt.n_antennas; ++a) {

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -60,6 +61,14 @@ struct TraceOptions {
   /// LoRa implicit-header mode: packets carry no PHY header symbols; the
   /// receiver must be configured with the matching ImplicitHeader.
   bool implicit_header = false;
+  /// Frame encoder override: maps an app payload to the packet's raw cyclic
+  /// shifts (one per data symbol). When set it replaces the built-in paper
+  /// encoding entirely — implicit_header only selects the receiver-side
+  /// convention and every packet is synthesized from the returned shifts
+  /// (wire::WireModulator::shifts plugs in here). All packets must encode
+  /// to the same symbol count (app_payload_bytes is fixed per trace).
+  std::function<std::vector<std::uint32_t>(std::span<const std::uint8_t>)>
+      shift_encoder;
 };
 
 /// Builds one trace. All randomness comes from `rng`.

@@ -210,38 +210,44 @@ void StreamingReceiver::refine_live_spans() {
   const double preamble = static_cast<double>(p_.preamble_samples());
   const double buffered = static_cast<double>(buf_.size());
   const double base = static_cast<double>(base_);
+  const std::size_t hsyms = rx_.codec().header_symbols();
   for (LivePacket& lp : live_) {
     if (lp.header_tried) continue;
+    if (hsyms == 0) {
+      // Implicit header: nothing on-air to refine with; keep conservative.
+      lp.header_tried = true;
+      continue;
+    }
     const double data_start = lp.t0 + preamble - base;
     if (data_start < 0.0) {
       lp.header_tried = true;  // preamble partly retired; keep conservative
       continue;
     }
-    // Wait until all 8 header symbols (plus rounding slack) are buffered.
-    if (data_start + (lora::kHeaderSymbols + 1.0) * sps > buffered) continue;
+    // Wait until all header symbols (plus rounding slack) are buffered.
+    if (data_start + (static_cast<double>(hsyms) + 1.0) * sps > buffered) {
+      continue;
+    }
     lp.header_tried = true;
 
-    std::vector<std::uint32_t> hs(lora::kHeaderSymbols);
-    for (std::size_t d = 0; d < lora::kHeaderSymbols; ++d) {
+    std::vector<std::uint32_t> hs(hsyms);
+    for (std::size_t d = 0; d < hsyms; ++d) {
       const auto w =
           static_cast<std::size_t>(data_start + static_cast<double>(d) * sps + 0.5);
       const std::size_t len =
           std::min<std::size_t>(p_.sps(), buf_.size() - w);
-      hs[d] = demod_.demod_value(std::span<const cfloat>(buf_.data() + w, len),
-                                 lp.cfo_cycles, ws_);
+      hs[d] = demod_.demod_bin(std::span<const cfloat>(buf_.data() + w, len),
+                               lp.cfo_cycles, ws_);
     }
-    const std::optional<lora::Header> hdr = lora::decode_header_default(p_, hs);
-    if (!hdr.has_value() || hdr->cr < 1 || hdr->cr > 4) continue;
+    // The codec's advisory peek: frame length in data symbols when the
+    // header checksum passes on the argmax bins.
+    const std::optional<std::size_t> peeked = rx_.codec().peek_frame_symbols(hs);
+    if (!peeked.has_value()) continue;
 
     // The checksum passed: shrink the span to the real packet length plus
     // the ~10-symbol trailing context the segment decoder needs (16 T for
     // margin). Under a collision a garbled argmax header almost always
     // fails the checksum and the conservative span stands.
-    lora::Params pp = p_;
-    pp.cr = hdr->cr;
-    const double n_data =
-        static_cast<double>(lora::kHeaderSymbols +
-                            lora::num_payload_symbols(pp, hdr->payload_len));
+    const double n_data = static_cast<double>(*peeked);
     const double refined = lp.t0 + preamble + (n_data + 16.0) * sps;
     if (refined < lp.span_end) {
       lp.span_end = refined;

@@ -6,7 +6,7 @@ namespace tnb::testing {
 
 lora::Params arbitrary_params(FuzzInput& in) {
   lora::Params p;
-  p.sf = static_cast<unsigned>(in.uniform(6, 12));
+  p.sf = static_cast<unsigned>(in.uniform(5, 12));
   p.cr = static_cast<unsigned>(in.uniform(1, 4));
   static constexpr unsigned kOsf[] = {1, 2, 4, 8};
   p.osf = kOsf[in.uniform(0, 3)];

@@ -26,6 +26,8 @@
 #include "stream/chunk_source.hpp"
 #include "stream/streaming_receiver.hpp"
 #include "testing/arbitrary.hpp"
+#include "wire/wire_codec.hpp"
+#include "wire/wire_format.hpp"
 
 namespace tnb::testing {
 
@@ -75,7 +77,7 @@ void oracle_primitives_roundtrip(FuzzInput& in) {
 
   // Interleaver is a bijection, and one corrupted symbol lands in exactly
   // one column of the deinterleaved block — the error model BEC rests on.
-  const unsigned sf = static_cast<unsigned>(in.uniform(6, 12));
+  const unsigned sf = static_cast<unsigned>(in.uniform(5, 12));
   const unsigned cr = static_cast<unsigned>(in.uniform(1, 4));
   const std::uint8_t mask = static_cast<std::uint8_t>((1u << (4 + cr)) - 1u);
   std::vector<std::uint8_t> rows(sf);
@@ -275,7 +277,7 @@ bool block_in(const std::vector<std::vector<std::uint8_t>>& candidates,
 }  // namespace
 
 void oracle_bec_arbitrary_block(FuzzInput& in) {
-  const unsigned sf = static_cast<unsigned>(in.uniform(6, 12));
+  const unsigned sf = static_cast<unsigned>(in.uniform(5, 12));
   const unsigned cr = static_cast<unsigned>(in.uniform(1, 4));
   const rx::Bec bec(sf, cr);
   const std::uint8_t mask = static_cast<std::uint8_t>((1u << (4 + cr)) - 1u);
@@ -326,7 +328,7 @@ void oracle_bec_arbitrary_block(FuzzInput& in) {
 }
 
 void oracle_bec_correctable(FuzzInput& in) {
-  const unsigned sf = static_cast<unsigned>(in.uniform(6, 12));
+  const unsigned sf = static_cast<unsigned>(in.uniform(5, 12));
   const unsigned cr = static_cast<unsigned>(in.uniform(1, 4));
   const rx::Bec bec(sf, cr);
   const auto truth = arbitrary_codeword_block(in, sf, cr);
@@ -716,6 +718,161 @@ void oracle_lzn_sync_totality(FuzzInput& in) {
   for (std::size_t i = 0; i < a.size(); ++i) {
     TNB_ORACLE(a[i].t0 == b[i].t0 && a[i].cfo_cycles == b[i].cfo_cycles,
                "sync not deterministic (detection)");
+  }
+}
+
+void oracle_wire_primitives_roundtrip(FuzzInput& in) {
+  // Whitening is an involution on arbitrary bytes.
+  std::vector<std::uint8_t> data =
+      in.bytes(static_cast<std::size_t>(in.uniform(0, 96)));
+  const std::vector<std::uint8_t> orig = data;
+  wire::whiten(data);
+  wire::whiten(data);
+  TNB_ORACLE(data == orig, "wire whitening not an involution");
+
+  // Hamming encode -> data extraction / nearest decode == identity, and
+  // single-bit errors are corrected where d_min >= 3 (CR 3-4).
+  const unsigned cr = static_cast<unsigned>(in.uniform(1, 4));
+  const std::uint8_t nib = static_cast<std::uint8_t>(in.u8() & 0x0F);
+  const std::uint8_t cw = wire::wire_encode(nib, cr);
+  TNB_ORACLE(wire::wire_data(cw, cr) == nib, "wire_data of a codeword");
+  TNB_ORACLE(wire::wire_decode(cw, cr).data == nib, "wire_decode clean");
+  if (cr >= 3) {
+    const unsigned bit = static_cast<unsigned>(in.uniform(0, 4 + cr - 1));
+    const auto fixed =
+        wire::wire_decode(static_cast<std::uint8_t>(cw ^ (1u << bit)), cr);
+    TNB_ORACLE(fixed.data == nib, "single-bit error not corrected");
+  }
+
+  // Diagonal interleaver is a bijection for every supported geometry.
+  const unsigned sf_app = static_cast<unsigned>(in.uniform(5, 12));
+  const unsigned cwl = 4 + cr;
+  std::vector<std::uint8_t> rows(sf_app);
+  for (auto& r : rows) {
+    r = static_cast<std::uint8_t>(in.u8() & ((1u << cwl) - 1u));
+  }
+  const auto symbols = wire::wire_interleave(rows, sf_app, cwl);
+  TNB_ORACLE(wire::wire_deinterleave(symbols, sf_app, cwl) == rows,
+             "wire interleaver round trip");
+
+  // Gray +1 shift mapping: symbol -> shift -> symbol == identity; the
+  // reduced-rate truncation absorbs +1 and +2 bin offsets.
+  const unsigned sf = static_cast<unsigned>(in.uniform(5, 12));
+  const std::uint32_t n = 1u << sf;
+  const std::uint32_t v = static_cast<std::uint32_t>(in.u64(4)) & (n - 1u);
+  TNB_ORACLE(wire::wire_symbol_for_bin(wire::wire_shift_for_symbol(v, sf, false),
+                                       sf, false) == v,
+             "wire gray round trip");
+  if (sf >= 7) {
+    const std::uint32_t vr = v & ((n >> 2) - 1u);
+    const std::uint32_t shift = wire::wire_shift_for_symbol(vr, sf, true);
+    const std::uint32_t off = static_cast<std::uint32_t>(in.uniform(0, 2));
+    TNB_ORACLE(wire::wire_symbol_for_bin((shift + off) & (n - 1u), sf, true) ==
+                   vr,
+               "reduced-rate gray round trip");
+  }
+
+  // Header serialize/parse fixpoint for in-contract fields.
+  wire::WireHeader h;
+  h.payload_len = static_cast<std::uint8_t>(in.uniform(1, 255));
+  h.cr = static_cast<std::uint8_t>(in.uniform(1, 4));
+  h.has_crc = in.boolean();
+  const auto parsed = wire::parse_wire_header(wire::wire_header_nibbles(h));
+  TNB_ORACLE(parsed.has_value() && parsed->payload_len == h.payload_len &&
+                 parsed->cr == h.cr && parsed->has_crc == h.has_crc,
+             "wire header not a serialize/parse fixpoint");
+}
+
+namespace {
+
+/// Fuzz-chosen wire codec configuration (valid by construction).
+rx::CodecConfig arbitrary_wire_config(FuzzInput& in, std::size_t app_len) {
+  rx::CodecConfig cfg;
+  cfg.params.sf = static_cast<unsigned>(in.uniform(5, 12));
+  cfg.params.cr = static_cast<unsigned>(in.uniform(1, 4));
+  cfg.params.ldro = cfg.params.sf >= 8 && in.boolean();
+  cfg.params.osf = 1;
+  cfg.use_bec = in.boolean();
+  if (in.boolean()) {
+    cfg.implicit_header =
+        rx::ImplicitHeader{static_cast<std::uint8_t>(app_len + 2),
+                           static_cast<std::uint8_t>(cfg.params.cr)};
+  }
+  return cfg;
+}
+
+}  // namespace
+
+void oracle_wire_codec_roundtrip(FuzzInput& in) {
+  const std::size_t app_len = static_cast<std::size_t>(in.uniform(1, 48));
+  const rx::CodecConfig cfg = arbitrary_wire_config(in, app_len);
+  const wire::WireCodec codec(cfg);
+  std::vector<std::uint8_t> app = in.bytes(app_len);
+  app.resize(app_len, 0);
+
+  const auto shifts = codec.encode_shifts(app);
+  TNB_ORACLE(shifts.size() == codec.frame_symbols(app.size()),
+             "encode_shifts size != frame_symbols");
+  const std::uint32_t n_bins = 1u << cfg.params.sf;
+  for (std::uint32_t s : shifts) {
+    TNB_ORACLE(s < n_bins, "shift out of bin range");
+  }
+
+  lora::Header h;
+  if (cfg.implicit_header.has_value()) {
+    const auto ih = codec.implicit_header();
+    TNB_ORACLE(ih.has_value(), "implicit config without implicit_header()");
+    h = *ih;
+  } else {
+    const auto hdr = codec.decode_header(
+        std::span<const std::uint32_t>(shifts).first(8), nullptr);
+    TNB_ORACLE(hdr.has_value(), "clean wire header failed to decode");
+    TNB_ORACLE(hdr->payload_len == app.size() + 2, "wire header length");
+    h = *hdr;
+  }
+  TNB_ORACLE(codec.header_symbols() + codec.payload_symbols(h) == shifts.size(),
+             "frame symbol accounting");
+
+  Rng rng(in.u64(4));
+  const auto r = codec.decode_frame(shifts, h, rng, nullptr);
+  TNB_ORACLE(r.ok, "clean wire frame failed to decode");
+  TNB_ORACLE(r.payload == app, "wire codec round trip");
+}
+
+void oracle_wire_codec_totality(FuzzInput& in) {
+  const std::size_t app_len = static_cast<std::size_t>(in.uniform(1, 32));
+  const rx::CodecConfig cfg = arbitrary_wire_config(in, app_len);
+  const wire::WireCodec codec(cfg);
+  const std::uint32_t n_bins = 1u << cfg.params.sf;
+
+  lora::Header h;
+  if (const auto ih = codec.implicit_header(); ih.has_value()) {
+    h = *ih;
+  } else {
+    h.payload_len = static_cast<std::uint8_t>(app_len + 2);
+    h.cr = static_cast<std::uint8_t>(cfg.params.cr);
+    h.has_crc = true;
+  }
+  const std::size_t n_syms = codec.header_symbols() + codec.payload_symbols(h);
+  std::vector<std::uint32_t> bins(n_syms);
+  for (auto& b : bins) {
+    b = static_cast<std::uint32_t>(in.u64(4)) & (n_bins - 1u);
+  }
+  // Arbitrary bins: decode_header may reject, decode_frame may fail, but
+  // neither may crash, and an accepted frame has a consistent payload.
+  if (!cfg.implicit_header.has_value()) {
+    (void)codec.decode_header(std::span<const std::uint32_t>(bins).first(8),
+                              nullptr);
+    (void)codec.peek_frame_symbols(
+        std::span<const std::uint32_t>(bins).first(8));
+  }
+  Rng rng(in.u64(4));
+  const auto r = codec.decode_frame(bins, h, rng, nullptr);
+  if (r.ok) {
+    const std::size_t wire_len =
+        h.has_crc ? (h.payload_len >= 2 ? h.payload_len - 2u : 0u)
+                  : h.payload_len;
+    TNB_ORACLE(r.payload.size() == wire_len, "accepted frame length");
   }
 }
 

@@ -1,0 +1,327 @@
+#include "wire/wire_codec.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tnb::wire {
+namespace {
+
+/// On-air symbol values of one block of raw bins.
+std::vector<std::uint32_t> bins_to_symbols(std::span<const std::uint32_t> bins,
+                                           unsigned sf, bool reduced) {
+  std::vector<std::uint32_t> values(bins.size());
+  for (std::size_t i = 0; i < bins.size(); ++i) {
+    values[i] = wire_symbol_for_bin(bins[i], sf, reduced);
+  }
+  return values;
+}
+
+/// Nearest-codeword data nibbles of a block's rows (the non-BEC decode and
+/// the baseline for rescued-codeword accounting).
+std::vector<std::uint8_t> default_nibbles(std::span<const std::uint8_t> rows,
+                                          unsigned cr) {
+  std::vector<std::uint8_t> nibbles(rows.size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    nibbles[r] = wire_decode(rows[r], cr).data;
+  }
+  return nibbles;
+}
+
+}  // namespace
+
+WireCodec::WireCodec(const rx::CodecConfig& cfg) : cfg_(cfg) {
+  cfg_.params.validate();
+}
+
+std::size_t WireCodec::header_symbols() const {
+  return cfg_.implicit_header.has_value() ? 0 : 8;
+}
+
+std::optional<lora::Header> WireCodec::implicit_header() const {
+  if (!cfg_.implicit_header.has_value()) return std::nullopt;
+  lora::Header h;
+  h.payload_len = cfg_.implicit_header->payload_len;
+  h.cr = cfg_.implicit_header->cr;
+  h.has_crc = true;
+  return h;
+}
+
+WireLayout WireCodec::layout_for(const lora::Header& h) const {
+  WireLayout l;
+  l.sf = cfg_.params.sf;
+  l.ldro = cfg_.params.ldro;
+  l.explicit_header = !cfg_.implicit_header.has_value();
+  l.cr = h.cr;
+  l.has_crc = h.has_crc;
+  // payload_len includes the CRC16 (receiver-wide convention); a degenerate
+  // implicit config shorter than the CRC gets a zero-byte wire payload.
+  l.wire_len = h.has_crc ? (h.payload_len >= 2 ? h.payload_len - 2u : 0u)
+                         : h.payload_len;
+  return l;
+}
+
+WireLayout WireCodec::tx_layout(std::size_t app_bytes) const {
+  WireLayout l;
+  l.sf = cfg_.params.sf;
+  l.ldro = cfg_.params.ldro;
+  l.explicit_header = !cfg_.implicit_header.has_value();
+  l.cr = cfg_.implicit_header.has_value() ? cfg_.implicit_header->cr
+                                          : cfg_.params.cr;
+  l.has_crc = true;
+  l.wire_len = app_bytes;
+  return l;
+}
+
+std::vector<std::uint8_t> WireCodec::block0_rows(
+    std::span<const std::uint32_t> bins) const {
+  WireLayout l;
+  l.sf = cfg_.params.sf;
+  const std::vector<std::uint32_t> values =
+      bins_to_symbols(bins.first(8), l.sf, l.reduced0());
+  return wire_deinterleave(values, l.sf_app0(), 8);
+}
+
+std::optional<lora::Header> WireCodec::decode_header(
+    std::span<const std::uint32_t> bins, rx::BecStats* stats) const {
+  if (bins.size() < 8) return std::nullopt;
+  const std::vector<std::uint8_t> rows = block0_rows(bins);
+  const unsigned sf_app = static_cast<unsigned>(rows.size());
+
+  const auto to_header = [](const WireHeader& wh) -> std::optional<lora::Header> {
+    const unsigned on_air = wh.payload_len + (wh.has_crc ? 2u : 0u);
+    if (on_air > 255) return std::nullopt;  // would overflow the length byte
+    lora::Header h;
+    h.payload_len = static_cast<std::uint8_t>(on_air);
+    h.cr = wh.cr;
+    h.has_crc = wh.has_crc;
+    return h;
+  };
+
+  if (cfg_.use_bec) {
+    const rx::Bec bec(sf_app, 4, wire_codewords(4));
+    for (const auto& cand : bec.decode_block(rows, stats)) {
+      std::vector<std::uint8_t> nibbles(5);
+      for (unsigned r = 0; r < 5; ++r) nibbles[r] = wire_data(cand[r], 4);
+      const auto wh = parse_wire_header(nibbles);
+      if (wh.has_value()) {
+        const auto h = to_header(*wh);
+        if (h.has_value()) return h;
+      }
+    }
+    return std::nullopt;
+  }
+  const std::vector<std::uint8_t> nibbles = default_nibbles(rows, 4);
+  const auto wh = parse_wire_header(std::span(nibbles).first(5));
+  if (!wh.has_value()) return std::nullopt;
+  return to_header(*wh);
+}
+
+std::size_t WireCodec::payload_symbols(const lora::Header& h) const {
+  return layout_for(h).total_symbols() - header_symbols();
+}
+
+rx::FrameDecodeResult WireCodec::decode_frame(
+    std::span<const std::uint32_t> bins, const lora::Header& h, Rng& rng,
+    rx::BecStats* stats) const {
+  rx::FrameDecodeResult result;
+  const WireLayout l = layout_for(h);
+  if (bins.size() < l.total_symbols()) return result;
+
+  // Deinterleave every block into codeword rows.
+  std::vector<std::vector<std::uint8_t>> block_rows;
+  std::vector<unsigned> block_cr;
+  block_rows.push_back(block0_rows(bins));
+  block_cr.push_back(4);
+  const unsigned cwl = 4 + l.cr;
+  for (std::size_t b = 0; b < l.blocks_rest(); ++b) {
+    const auto values = bins_to_symbols(bins.subspan(8 + b * cwl, cwl), l.sf,
+                                        l.reduced_rest());
+    block_rows.push_back(wire_deinterleave(values, l.rows_rest(), cwl));
+    block_cr.push_back(l.cr);
+  }
+
+  // Candidate decodings per block (BEC repair or nearest-codeword only).
+  std::vector<std::vector<std::vector<std::uint8_t>>> candidates;
+  std::vector<std::vector<std::uint8_t>> defaults;
+  for (std::size_t b = 0; b < block_rows.size(); ++b) {
+    defaults.push_back(default_nibbles(block_rows[b], block_cr[b]));
+    if (cfg_.use_bec) {
+      const rx::Bec bec(static_cast<unsigned>(block_rows[b].size()),
+                        block_cr[b], wire_codewords(block_cr[b]));
+      candidates.push_back(bec.decode_block(block_rows[b], stats));
+    } else {
+      std::vector<std::uint8_t> cleaned(block_rows[b].size());
+      for (std::size_t r = 0; r < block_rows[b].size(); ++r) {
+        cleaned[r] = wire_decode(block_rows[b][r], block_cr[b]).codeword;
+      }
+      candidates.push_back({std::move(cleaned)});
+    }
+  }
+
+  // Assembles the nibble stream of one candidate combination and checks the
+  // payload CRC16 (mirrors rx::decode_payload_bec::try_combo).
+  auto try_combo = [&](std::span<const std::size_t> combo) -> bool {
+    std::vector<std::uint8_t> nibbles;
+    nibbles.reserve(l.nib_total());
+    for (std::size_t b = 0; b < candidates.size(); ++b) {
+      const auto& rows = candidates[b][combo[b]];
+      const std::size_t first = b == 0 && l.explicit_header ? 5 : 0;
+      for (std::size_t r = first; r < rows.size(); ++r) {
+        nibbles.push_back(wire_data(rows[r], block_cr[b]));
+      }
+    }
+    if (nibbles.size() < l.nib_total()) return false;
+    nibbles.resize(l.nib_total());
+
+    std::vector<std::uint8_t> bytes(l.wire_len);
+    for (std::size_t i = 0; i < l.wire_len; ++i) {
+      bytes[i] = static_cast<std::uint8_t>((nibbles[2 * i] & 0x0F) |
+                                           ((nibbles[2 * i + 1] & 0x0F) << 4));
+    }
+    whiten(bytes);  // involution: recover the application payload
+    if (l.has_crc) {
+      const std::size_t c = 2 * l.wire_len;
+      const std::uint16_t rx_crc = static_cast<std::uint16_t>(
+          (nibbles[c] & 0x0F) | ((nibbles[c + 1] & 0x0F) << 4) |
+          ((nibbles[c + 2] & 0x0F) << 8) | ((nibbles[c + 3] & 0x0F) << 12));
+      if (stats != nullptr) ++stats->crc_checks;
+      if (payload_crc16(bytes) != rx_crc) return false;
+    }
+
+    result.ok = true;
+    result.payload = std::move(bytes);
+    result.rescued_codewords = 0;
+    for (std::size_t b = 0; b < candidates.size(); ++b) {
+      const auto& rows = candidates[b][combo[b]];
+      for (std::size_t r = 0; r < rows.size(); ++r) {
+        if (wire_data(rows[r], block_cr[b]) != defaults[b][r]) {
+          ++result.rescued_codewords;
+        }
+      }
+    }
+    return true;
+  };
+
+  std::size_t total = 1;
+  bool overflow = false;
+  for (const auto& c : candidates) {
+    if (total > 1'000'000 / std::max<std::size_t>(c.size(), 1)) {
+      overflow = true;
+      break;
+    }
+    total *= c.size();
+  }
+  const std::size_t w = rx::bec_w_budget(l.cr);
+
+  std::vector<std::size_t> combo(candidates.size(), 0);
+  if (!l.has_crc) {
+    // Nothing to arbitrate with: take the default decode as-is.
+    try_combo(combo);
+    return result;
+  }
+  if (!overflow && total <= w) {
+    for (std::size_t it = 0; it < total; ++it) {
+      if (try_combo(combo)) return result;
+      for (std::size_t b = 0; b < combo.size(); ++b) {
+        if (++combo[b] < candidates[b].size()) break;
+        combo[b] = 0;
+      }
+    }
+    return result;
+  }
+  if (try_combo(combo)) return result;
+  for (std::size_t it = 1; it < w; ++it) {
+    for (std::size_t b = 0; b < combo.size(); ++b) {
+      combo[b] = rng.uniform_index(candidates[b].size());
+    }
+    if (try_combo(combo)) return result;
+  }
+  return result;
+}
+
+std::optional<std::size_t> WireCodec::peek_frame_symbols(
+    std::span<const std::uint32_t> header_bins) const {
+  if (cfg_.implicit_header.has_value() || header_bins.size() < 8) {
+    return std::nullopt;
+  }
+  const std::vector<std::uint8_t> rows = block0_rows(header_bins);
+  const std::vector<std::uint8_t> nibbles = default_nibbles(rows, 4);
+  const auto wh = parse_wire_header(std::span(nibbles).first(5));
+  if (!wh.has_value()) return std::nullopt;
+  WireLayout l;
+  l.sf = cfg_.params.sf;
+  l.ldro = cfg_.params.ldro;
+  l.explicit_header = true;
+  l.cr = wh->cr;
+  l.has_crc = wh->has_crc;
+  l.wire_len = wh->payload_len;
+  return l.total_symbols();
+}
+
+std::vector<std::uint32_t> WireCodec::encode_shifts(
+    std::span<const std::uint8_t> app_bytes) const {
+  if (app_bytes.size() > 253) {
+    throw std::invalid_argument("WireCodec::encode_shifts: payload too long");
+  }
+  const WireLayout l = tx_layout(app_bytes.size());
+
+  // Whitened payload nibbles (low nibble first) plus the raw CRC nibbles.
+  std::vector<std::uint8_t> whitened(app_bytes.begin(), app_bytes.end());
+  whiten(whitened);
+  std::vector<std::uint8_t> nibbles;
+  nibbles.reserve(l.nib_total());
+  for (std::uint8_t b : whitened) {
+    nibbles.push_back(b & 0x0F);
+    nibbles.push_back(static_cast<std::uint8_t>(b >> 4));
+  }
+  const std::uint16_t crc = payload_crc16(app_bytes);
+  for (unsigned s = 0; s < 16; s += 4) {
+    nibbles.push_back(static_cast<std::uint8_t>((crc >> s) & 0x0F));
+  }
+
+  std::vector<std::uint32_t> shifts;
+  shifts.reserve(l.total_symbols());
+  std::size_t next = 0;
+  const auto take = [&]() -> std::uint8_t {
+    return next < nibbles.size() ? nibbles[next++] : 0;
+  };
+
+  // Block 0: header rows (explicit mode) then payload rows, always CR 4/8.
+  std::vector<std::uint8_t> rows(l.sf_app0());
+  std::size_t r0 = 0;
+  if (l.explicit_header) {
+    WireHeader wh;
+    wh.payload_len = static_cast<std::uint8_t>(l.wire_len);
+    wh.cr = static_cast<std::uint8_t>(l.cr);
+    wh.has_crc = l.has_crc;
+    const auto hn = wire_header_nibbles(wh);
+    for (; r0 < 5; ++r0) rows[r0] = wire_encode(hn[r0], 4);
+  }
+  for (; r0 < rows.size(); ++r0) rows[r0] = wire_encode(take(), 4);
+  for (std::uint32_t v : wire_interleave(rows, l.sf_app0(), 8)) {
+    shifts.push_back(wire_shift_for_symbol(v, l.sf, l.reduced0()));
+  }
+
+  // Rest blocks at the configured coding rate.
+  const unsigned cwl = 4 + l.cr;
+  for (std::size_t b = 0; b < l.blocks_rest(); ++b) {
+    std::vector<std::uint8_t> rrows(l.rows_rest());
+    for (auto& row : rrows) row = wire_encode(take(), l.cr);
+    for (std::uint32_t v : wire_interleave(rrows, l.rows_rest(), cwl)) {
+      shifts.push_back(wire_shift_for_symbol(v, l.sf, l.reduced_rest()));
+    }
+  }
+  return shifts;
+}
+
+std::size_t WireCodec::frame_symbols(std::size_t app_bytes) const {
+  return tx_layout(app_bytes).total_symbols();
+}
+
+rx::CodecFactory wire_codec_factory() {
+  return [](const rx::CodecConfig& cfg) -> std::unique_ptr<const rx::FrameCodec> {
+    return std::make_unique<WireCodec>(cfg);
+  };
+}
+
+}  // namespace tnb::wire

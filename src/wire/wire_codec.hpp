@@ -1,0 +1,60 @@
+// wire::WireCodec — the gr-lora-sdr wire format behind the FrameCodec seam.
+//
+// Frame layout (see wire_format.hpp for the primitives):
+//
+//   block 0:  8 symbols, always CR 4/8, reduced rate (sf_app = sf-2) for
+//             SF >= 7. Explicit mode: rows 0-4 carry the header nibbles,
+//             rows 5.. the first whitened payload nibbles. Implicit mode:
+//             every row is payload.
+//   rest:     (4+cr)-symbol blocks of sf rows (sf-2 under LDRO) at the
+//             configured coding rate, zero-padded at the end.
+//
+// Decoding reuses TnB's BEC machinery: the diagonal interleaver preserves
+// the one-symbol-one-column error model, so rx::Bec runs unchanged with the
+// wire codebook, and the packet-level candidate-combination search under
+// the W budget with CRC16 arbitration mirrors rx::decode_payload_bec.
+//
+// lora::Header::payload_len keeps the receiver-wide convention of on-air
+// bytes INCLUDING the CRC16; the conversion to the wire header's
+// CRC-exclusive length field happens here.
+#pragma once
+
+#include "core/frame_codec.hpp"
+#include "wire/wire_format.hpp"
+
+namespace tnb::wire {
+
+class WireCodec final : public rx::FrameCodec {
+ public:
+  explicit WireCodec(const rx::CodecConfig& cfg);
+
+  std::size_t header_symbols() const override;
+  std::optional<lora::Header> implicit_header() const override;
+  std::optional<lora::Header> decode_header(std::span<const std::uint32_t> bins,
+                                            rx::BecStats* stats) const override;
+  std::size_t payload_symbols(const lora::Header& h) const override;
+  rx::FrameDecodeResult decode_frame(std::span<const std::uint32_t> bins,
+                                     const lora::Header& h, Rng& rng,
+                                     rx::BecStats* stats) const override;
+  std::optional<std::size_t> peek_frame_symbols(
+      std::span<const std::uint32_t> header_bins) const override;
+  std::vector<std::uint32_t> encode_shifts(
+      std::span<const std::uint8_t> app_bytes) const override;
+  std::size_t frame_symbols(std::size_t app_bytes) const override;
+
+ private:
+  WireLayout layout_for(const lora::Header& h) const;
+  /// Layout used on the encode side (CR from the config, CRC always on).
+  WireLayout tx_layout(std::size_t app_bytes) const;
+  /// Block-0 codeword rows from the first 8 raw bins.
+  std::vector<std::uint8_t> block0_rows(
+      std::span<const std::uint32_t> bins) const;
+
+  rx::CodecConfig cfg_;
+};
+
+/// ReceiverOptions::codec_factory building WireCodecs — the `--wire-format`
+/// switch of tnb_gen / tnb_eval / tnb_streamd.
+rx::CodecFactory wire_codec_factory();
+
+}  // namespace tnb::wire

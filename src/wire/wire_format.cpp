@@ -1,0 +1,179 @@
+#include "wire/wire_format.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "lora/gray.hpp"
+
+namespace tnb::wire {
+
+std::vector<std::uint8_t> whitening_sequence(std::size_t n) {
+  std::vector<std::uint8_t> seq(n);
+  std::uint8_t s = 0xFF;
+  for (std::size_t i = 0; i < n; ++i) {
+    seq[i] = s;
+    s = whitening_next(s);
+  }
+  return seq;
+}
+
+void whiten(std::span<std::uint8_t> bytes) {
+  std::uint8_t s = 0xFF;
+  for (std::uint8_t& b : bytes) {
+    b ^= s;
+    s = whitening_next(s);
+  }
+}
+
+std::uint16_t payload_crc16(std::span<const std::uint8_t> payload) {
+  const auto step = [](std::uint16_t crc, std::uint8_t byte) {
+    crc = static_cast<std::uint16_t>(crc ^ (static_cast<std::uint16_t>(byte) << 8));
+    for (int b = 0; b < 8; ++b) {
+      crc = static_cast<std::uint16_t>((crc & 0x8000) != 0 ? (crc << 1) ^ 0x1021
+                                                           : crc << 1);
+    }
+    return crc;
+  };
+  std::uint16_t crc = 0;
+  if (payload.size() < 2) {
+    for (std::uint8_t b : payload) crc = step(crc, b);
+    return crc;
+  }
+  for (std::size_t i = 0; i + 2 < payload.size(); ++i) crc = step(crc, payload[i]);
+  // SX127x quirk: the last two bytes are mixed in raw instead of shifted
+  // through the polynomial.
+  crc = static_cast<std::uint16_t>(
+      crc ^ payload[payload.size() - 1] ^
+      (static_cast<std::uint16_t>(payload[payload.size() - 2]) << 8));
+  return crc;
+}
+
+std::uint8_t wire_encode(std::uint8_t nibble, unsigned cr) {
+  if (cr < 1 || cr > 4) throw std::invalid_argument("wire_encode: CR must be 1..4");
+  const unsigned n = nibble & 0x0F;
+  const unsigned d0 = n & 1, d1 = (n >> 1) & 1, d2 = (n >> 2) & 1, d3 = (n >> 3) & 1;
+  if (cr == 1) {
+    const unsigned p = d0 ^ d1 ^ d2 ^ d3;
+    return static_cast<std::uint8_t>((n << 1) | p);
+  }
+  const unsigned p0 = d3 ^ d2 ^ d1;
+  const unsigned p1 = d2 ^ d1 ^ d0;
+  const unsigned p2 = d3 ^ d2 ^ d0;
+  const unsigned p3 = d3 ^ d1 ^ d0;
+  const unsigned full8 = (n << 4) | (p0 << 3) | (p1 << 2) | (p2 << 1) | p3;
+  return static_cast<std::uint8_t>(full8 >> (4 - cr));
+}
+
+const std::array<std::uint8_t, 16>& wire_codewords(unsigned cr) {
+  static const auto tables = [] {
+    std::array<std::array<std::uint8_t, 16>, 5> t{};
+    for (unsigned c = 1; c <= 4; ++c) {
+      for (unsigned d = 0; d < 16; ++d) {
+        t[c][d] = wire_encode(static_cast<std::uint8_t>(d), c);
+      }
+    }
+    return t;
+  }();
+  if (cr < 1 || cr > 4) throw std::invalid_argument("wire_codewords: CR must be 1..4");
+  return tables[cr];
+}
+
+WireDecode wire_decode(std::uint8_t received, unsigned cr) {
+  const auto& book = wire_codewords(cr);
+  WireDecode best;
+  unsigned best_dist = 9;
+  for (unsigned d = 0; d < 16; ++d) {
+    const unsigned dist = static_cast<unsigned>(
+        std::popcount(static_cast<unsigned>(received ^ book[d])));
+    if (dist < best_dist) {
+      best_dist = dist;
+      best.data = static_cast<std::uint8_t>(d);
+      best.codeword = book[d];
+    }
+  }
+  return best;
+}
+
+std::vector<std::uint32_t> wire_interleave(
+    std::span<const std::uint8_t> codewords, unsigned sf_app, unsigned cw_len) {
+  if (codewords.size() != sf_app) {
+    throw std::invalid_argument("wire_interleave: need sf_app codewords");
+  }
+  std::vector<std::uint32_t> symbols(cw_len, 0);
+  for (unsigned i = 0; i < cw_len; ++i) {
+    for (unsigned j = 0; j < sf_app; ++j) {
+      const unsigned r = (i + sf_app - 1 - (j % sf_app)) % sf_app;  // (i-j-1) mod sf_app
+      const unsigned bit = (codewords[r] >> (cw_len - 1 - i)) & 1u;
+      symbols[i] |= bit << (sf_app - 1 - j);
+    }
+  }
+  return symbols;
+}
+
+std::vector<std::uint8_t> wire_deinterleave(
+    std::span<const std::uint32_t> symbols, unsigned sf_app, unsigned cw_len) {
+  if (symbols.size() != cw_len) {
+    throw std::invalid_argument("wire_deinterleave: need cw_len symbols");
+  }
+  std::vector<std::uint8_t> codewords(sf_app, 0);
+  for (unsigned i = 0; i < cw_len; ++i) {
+    for (unsigned j = 0; j < sf_app; ++j) {
+      const unsigned r = (i + sf_app - 1 - (j % sf_app)) % sf_app;
+      const unsigned bit = (symbols[i] >> (sf_app - 1 - j)) & 1u;
+      codewords[r] = static_cast<std::uint8_t>(codewords[r] |
+                                               (bit << (cw_len - 1 - i)));
+    }
+  }
+  return codewords;
+}
+
+std::uint32_t wire_shift_for_symbol(std::uint32_t v, unsigned sf, bool reduced) {
+  const std::uint32_t n = 1u << sf;
+  const std::uint32_t g = lora::gray_decode(v);
+  const std::uint32_t shift = reduced ? g * 4 + 1 : g + 1;
+  return shift & (n - 1);
+}
+
+std::uint32_t wire_symbol_for_bin(std::uint32_t bin, unsigned sf, bool reduced) {
+  const std::uint32_t n = 1u << sf;
+  const std::uint32_t x = (bin + n - 1) & (n - 1);  // (bin - 1) mod 2^sf
+  return lora::gray_encode(reduced ? x >> 2 : x);
+}
+
+std::array<std::uint8_t, 5> wire_header_nibbles(const WireHeader& h) {
+  const unsigned len = h.payload_len;
+  std::array<std::uint8_t, 5> n{};
+  n[0] = static_cast<std::uint8_t>(len >> 4);
+  n[1] = static_cast<std::uint8_t>(len & 0x0F);
+  n[2] = static_cast<std::uint8_t>(((h.cr & 0x7) << 1) | (h.has_crc ? 1 : 0));
+  const auto bit = [&](unsigned nibble, unsigned b) -> unsigned {
+    return (n[nibble] >> b) & 1u;
+  };
+  const unsigned c4 = bit(0, 3) ^ bit(0, 2) ^ bit(0, 1) ^ bit(0, 0);
+  const unsigned c3 = bit(0, 3) ^ bit(1, 3) ^ bit(1, 2) ^ bit(1, 1) ^ bit(2, 0);
+  const unsigned c2 = bit(0, 2) ^ bit(1, 3) ^ bit(1, 0) ^ bit(2, 3) ^ bit(2, 1);
+  const unsigned c1 = bit(0, 1) ^ bit(1, 2) ^ bit(1, 0) ^ bit(2, 2) ^ bit(2, 1) ^
+                      bit(2, 0);
+  const unsigned c0 = bit(0, 0) ^ bit(1, 1) ^ bit(2, 3) ^ bit(2, 2) ^ bit(2, 1) ^
+                      bit(2, 0);
+  n[3] = static_cast<std::uint8_t>(c4);
+  n[4] = static_cast<std::uint8_t>((c3 << 3) | (c2 << 2) | (c1 << 1) | c0);
+  return n;
+}
+
+std::optional<WireHeader> parse_wire_header(std::span<const std::uint8_t> nibbles) {
+  if (nibbles.size() < 5) return std::nullopt;
+  WireHeader h;
+  h.payload_len = static_cast<std::uint8_t>(((nibbles[0] & 0x0F) << 4) |
+                                            (nibbles[1] & 0x0F));
+  h.cr = static_cast<std::uint8_t>((nibbles[2] >> 1) & 0x7);
+  h.has_crc = (nibbles[2] & 1) != 0;
+  if (h.cr < 1 || h.cr > 4) return std::nullopt;
+  if (h.payload_len < 1) return std::nullopt;
+  const auto expect = wire_header_nibbles(h);
+  if ((nibbles[3] & 0x01) != expect[3]) return std::nullopt;
+  if ((nibbles[4] & 0x0F) != expect[4]) return std::nullopt;
+  return h;
+}
+
+}  // namespace tnb::wire

@@ -1,0 +1,158 @@
+// gr-lora-sdr-compatible wire-format primitives (DESIGN.md "Wire format").
+//
+// Real LoRa transmitters (SX127x/SX126x, and the gr-lora-sdr / lora-lite-phy
+// software implementations this module mirrors — SNIPPETS.md snippets 1-3)
+// use different coding conventions than the paper's simplified frame format:
+//
+//   * Gray mapping with a +1 chirp-shift offset; reduced-rate blocks
+//     (the sf_app = sf-2 header block, and every block under LDRO) multiply
+//     the Gray-decoded symbol by 4 so the two LSBs of the shift are dead.
+//   * A diagonal interleaver: on-air symbol i carries bit i (MSB-first) of
+//     every codeword, rotated down the rows — so a corrupted symbol still
+//     corrupts exactly one bit position of every codeword, which is the
+//     column error model TnB's BEC is built on.
+//   * MSB-first Hamming: codeword = d3 d2 d1 d0 p0 p1 p2 p3 truncated to
+//     4+CR bits; CR 4/5 replaces p0 with the overall parity (even-weight
+//     code, detection only), CR 4/7-4/8 correct single errors.
+//   * The SX127x 8-bit whitening LFSR (x^8+x^6+x^5+x^4+1, seed 0xFF)
+//     applied to payload bytes only — header and CRC16 go out raw.
+//   * An explicit header of 5 nibbles (length, CR, CRC flag, 5-bit
+//     checksum) carried in the first rows of the reduced-rate first block.
+//   * Payload CRC16 (poly 0x1021, init 0) over all but the last two bytes,
+//     then XORed with the last two bytes, appended low-nibble-first.
+//
+// Everything here is pure bit manipulation; wire_codec.hpp assembles these
+// into the FrameCodec the receivers consume.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace tnb::wire {
+
+// ---------------------------------------------------------------- whitening
+
+/// Advances the SX127x whitening LFSR by one byte-step.
+constexpr std::uint8_t whitening_next(std::uint8_t s) {
+  const unsigned fb = ((s >> 7) ^ (s >> 5) ^ (s >> 4) ^ (s >> 3)) & 1u;
+  return static_cast<std::uint8_t>(((s << 1) | fb) & 0xFF);
+}
+
+/// First `n` bytes of the whitening sequence (0xFF, 0xFE, 0xFC, ...).
+std::vector<std::uint8_t> whitening_sequence(std::size_t n);
+
+/// XORs `bytes` with the whitening sequence in place (an involution).
+void whiten(std::span<std::uint8_t> bytes);
+
+// ------------------------------------------------------------------- CRC16
+
+/// Payload CRC16: poly 0x1021, init 0x0000 over payload[0..n-2), then XORed
+/// with the last two payload bytes (the SX127x quirk). Payloads under two
+/// bytes get the plain CRC of all bytes.
+std::uint16_t payload_crc16(std::span<const std::uint8_t> payload);
+
+// ----------------------------------------------------------------- Hamming
+
+/// Encodes a data nibble into a (4+cr)-bit wire codeword, MSB-first
+/// d3 d2 d1 d0 parity... (CR 1 is data + overall parity).
+std::uint8_t wire_encode(std::uint8_t nibble, unsigned cr);
+
+/// Data nibble of a wire codeword (the top 4 of its 4+cr bits).
+constexpr std::uint8_t wire_data(std::uint8_t codeword, unsigned cr) {
+  return static_cast<std::uint8_t>((codeword >> cr) & 0x0F);
+}
+
+/// The 16 wire codewords of a coding rate, indexed by data nibble.
+const std::array<std::uint8_t, 16>& wire_codewords(unsigned cr);
+
+/// Nearest-codeword decode (Hamming distance; ties break to the smallest
+/// data nibble, matching the paper decoder's scan order). CR >= 3
+/// guarantees single-error correction; CR 1-2 only detect.
+struct WireDecode {
+  std::uint8_t data = 0;
+  std::uint8_t codeword = 0;
+};
+WireDecode wire_decode(std::uint8_t received, unsigned cr);
+
+// -------------------------------------------------------------- interleaver
+
+/// Diagonal interleave: `codewords` holds sf_app rows of cw_len bits;
+/// returns cw_len on-air symbol values of sf_app bits each. Symbol i bit j
+/// (MSB-first) is bit i (MSB-first) of codeword (i - j - 1) mod sf_app.
+std::vector<std::uint32_t> wire_interleave(
+    std::span<const std::uint8_t> codewords, unsigned sf_app, unsigned cw_len);
+
+/// Inverse of wire_interleave: cw_len symbols -> sf_app codeword rows.
+/// One corrupted symbol corrupts one bit position of every row.
+std::vector<std::uint8_t> wire_deinterleave(
+    std::span<const std::uint32_t> symbols, unsigned sf_app, unsigned cw_len);
+
+// ------------------------------------------------------------ gray mapping
+
+/// Chirp shift of an on-air symbol value: gray-decode, +1 offset, times 4
+/// on reduced-rate blocks (sf_app = sf - 2).
+std::uint32_t wire_shift_for_symbol(std::uint32_t v, unsigned sf, bool reduced);
+
+/// On-air symbol value of a demodulated peak bin (inverse of
+/// wire_shift_for_symbol; the /4 truncates, absorbing +1/+2-bin errors on
+/// reduced-rate blocks).
+std::uint32_t wire_symbol_for_bin(std::uint32_t bin, unsigned sf, bool reduced);
+
+// ------------------------------------------------------------------ header
+
+struct WireHeader {
+  std::uint8_t payload_len = 0;  ///< wire length: app bytes EXCLUDING CRC16
+  std::uint8_t cr = 1;
+  bool has_crc = true;
+};
+
+/// The 5 on-air header nibbles: len_hi, len_lo, (cr << 1) | has_crc, then
+/// the 5-bit checksum split c4 / c3c2c1c0.
+std::array<std::uint8_t, 5> wire_header_nibbles(const WireHeader& h);
+
+/// Parses and validates 5 header nibbles: checksum must match, CR in 1..4,
+/// length >= 1.
+std::optional<WireHeader> parse_wire_header(std::span<const std::uint8_t> nibbles);
+
+// ------------------------------------------------------------ frame layout
+
+/// Symbol/nibble layout of one wire frame. Block 0 is always 8 symbols at
+/// CR 4/8, reduced-rate (sf_app = sf - 2) for SF >= 7; in explicit-header
+/// mode its first 5 rows carry the header nibbles and the rest the first
+/// payload nibbles. Remaining blocks run at the configured CR, reduced only
+/// under LDRO.
+struct WireLayout {
+  unsigned sf = 7;
+  unsigned cr = 1;          ///< payload coding rate
+  bool ldro = false;
+  bool explicit_header = true;
+  bool has_crc = true;
+  std::size_t wire_len = 0;  ///< payload bytes excluding CRC16
+
+  unsigned sf_app0() const { return sf >= 7 ? sf - 2 : sf; }
+  bool reduced0() const { return sf >= 7; }
+  unsigned rows_rest() const { return ldro ? sf - 2 : sf; }
+  bool reduced_rest() const { return ldro; }
+
+  /// Total payload nibbles: 2 per byte plus 4 raw CRC nibbles.
+  std::size_t nib_total() const {
+    return 2 * wire_len + (has_crc ? 4 : 0);
+  }
+  /// Payload nibbles carried by block 0 (after the 5 header rows).
+  std::size_t nib0() const {
+    return sf_app0() - (explicit_header ? 5u : 0u);
+  }
+  std::size_t blocks_rest() const {
+    const std::size_t total = nib_total();
+    const std::size_t first = nib0();
+    if (total <= first) return 0;
+    return (total - first + rows_rest() - 1) / rows_rest();
+  }
+  /// Total data symbols: the 8-symbol first block plus (4+cr) per rest block.
+  std::size_t total_symbols() const { return 8 + blocks_rest() * (4 + cr); }
+};
+
+}  // namespace tnb::wire

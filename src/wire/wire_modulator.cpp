@@ -1,0 +1,38 @@
+#include "wire/wire_modulator.hpp"
+
+namespace tnb::wire {
+namespace {
+
+rx::CodecConfig make_config(const lora::Params& p,
+                            std::optional<rx::ImplicitHeader> implicit) {
+  rx::CodecConfig cfg;
+  cfg.params = p;
+  cfg.implicit_header = implicit;
+  return cfg;
+}
+
+}  // namespace
+
+WireModulator::WireModulator(lora::Params p,
+                             std::optional<rx::ImplicitHeader> implicit)
+    : mod_(p), codec_(make_config(p, implicit)) {}
+
+std::vector<std::uint32_t> WireModulator::shifts(
+    std::span<const std::uint8_t> app_bytes) const {
+  return codec_.encode_shifts(app_bytes);
+}
+
+std::size_t WireModulator::frame_symbols(std::size_t app_bytes) const {
+  return codec_.frame_symbols(app_bytes);
+}
+
+std::size_t WireModulator::packet_samples(std::size_t app_bytes) const {
+  return mod_.packet_samples(frame_symbols(app_bytes));
+}
+
+IqBuffer WireModulator::synthesize(std::span<const std::uint8_t> app_bytes,
+                                   const lora::WaveformOptions& opt) const {
+  return mod_.synthesize_shifts(shifts(app_bytes), opt);
+}
+
+}  // namespace tnb::wire

@@ -1,0 +1,42 @@
+// Wire-format packet synthesis: WireCodec's encode chain in front of the
+// raw-shift modulator. The preamble (8 upchirps, sync 8/16, 2.25
+// downchirps) is shared with the paper format, so the TnB detector and
+// synchronizer work on wire frames unchanged.
+#pragma once
+
+#include <optional>
+
+#include "lora/modulator.hpp"
+#include "wire/wire_codec.hpp"
+
+namespace tnb::wire {
+
+class WireModulator {
+ public:
+  /// Explicit-header frames by default; pass `implicit` to omit the header
+  /// (the receiver must then be configured with the same ImplicitHeader).
+  explicit WireModulator(lora::Params p,
+                         std::optional<rx::ImplicitHeader> implicit = {});
+
+  const lora::Params& params() const { return mod_.params(); }
+
+  /// Raw chirp shifts of a frame for an application payload (header and
+  /// CRC16 appended per the wire format).
+  std::vector<std::uint32_t> shifts(std::span<const std::uint8_t> app_bytes) const;
+
+  /// Data symbols of a frame for an application payload size.
+  std::size_t frame_symbols(std::size_t app_bytes) const;
+
+  /// Frame duration in receiver samples (preamble included).
+  std::size_t packet_samples(std::size_t app_bytes) const;
+
+  /// Full baseband IQ of one wire frame.
+  IqBuffer synthesize(std::span<const std::uint8_t> app_bytes,
+                      const lora::WaveformOptions& opt = {}) const;
+
+ private:
+  lora::Modulator mod_;
+  WireCodec codec_;
+};
+
+}  // namespace tnb::wire

@@ -17,7 +17,7 @@ void serializer_contract(tnb::testing::FuzzInput& in) {
   h.cr = static_cast<std::uint8_t>(in.uniform(0, 7));
   h.has_crc = in.boolean();
   const unsigned sf = static_cast<unsigned>(in.uniform(0, 16));
-  const bool in_contract = sf >= 6 && h.cr >= 1 && h.cr <= 4;
+  const bool in_contract = sf >= 5 && h.cr >= 1 && h.cr <= 4;
   try {
     const auto nibbles = tnb::lora::header_to_nibbles(h, sf);
     TNB_ORACLE(in_contract, "serializer accepted out-of-contract args");

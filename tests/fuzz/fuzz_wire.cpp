@@ -1,0 +1,25 @@
+// Fuzz harness: tnb::wire. Primitive round trips (whitening, Hamming,
+// diagonal interleaver, Gray shift mapping, header), the full WireCodec
+// encode -> decode identity over arbitrary configurations, and decoder
+// totality on arbitrary bins.
+#include <cstddef>
+#include <cstdint>
+
+#include "testing/oracles.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  tnb::testing::FuzzInput in(data, size);
+  switch (in.u8() % 3) {
+    case 0:
+      tnb::testing::oracle_wire_primitives_roundtrip(in);
+      break;
+    case 1:
+      tnb::testing::oracle_wire_codec_roundtrip(in);
+      break;
+    default:
+      tnb::testing::oracle_wire_codec_totality(in);
+      break;
+  }
+  return 0;
+}

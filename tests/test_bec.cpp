@@ -236,9 +236,11 @@ TEST(BecDecode, RejectsWrongRowCount) {
 }
 
 TEST(BecDecode, InvalidParamsThrow) {
-  EXPECT_THROW(Bec(5, 4), std::invalid_argument);
+  EXPECT_THROW(Bec(4, 4), std::invalid_argument);
+  EXPECT_THROW(Bec(13, 4), std::invalid_argument);
   EXPECT_THROW(Bec(8, 0), std::invalid_argument);
   EXPECT_THROW(Bec(8, 5), std::invalid_argument);
+  EXPECT_NO_THROW(Bec(5, 4));  // SF5 floor (wire reduced-rate blocks)
 }
 
 TEST(BecDecode, StatsCountRepairs) {

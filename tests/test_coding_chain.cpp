@@ -81,7 +81,7 @@ TEST_P(InterleaverRoundTrip, Bijective) {
 
 INSTANTIATE_TEST_SUITE_P(
     SfCrGrid, InterleaverRoundTrip,
-    ::testing::Combine(::testing::Values(7u, 8u, 10u, 12u),
+    ::testing::Combine(::testing::Values(5u, 7u, 8u, 10u, 12u),
                        ::testing::Values(1u, 2u, 3u, 4u)));
 
 TEST(Interleaver, OneSymbolCorruptsOneColumn) {
@@ -137,7 +137,7 @@ TEST(HeaderChecksum, SensitiveToEveryField) {
 }
 
 TEST(Header, NibbleRoundTrip) {
-  for (unsigned sf : {7u, 8u, 10u, 12u}) {
+  for (unsigned sf : {5u, 7u, 8u, 10u, 12u}) {
     for (unsigned cr = 1; cr <= 4; ++cr) {
       Header h{.payload_len = 16, .cr = static_cast<std::uint8_t>(cr), .has_crc = true};
       const auto nibbles = header_to_nibbles(h, sf);
@@ -241,7 +241,7 @@ TEST_P(FrameRoundTrip, EncodeDecodeClean) {
 // LDRO/SF pairs skip themselves above).
 INSTANTIATE_TEST_SUITE_P(
     SfCrLdroGrid, FrameRoundTrip,
-    ::testing::Combine(::testing::Values(6u, 7u, 8u, 9u, 10u, 11u, 12u),
+    ::testing::Combine(::testing::Values(5u, 6u, 7u, 8u, 9u, 10u, 11u, 12u),
                        ::testing::Values(1u, 2u, 3u, 4u),
                        ::testing::Bool()));
 

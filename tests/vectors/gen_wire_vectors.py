@@ -1,0 +1,193 @@
+#!/usr/bin/env python3
+"""Golden wire-format reference vectors for tnb::wire (test_wire_golden).
+
+An independent implementation of the gr-lora-sdr wire conventions — SX127x
+whitening, payload CRC16, MSB-first variable-rate Hamming, the diagonal
+interleaver, Gray +1 chirp mapping with reduced-rate blocks, and the
+explicit header — kept deliberately separate from the C++ code so the two
+can only agree by implementing the same spec. Regenerate wire_vectors.txt
+with:  python3 gen_wire_vectors.py > wire_vectors.txt
+"""
+import random
+
+# ----------------------------------------------------------------- whitening
+
+
+def whitening_sequence(n):
+    seq, s = [], 0xFF
+    for _ in range(n):
+        seq.append(s)
+        fb = ((s >> 7) ^ (s >> 5) ^ (s >> 4) ^ (s >> 3)) & 1
+        s = ((s << 1) | fb) & 0xFF
+    return seq
+
+
+def whiten(data):
+    return [b ^ w for b, w in zip(data, whitening_sequence(len(data)))]
+
+
+# --------------------------------------------------------------------- CRC16
+
+
+def payload_crc16(data):
+    def step(crc, byte):
+        crc ^= byte << 8
+        for _ in range(8):
+            crc = ((crc << 1) ^ 0x1021 if crc & 0x8000 else crc << 1) & 0xFFFF
+        return crc
+
+    if len(data) < 2:
+        crc = 0
+        for b in data:
+            crc = step(crc, b)
+        return crc
+    crc = 0
+    for b in data[:-2]:
+        crc = step(crc, b)
+    # SX127x quirk: the last two bytes are XORed in raw.
+    return crc ^ data[-1] ^ (data[-2] << 8)
+
+
+# ------------------------------------------------------------------- Hamming
+
+
+def hamming_encode(nibble, cr):
+    n = nibble & 0xF
+    d0, d1, d2, d3 = n & 1, (n >> 1) & 1, (n >> 2) & 1, (n >> 3) & 1
+    if cr == 1:
+        return (n << 1) | (d0 ^ d1 ^ d2 ^ d3)
+    p0 = d3 ^ d2 ^ d1
+    p1 = d2 ^ d1 ^ d0
+    p2 = d3 ^ d2 ^ d0
+    p3 = d3 ^ d1 ^ d0
+    full8 = (n << 4) | (p0 << 3) | (p1 << 2) | (p2 << 1) | p3
+    return full8 >> (4 - cr)
+
+
+# --------------------------------------------------------------- interleaver
+
+
+def interleave(rows, sf_app, cw_len):
+    """Diagonal: symbol i bit j (MSB-first) = codeword (i-j-1) mod sf_app,
+    bit i (MSB-first)."""
+    symbols = [0] * cw_len
+    for i in range(cw_len):
+        for j in range(sf_app):
+            r = (i - j - 1) % sf_app
+            bit = (rows[r] >> (cw_len - 1 - i)) & 1
+            symbols[i] |= bit << (sf_app - 1 - j)
+    return symbols
+
+
+# -------------------------------------------------------------- gray mapping
+
+
+def gray_decode(v):
+    x = v
+    mask = v >> 1
+    while mask:
+        x ^= mask
+        mask >>= 1
+    return x
+
+
+def shift_for_symbol(v, sf, reduced):
+    g = gray_decode(v)
+    shift = g * 4 + 1 if reduced else g + 1
+    return shift & ((1 << sf) - 1)
+
+
+# -------------------------------------------------------------------- header
+
+
+def header_nibbles(length, cr, has_crc):
+    n0 = (length >> 4) & 0xF
+    n1 = length & 0xF
+    n2 = ((cr & 7) << 1) | (1 if has_crc else 0)
+
+    def bit(n, b):
+        return (n >> b) & 1
+
+    c4 = bit(n0, 3) ^ bit(n0, 2) ^ bit(n0, 1) ^ bit(n0, 0)
+    c3 = bit(n0, 3) ^ bit(n1, 3) ^ bit(n1, 2) ^ bit(n1, 1) ^ bit(n2, 0)
+    c2 = bit(n0, 2) ^ bit(n1, 3) ^ bit(n1, 0) ^ bit(n2, 3) ^ bit(n2, 1)
+    c1 = bit(n0, 1) ^ bit(n1, 2) ^ bit(n1, 0) ^ bit(n2, 2) ^ bit(n2, 1) ^ bit(n2, 0)
+    c0 = bit(n0, 0) ^ bit(n1, 1) ^ bit(n2, 3) ^ bit(n2, 2) ^ bit(n2, 1) ^ bit(n2, 0)
+    return [n0, n1, n2, c4, (c3 << 3) | (c2 << 2) | (c1 << 1) | c0]
+
+
+# ------------------------------------------------------------------- framing
+
+
+def encode_frame(app, sf, cr, ldro, explicit):
+    """App bytes -> raw chirp shifts (always with CRC16)."""
+    sf_app0 = sf - 2 if sf >= 7 else sf
+    reduced0 = sf >= 7
+    rows_rest = sf - 2 if ldro else sf
+    reduced_rest = ldro
+
+    nibbles = []
+    for b in whiten(app):
+        nibbles.append(b & 0xF)
+        nibbles.append((b >> 4) & 0xF)
+    crc = payload_crc16(app)
+    for s in (0, 4, 8, 12):
+        nibbles.append((crc >> s) & 0xF)
+
+    it = iter(nibbles)
+
+    def take():
+        return next(it, 0)
+
+    shifts = []
+    # Block 0: 8 symbols, CR 4/8, header rows first in explicit mode.
+    rows = []
+    if explicit:
+        rows += [hamming_encode(n, 4) for n in header_nibbles(len(app), cr, True)]
+    while len(rows) < sf_app0:
+        rows.append(hamming_encode(take(), 4))
+    shifts += [shift_for_symbol(v, sf, reduced0) for v in interleave(rows, sf_app0, 8)]
+
+    # Rest blocks at the payload CR.
+    nib_total = len(nibbles)
+    nib0 = sf_app0 - (5 if explicit else 0)
+    remaining = max(0, nib_total - nib0)
+    blocks = (remaining + rows_rest - 1) // rows_rest
+    for _ in range(blocks):
+        rows = [hamming_encode(take(), cr) for _ in range(rows_rest)]
+        shifts += [
+            shift_for_symbol(v, sf, reduced_rest)
+            for v in interleave(rows, rows_rest, 4 + cr)
+        ]
+    return shifts
+
+
+CASES = [
+    # (sf, cr, ldro, explicit, payload_len, seed)
+    (7, 1, 0, 1, 14, 101),
+    (7, 2, 0, 1, 14, 102),
+    (7, 3, 0, 1, 14, 103),
+    (7, 4, 0, 1, 14, 104),
+    (8, 2, 0, 0, 14, 105),  # implicit header
+    (5, 1, 0, 1, 9, 106),  # SF floor, no reduced-rate first block
+    (6, 3, 0, 1, 20, 107),
+    (12, 4, 1, 1, 14, 108),  # LDRO
+    (9, 4, 0, 1, 1, 109),  # single-byte payload
+    (10, 2, 0, 0, 32, 110),  # implicit, multi-block
+]
+
+
+def main():
+    print("# tnb::wire golden vectors — generated by gen_wire_vectors.py")
+    print("# record: params line, payload hex line, comma-separated raw shifts")
+    for sf, cr, ldro, explicit, plen, seed in CASES:
+        rng = random.Random(seed)
+        app = [rng.randrange(256) for _ in range(plen)]
+        shifts = encode_frame(app, sf, cr, ldro, explicit)
+        print(f"sf={sf} cr={cr} ldro={ldro} implicit={0 if explicit else 1} has_crc=1")
+        print("payload=" + "".join(f"{b:02x}" for b in app))
+        print("shifts=" + ",".join(str(s) for s in shifts))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,11 +1,16 @@
 // tnb_eval — decode a trace corpus produced by tnb_gen and score every
 // scheme against the ground truth.
 //
-//   tnb_eval --in PREFIX [--sf N] [--cr N] [--osf N]
+//   tnb_eval --in PREFIX [--sf N] [--cr N] [--bw KHZ] [--osf N]
 //            [--scheme tnb|thrive|sibling|lorophy|cic|cic+|aligntrack|
 //                      aligntrack+|all]
 //            [--antennas N] [--implicit-len BYTES] [--jobs N]
-//            [--metrics-file FILE]
+//            [--metrics-file FILE] [--wire-format]
+//
+// --wire-format decodes with the gr-lora-sdr wire convention (tnb::wire)
+// instead of the paper frame format — for corpora written by
+// tnb_gen --wire-format. Orthogonal to --scheme: every scheme keeps its
+// assigner/sync/decoder, only the frame coding changes.
 //
 // --jobs N (default: TNB_JOBS env var, else 1) decodes the schemes
 // concurrently; each scheme keeps its own RNG and stats, so the printed
@@ -29,6 +34,7 @@
 #include "sim/ground_truth.hpp"
 #include "sim/metrics.hpp"
 #include "sim/trace_io.hpp"
+#include "wire/wire_codec.hpp"
 
 namespace {
 
@@ -36,11 +42,11 @@ namespace {
   // The scheme list comes from base::all_schemes() so a new scheme in the
   // factory automatically shows up here (and in parse errors below).
   std::fprintf(stderr,
-               "usage: tnb_eval --in PREFIX [--sf N] [--cr N] [--osf N] "
-               "[--scheme NAME|all]\n"
+               "usage: tnb_eval --in PREFIX [--sf N] [--cr N] [--bw KHZ] "
+               "[--osf N] [--scheme NAME|all]\n"
                "                [--antennas N] [--implicit-len BYTES] "
                "[--jobs N]\n"
-               "                [--metrics-file FILE]\n"
+               "                [--metrics-file FILE] [--wire-format]\n"
                "schemes: %s, sic, all\n",
                tnb::base::scheme_cli_list().c_str());
   std::exit(2);
@@ -63,6 +69,7 @@ int main(int argc, char** argv) {
   lora::Params params{.sf = 8, .cr = 4, .bandwidth_hz = 125e3, .osf = 8};
   unsigned antennas = 1;
   int implicit_len = 0;
+  bool wire_format = false;
   int jobs = common::default_jobs();
 
   for (int i = 1; i < argc; ++i) {
@@ -74,10 +81,12 @@ int main(int argc, char** argv) {
     if (arg == "--in") in = value();
     else if (arg == "--sf") params.sf = std::strtoul(value(), nullptr, 10);
     else if (arg == "--cr") params.cr = std::strtoul(value(), nullptr, 10);
+    else if (arg == "--bw") params.bandwidth_hz = std::atof(value()) * 1e3;
     else if (arg == "--osf") params.osf = std::strtoul(value(), nullptr, 10);
     else if (arg == "--scheme") scheme = value();
     else if (arg == "--antennas") antennas = std::strtoul(value(), nullptr, 10);
     else if (arg == "--implicit-len") implicit_len = std::atoi(value());
+    else if (arg == "--wire-format") wire_format = true;
     else if (arg == "--jobs") jobs = std::atoi(value());
     else if (arg == "--metrics-file") metrics_file = value();
     else usage();
@@ -134,7 +143,9 @@ int main(int argc, char** argv) {
       implicit = rx::ImplicitHeader{static_cast<std::uint8_t>(implicit_len),
                                     static_cast<std::uint8_t>(params.cr)};
     }
-    rx::Receiver receiver = base::make_receiver(schemes[i], params, implicit);
+    rx::Receiver receiver = base::make_receiver(
+        schemes[i], params, implicit,
+        wire_format ? wire::wire_codec_factory() : rx::CodecFactory{});
     Rng rng(7);
     const auto decoded =
         receiver.decode_multi(trace.antenna_spans(), rng, &rows[i].stats);

@@ -2,9 +2,16 @@
 // truth, in the paper artifact's trace format.
 //
 //   tnb_gen --out PREFIX [--deployment indoor|outdoor1|outdoor2|etu]
-//           [--sf N] [--cr N] [--osf N] [--load PPS] [--duration S]
-//           [--seed N] [--antennas N] [--channel none|epa|eva|etu]
-//           [--channels N] [--implicit]
+//           [--sf N] [--cr N] [--bw KHZ] [--osf N] [--load PPS]
+//           [--duration S] [--seed N] [--antennas N]
+//           [--channel none|epa|eva|etu] [--channels N] [--implicit]
+//           [--wire-format]
+//
+// --wire-format encodes every packet with the gr-lora-sdr wire convention
+// (tnb::wire — whitening, CR 4/5..4/8 Hamming, diagonal interleaving,
+// explicit header + CRC16) instead of the paper format; decode the result
+// with tnb_streamd/tnb_eval --wire-format. --bw selects the LoRa bandwidth
+// in kHz (125, 250 or 500; default 125).
 //
 // Writes PREFIX.bin (antenna 0), PREFIX.ant1.bin... (extra antennas) and
 // PREFIX.csv (ground truth).
@@ -20,6 +27,8 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -30,17 +39,18 @@
 #include "sim/ground_truth.hpp"
 #include "sim/trace_builder.hpp"
 #include "sim/trace_io.hpp"
+#include "wire/wire_modulator.hpp"
 
 namespace {
 
 [[noreturn]] void usage() {
   std::fprintf(stderr,
                "usage: tnb_gen --out PREFIX [--deployment NAME] [--sf N] "
-               "[--cr N] [--osf N]\n"
+               "[--cr N] [--bw KHZ] [--osf N]\n"
                "               [--load PPS] [--duration S] [--seed N] "
                "[--antennas N]\n"
                "               [--channel none|epa|eva|etu] [--channels N] "
-               "[--implicit]\n");
+               "[--implicit] [--wire-format]\n");
   std::exit(2);
 }
 
@@ -54,7 +64,7 @@ int main(int argc, char** argv) {
   double load = 10.0, duration = 2.0;
   std::uint64_t seed = 1;
   unsigned antennas = 1, n_channels = 1;
-  bool implicit = false;
+  bool implicit = false, wire_format = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -66,6 +76,7 @@ int main(int argc, char** argv) {
     else if (arg == "--deployment") deployment = value();
     else if (arg == "--sf") params.sf = std::strtoul(value(), nullptr, 10);
     else if (arg == "--cr") params.cr = std::strtoul(value(), nullptr, 10);
+    else if (arg == "--bw") params.bandwidth_hz = std::atof(value()) * 1e3;
     else if (arg == "--osf") params.osf = std::strtoul(value(), nullptr, 10);
     else if (arg == "--load") load = std::atof(value());
     else if (arg == "--duration") duration = std::atof(value());
@@ -75,6 +86,7 @@ int main(int argc, char** argv) {
     else if (arg == "--channels")
       n_channels = std::strtoul(value(), nullptr, 10);
     else if (arg == "--implicit") implicit = true;
+    else if (arg == "--wire-format") wire_format = true;
     else usage();
   }
   if (out.empty()) usage();
@@ -100,6 +112,18 @@ int main(int argc, char** argv) {
   opt.channel = tdl.get();
   opt.n_antennas = antennas;
   opt.implicit_header = implicit;
+  if (wire_format) {
+    std::optional<rx::ImplicitHeader> ih;
+    if (implicit) {
+      ih = rx::ImplicitHeader{
+          static_cast<std::uint8_t>(opt.app_payload_bytes + 2),
+          static_cast<std::uint8_t>(params.cr)};
+    }
+    const auto wmod = std::make_shared<wire::WireModulator>(params, ih);
+    opt.shift_encoder = [wmod](std::span<const std::uint8_t> app) {
+      return wmod->shifts(app);
+    };
+  }
 
   if (n_channels > 1) {
     if (antennas != 1) {

@@ -1,12 +1,19 @@
 // tnb_streamd — live gateway pipeline daemon: decode an int16 IQ stream
 // (file or stdin) continuously with bounded memory.
 //
-//   tnb_streamd [--in FILE] [--sf N] [--cr N] [--osf N] [--scale S]
-//               [--chunk SAMPLES] [--window SYMBOLS] [--ring SAMPLES]
-//               [--stats-interval SECONDS] [--metrics-file FILE]
-//               [--metrics-history PREFIX] [--realtime] [--drop]
-//               [--implicit-len BYTES] [--seed N] [--quiet]
+//   tnb_streamd [--in FILE] [--sf N] [--cr N] [--bw KHZ] [--osf N]
+//               [--scale S] [--chunk SAMPLES] [--window SYMBOLS]
+//               [--ring SAMPLES] [--stats-interval SECONDS]
+//               [--metrics-file FILE] [--metrics-history PREFIX]
+//               [--realtime] [--drop] [--implicit-len BYTES] [--seed N]
+//               [--quiet] [--wire-format]
 //               [--channels N] [--sfs LIST] [--lanes J] [--taps N]
+//
+// --wire-format decodes with the gr-lora-sdr wire convention (tnb::wire)
+// instead of the paper frame format — the counterpart of tnb_gen
+// --wire-format, and what real gateway captures use. It composes with the
+// fleet flags (every lane gets a wire codec) and with --implicit-len.
+// --bw selects the LoRa bandwidth in kHz (125/250/500; default 125).
 //
 // --channels N > 1 switches to the gateway-fleet pipeline (tnb::fleet):
 // the input is an interleaved N-channel wideband stream at N x OSF x BW
@@ -55,13 +62,14 @@
 #include "obs/metrics.hpp"
 #include "sim/trace_builder.hpp"
 #include "stream/streaming_receiver.hpp"
+#include "wire/wire_codec.hpp"
 
 namespace {
 
 [[noreturn]] void usage() {
   std::fprintf(stderr,
-               "usage: tnb_streamd [--in FILE|-] [--sf N] [--cr N] [--osf N] "
-               "[--scale S]\n"
+               "usage: tnb_streamd [--in FILE|-] [--sf N] [--cr N] [--bw KHZ] "
+               "[--osf N] [--scale S]\n"
                "                   [--chunk SAMPLES] [--window SYMBOLS] "
                "[--ring SAMPLES]\n"
                "                   [--stats-interval SECONDS] "
@@ -69,7 +77,7 @@ namespace {
                "                   [--metrics-history PREFIX] [--realtime] "
                "[--drop]\n"
                "                   [--implicit-len BYTES] [--seed N] "
-               "[--quiet]\n"
+               "[--quiet] [--wire-format]\n"
                "                   [--channels N] [--sfs LIST] [--lanes J] "
                "[--taps N]\n");
   std::exit(2);
@@ -91,7 +99,7 @@ int main(int argc, char** argv) {
   double scale = 1024.0, stats_interval_s = 1.0;
   std::size_t chunk = 0, ring_capacity = 0;
   stream::StreamingOptions sopt;
-  bool realtime = false, drop = false, quiet = false;
+  bool realtime = false, drop = false, quiet = false, wire_format = false;
   int implicit_len = 0;
   unsigned n_channels = 1, taps = 1;
   int lanes = 1;
@@ -106,6 +114,7 @@ int main(int argc, char** argv) {
     if (arg == "--in") in = value();
     else if (arg == "--sf") params.sf = std::strtoul(value(), nullptr, 10);
     else if (arg == "--cr") params.cr = std::strtoul(value(), nullptr, 10);
+    else if (arg == "--bw") params.bandwidth_hz = std::atof(value()) * 1e3;
     else if (arg == "--osf") params.osf = std::strtoul(value(), nullptr, 10);
     else if (arg == "--scale") scale = std::atof(value());
     else if (arg == "--chunk") chunk = std::strtoul(value(), nullptr, 10);
@@ -121,6 +130,7 @@ int main(int argc, char** argv) {
     else if (arg == "--implicit-len") implicit_len = std::atoi(value());
     else if (arg == "--seed") sopt.rng_seed = std::strtoull(value(), nullptr, 10);
     else if (arg == "--quiet") quiet = true;
+    else if (arg == "--wire-format") wire_format = true;
     else if (arg == "--channels")
       n_channels = std::strtoul(value(), nullptr, 10);
     else if (arg == "--sfs") {
@@ -156,6 +166,7 @@ int main(int argc, char** argv) {
         rx::ImplicitHeader{static_cast<std::uint8_t>(implicit_len),
                            static_cast<std::uint8_t>(params.cr)};
   }
+  if (wire_format) ropt.codec_factory = wire::wire_codec_factory();
   sopt.keep_packets = false;  // a daemon must not grow with uptime
 
   const double fs = params.sample_rate_hz();   // channel rate
