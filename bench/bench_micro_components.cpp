@@ -11,12 +11,15 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "common/rng.hpp"
 #include "core/bec.hpp"
 #include "core/frac_sync.hpp"
 #include "core/thrive.hpp"
 #include "dsp/fft.hpp"
+#include "dsp/fft_backend.hpp"
 #include "dsp/peak_finder.hpp"
 #include "lora/chirp.hpp"
 #include "lora/demodulator.hpp"
@@ -41,6 +44,29 @@ void BM_Fft(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_Fft)->Arg(256)->Arg(1024)->Arg(2048)->Arg(8192);
+
+void BM_ForwardBatch(benchmark::State& state) {
+  // Batched transforms through the active backend: SF and OSF set the
+  // transform size (sps = 2^SF * OSF), the third arg how many rows one
+  // forward_batch call executes. batch=1 is the single-transform
+  // reference the amortization is measured against.
+  const unsigned sf = static_cast<unsigned>(state.range(0));
+  const unsigned osf = static_cast<unsigned>(state.range(1));
+  const std::size_t batch = static_cast<std::size_t>(state.range(2));
+  const std::size_t sps = (std::size_t{1} << sf) * osf;
+  Rng rng(7);
+  std::vector<cfloat> rows(batch * sps);
+  for (auto& v : rows) v = rng.complex_normal();
+  const auto& plan = dsp::fft_plan(sps);
+  for (auto _ : state) {
+    plan.forward_batch(std::span<cfloat>(rows), batch);
+    benchmark::DoNotOptimize(rows.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * batch));
+}
+BENCHMARK(BM_ForwardBatch)
+    ->ArgsProduct({{8, 12}, {1, 8}, {1, 8, 64}});
 
 void BM_SignalVector(benchmark::State& state) {
   const unsigned sf = static_cast<unsigned>(state.range(0));
@@ -220,14 +246,62 @@ class GreppableReporter : public benchmark::ConsoleReporter {
   }
 };
 
+/// Registers one BM_FftBackend_<name>/<size> benchmark per backend the
+/// build and this CPU provide, each invoking that backend directly
+/// (independent of the active selection) so one run compares them all.
+void register_backend_benches() {
+  for (const dsp::FftBackend* be : dsp::fft_backends()) {
+    for (const std::size_t n : {256u, 8192u, 32768u}) {
+      const std::string name =
+          "BM_FftBackend_" + std::string(be->name()) + "/" + std::to_string(n);
+      benchmark::RegisterBenchmark(
+          name.c_str(), [be, n](benchmark::State& state) {
+            Rng rng(1);
+            std::vector<cfloat> buf(n);
+            for (auto& v : buf) v = rng.complex_normal();
+            const auto& plan = dsp::fft_plan(n);
+            for (auto _ : state) {
+              be->transform(plan, buf.data(), /*inverse=*/false);
+              benchmark::DoNotOptimize(buf.data());
+            }
+            state.SetItemsProcessed(
+                static_cast<std::int64_t>(state.iterations()));
+          });
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // --fft-backend NAME (consumed before benchmark::Initialize) selects
+  // the backend the kernel/pipeline benchmarks dispatch to; the
+  // BM_FftBackend_* comparisons always cover every available backend.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fft-backend") == 0 && i + 1 < argc) {
+      if (!dsp::set_fft_backend(argv[i + 1])) {
+        std::fprintf(stderr,
+                     "bench_micro_components: unknown fft backend '%s' "
+                     "(valid: %s)\n",
+                     argv[i + 1], dsp::fft_backend_names().c_str());
+        return 2;
+      }
+      for (int j = i; j + 2 <= argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      --i;
+    }
+  }
+  register_backend_benches();
   // Initialize consumes the standard flags, including --benchmark_out /
   // --benchmark_out_format; RunSpecifiedBenchmarks builds the file
   // reporter from them while our display reporter adds the BENCH lines.
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // The selection lands in the JSON context and in one greppable line, so
+  // BENCH numbers are never compared across backends by accident.
+  benchmark::AddCustomContext("fft_backend", dsp::active_fft_backend().name());
+  std::printf("BENCH_CONTEXT fft_backend %s\n",
+              dsp::active_fft_backend().name());
   GreppableReporter display;
   benchmark::RunSpecifiedBenchmarks(&display);
   benchmark::Shutdown();

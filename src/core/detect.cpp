@@ -70,57 +70,71 @@ std::vector<Detector::Candidate> Detector::find_runs(
   pf.circular = true;
   pf.max_peaks = opt_.max_peaks_per_window;
 
+  // Scan windows in batches of 8: they are contiguous full-symbol slices
+  // of the trace demodulated at CFO 0, so each chunk is one batched
+  // dechirp+FFT invocation (slot 1; slot 0 belongs to the later
+  // resolve_candidate phase). The run-tracking below is unchanged and
+  // still walks windows strictly in order.
+  constexpr std::size_t kScanBatch = 8;
+  auto& spectra = ws.iq_scratch(1);
+  spectra.resize(kScanBatch * sps);
   SignalVector& sv = ws.sv_scratch(0);
-  for (std::size_t k = 0; k < n_windows; ++k) {
-    demod_.signal_vector_into(trace.subspan(k * sps, sps), 0.0, /*up=*/true,
-                              ws, sv);
-    const double floor = noise_floor(sv);
-    // Selectivity relative to the noise floor: a weak preamble must stay
-    // visible next to a strong collider (>20 dB SNR spread, paper Fig. 10).
-    pf.sel = 4.0 * floor;
-    pf.use_threshold = true;
-    pf.threshold = opt_.peak_floor_ratio * floor;
-    const auto peaks = dsp::find_peaks(sv, pf);
+  for (std::size_t k0 = 0; k0 < n_windows; k0 += kScanBatch) {
+    const std::size_t batch = std::min(kScanBatch, n_windows - k0);
+    demod_.dechirp_fft_batch_into(
+        trace.subspan(k0 * sps, batch * sps), batch, 0.0, /*up=*/true, ws,
+        std::span<cfloat>(spectra.data(), batch * sps));
+    for (std::size_t j = 0; j < batch; ++j) {
+      const std::size_t k = k0 + j;
+      demod_.fold(std::span<const cfloat>(spectra.data() + j * sps, sps), sv);
+      const double floor = noise_floor(sv);
+      // Selectivity relative to the noise floor: a weak preamble must stay
+      // visible next to a strong collider (>20 dB SNR spread, paper Fig. 10).
+      pf.sel = 4.0 * floor;
+      pf.use_threshold = true;
+      pf.threshold = opt_.peak_floor_ratio * floor;
+      const auto peaks = dsp::find_peaks(sv, pf);
 
-    for (const dsp::Peak& pk : peaks) {
-      const double loc = pk.frac_index;
-      bool matched = false;
-      for (Run& r : active) {
-        // Tolerate a single missed window (a collider can mask one peak).
-        if (r.last + 2 < k) continue;
-        if (r.last == k) continue;  // already extended this window
-        if (cyclic_dist(r.bin, loc, n) <= 1.5) {
-          r.last = k;
-          r.bin = loc;
-          r.power_sum += pk.value;
-          if (pk.value > r.best_power) {
-            r.best_power = pk.value;
-            r.best_frac = loc;
+      for (const dsp::Peak& pk : peaks) {
+        const double loc = pk.frac_index;
+        bool matched = false;
+        for (Run& r : active) {
+          // Tolerate a single missed window (a collider can mask one peak).
+          if (r.last + 2 < k) continue;
+          if (r.last == k) continue;  // already extended this window
+          if (cyclic_dist(r.bin, loc, n) <= 1.5) {
+            r.last = k;
+            r.bin = loc;
+            r.power_sum += pk.value;
+            if (pk.value > r.best_power) {
+              r.best_power = pk.value;
+              r.best_frac = loc;
+            }
+            matched = true;
+            break;
           }
-          matched = true;
-          break;
+        }
+        if (!matched) {
+          Run r;
+          r.first = r.last = k;
+          r.bin = loc;
+          r.power_sum = pk.value;
+          r.best_frac = loc;
+          r.best_power = pk.value;
+          active.push_back(r);
         }
       }
-      if (!matched) {
-        Run r;
-        r.first = r.last = k;
-        r.bin = loc;
-        r.power_sum = pk.value;
-        r.best_frac = loc;
-        r.best_power = pk.value;
-        active.push_back(r);
+      // Retire runs that have missed two consecutive windows.
+      std::vector<Run> still;
+      for (std::size_t ri = 0; ri < active.size(); ++ri) {
+        if (active[ri].last + 2 > k) {
+          still.push_back(active[ri]);
+        } else {
+          finalize(active[ri]);
+        }
       }
+      active = std::move(still);
     }
-    // Retire runs that have missed two consecutive windows.
-    std::vector<Run> still;
-    for (std::size_t ri = 0; ri < active.size(); ++ri) {
-      if (active[ri].last + 2 > k) {
-        still.push_back(active[ri]);
-      } else {
-        finalize(active[ri]);
-      }
-    }
-    active = std::move(still);
   }
   for (const Run& r : active) finalize(r);
   return candidates;

@@ -7,6 +7,7 @@
 #include "core/window.hpp"
 
 #include "common/math_util.hpp"
+#include "dsp/fft_backend.hpp"
 
 namespace tnb::rx {
 namespace {
@@ -14,12 +15,13 @@ namespace {
 // Workspace general-slot layout used by FracSync (and only while a
 // FracSync call is running; slots are free for other components between
 // calls). Slot 0 holds a 10-window block — preamble spectra during
-// phase 1, extracted windows during phases 2/3; slot 1 is the per-symbol
-// small scratch (window in phase 1, spectrum in phases 2/3).
+// phase 1, extracted windows during phases 2/3; slot 4 holds the batched
+// spectra eval_preamble derives from the slot-0 windows (kept separate so
+// one extraction serves many CFO candidates).
 constexpr std::size_t kSlotBlock = 0;
-constexpr std::size_t kSlotSmall = 1;
 constexpr std::size_t kSlotUpSum = 2;
 constexpr std::size_t kSlotDownSum = 3;
+constexpr std::size_t kSlotSpectra = 4;
 
 /// Preamble windows entering Q: 8 upchirps plus the 2 full downchirps.
 constexpr std::size_t kQWindows = lora::kPreambleUpchirps + 2;
@@ -47,20 +49,10 @@ cfloat symbol_phase(double cfo, int m) {
   return {static_cast<float>(std::cos(ph)), static_cast<float>(std::sin(ph))};
 }
 
-/// sum[k] += spec[k] * rot on float lanes — the same operation order as
-/// the scalar complex loop ((ac-bd, ad+bc), then component adds), written
-/// strided so it auto-vectorizes instead of calling __mulsc3 per element.
-void rotate_accumulate(const cfloat* spec, std::size_t n, cfloat rot,
-                       cfloat* sum) {
-  const float rr = rot.real();
-  const float ri = rot.imag();
-  const float* sf = reinterpret_cast<const float*>(spec);
-  float* af = reinterpret_cast<float*>(sum);
-  for (std::size_t i = 0; i < 2 * n; i += 2) {
-    const float sr = sf[i], si = sf[i + 1];
-    af[i] += sr * rr - si * ri;
-    af[i + 1] += sr * ri + si * rr;
-  }
+/// sum[k] += spec[k] * rot, routed through the active SIMD backend.
+inline void rotate_accumulate(const cfloat* spec, std::size_t n, cfloat rot,
+                              cfloat* sum) {
+  dsp::active_fft_backend().rotate_accumulate(spec, n, rot, sum);
 }
 
 }  // namespace
@@ -86,24 +78,32 @@ FracSync::QEval FracSync::eval_preamble(double theta, double cfo,
                                         lora::Workspace& ws) const {
   const std::size_t sps = p_.sps();
   const cfloat* block = ws.iq_scratch(kSlotBlock).data();
-  auto& spec = ws.iq_scratch(kSlotSmall);
+  auto& spectra = ws.iq_scratch(kSlotSpectra);
   auto& up_sum = ws.iq_scratch(kSlotUpSum);
   auto& down_sum = ws.iq_scratch(kSlotDownSum);
-  spec.resize(sps);
+  spectra.resize(kQWindows * sps);
   up_sum.assign(sps, cfloat{0.0f, 0.0f});
   down_sum.assign(sps, cfloat{0.0f, 0.0f});
 
-  for (int m = 0; m < static_cast<int>(lora::kPreambleUpchirps); ++m) {
-    const std::span<const cfloat> win(
-        block + static_cast<std::size_t>(m) * sps, sps);
-    demod_.dechirp_fft_into(win, cfo, /*up=*/true, ws, spec);
-    rotate_accumulate(spec.data(), sps, symbol_phase(cfo, m), up_sum.data());
+  // All 10 spectra in two batched invocations (8 upchirp windows, then
+  // the 2 downchirps): one phasor lookup and one forward_batch per
+  // direction instead of 10 interleaved single transforms.
+  constexpr std::size_t kUp = lora::kPreambleUpchirps;
+  demod_.dechirp_fft_batch_into(std::span<const cfloat>(block, kUp * sps), kUp,
+                                cfo, /*up=*/true, ws,
+                                std::span<cfloat>(spectra.data(), kUp * sps));
+  demod_.dechirp_fft_batch_into(
+      std::span<const cfloat>(block + kUp * sps, 2 * sps), 2, cfo,
+      /*up=*/false, ws,
+      std::span<cfloat>(spectra.data() + kUp * sps, 2 * sps));
+
+  for (int m = 0; m < static_cast<int>(kUp); ++m) {
+    rotate_accumulate(spectra.data() + static_cast<std::size_t>(m) * sps, sps,
+                      symbol_phase(cfo, m), up_sum.data());
   }
   for (int m = 10; m <= 11; ++m) {
-    const std::span<const cfloat> win(
-        block + static_cast<std::size_t>(m - 2) * sps, sps);
-    demod_.dechirp_fft_into(win, cfo, /*up=*/false, ws, spec);
-    rotate_accumulate(spec.data(), sps, symbol_phase(cfo, m), down_sum.data());
+    rotate_accumulate(spectra.data() + static_cast<std::size_t>(m - 2) * sps,
+                      sps, symbol_phase(cfo, m), down_sum.data());
   }
 
   SignalVector& up_sv = ws.sv_scratch(0);
@@ -155,20 +155,16 @@ FracSyncResult FracSync::refine(std::span<const cfloat> trace, double t0,
   auto& spectra = ws.iq_scratch(kSlotBlock);
   spectra.resize(kQWindows * sps);
   {
-    auto& window = ws.iq_scratch(kSlotSmall);
-    window.resize(sps);
-    for (int m = 0; m < static_cast<int>(lora::kPreambleUpchirps); ++m) {
-      extract_window(trace, t0 + m * static_cast<double>(sps), window);
-      demod_.dechirp_fft_into(
-          window, cfo_cycles, /*up=*/true, ws,
-          std::span<cfloat>(spectra.data() + static_cast<std::size_t>(m) * sps, sps));
-    }
-    for (int m = 10; m <= 11; ++m) {
-      extract_window(trace, t0 + m * static_cast<double>(sps), window);
-      demod_.dechirp_fft_into(
-          window, cfo_cycles, /*up=*/false, ws,
-          std::span<cfloat>(spectra.data() + static_cast<std::size_t>(m - 2) * sps, sps));
-    }
+    // Extract the 10 windows into the block, then dechirp+transform them
+    // in place with two batched invocations (split on chirp direction).
+    extract_preamble(trace, t0, ws);
+    constexpr std::size_t kUp = lora::kPreambleUpchirps;
+    const std::span<cfloat> up_rows(spectra.data(), kUp * sps);
+    const std::span<cfloat> down_rows(spectra.data() + kUp * sps, 2 * sps);
+    demod_.dechirp_fft_batch_into(up_rows, kUp, cfo_cycles, /*up=*/true, ws,
+                                  up_rows);
+    demod_.dechirp_fft_batch_into(down_rows, 2, cfo_cycles, /*up=*/false, ws,
+                                  down_rows);
   }
   double best_q = -1.0, df_star = 0.0;
   {

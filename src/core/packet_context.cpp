@@ -102,6 +102,30 @@ std::vector<double> SigCalc::preamble_heights(const PacketContext& ctx) const {
   // Keeps the full-vector float path (not folded_power_at, which sums in
   // double) so the heights stay bit-identical to the original by-value code.
   SignalVector& sv = ws_.sv_scratch(1);
+  if (antennas_.size() == 1) {
+    // Single-antenna fast path: all 8 upchirp windows share the packet's
+    // CFO, so extract them into one block (slot 5 — free between
+    // component calls) and run one batched dechirp+FFT in place, folding
+    // each spectrum afterwards. Same per-window arithmetic as the loop
+    // below.
+    ws_.reserve(p_);
+    const std::size_t isps = p_.sps();
+    constexpr std::size_t kUp = lora::kPreambleUpchirps;
+    auto& block = ws_.iq_scratch(5);
+    block.resize(kUp * isps);
+    for (std::size_t m = 0; m < kUp; ++m) {
+      extract_window(antennas_[0], ctx.t0() + static_cast<double>(m) * sps,
+                     std::span<cfloat>(block.data() + m * isps, isps));
+    }
+    const std::span<cfloat> rows(block.data(), kUp * isps);
+    demod_.dechirp_fft_batch_into(rows, kUp, ctx.cfo_cycles(), /*up=*/true,
+                                  ws_, rows);
+    for (std::size_t m = 0; m < kUp; ++m) {
+      demod_.fold(std::span<const cfloat>(block.data() + m * isps, isps), sv);
+      heights.push_back(static_cast<double>(sv[0]));
+    }
+    return heights;
+  }
   for (std::size_t m = 0; m < lora::kPreambleUpchirps; ++m) {
     vector_at_into(ctx.t0() + static_cast<double>(m) * sps, ctx.cfo_cycles(),
                    /*up=*/true, sv);

@@ -7,6 +7,7 @@
 
 #include "common/math_util.hpp"
 #include "core/sibling.hpp"
+#include "dsp/fft_backend.hpp"
 #include "core/snr.hpp"
 #include "lora/frame.hpp"
 #include "lora/gray.hpp"
@@ -96,6 +97,11 @@ Receiver::Receiver(lora::Params p, ReceiverOptions opt)
     obs_.decoded_second_pass =
         reg->counter("tnb_rx_decoded_total", "Packets fully decoded",
                      with_extra({{"pass", "second"}}));
+    // Info-style gauge: constant 1, the label carries which FFT backend
+    // the demod hot path dispatches to (scalar / avx2 / ...).
+    reg->gauge("tnb_fft_backend_info", "Active dsp::FftBackend (info label)",
+               with_extra({{"backend", dsp::active_fft_backend().name()}}))
+        .set(1.0);
   }
 }
 

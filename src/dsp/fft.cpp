@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "common/math_util.hpp"
+#include "dsp/fft_backend.hpp"
 
 namespace tnb::dsp {
 
@@ -36,53 +37,29 @@ FftPlan::FftPlan(std::size_t n) : n_(n) {
                        static_cast<float>(std::sin(ang))};
     twiddle_inv_[k] = std::conj(twiddle_fwd_[k]);
   }
+
+  // Per-stage packed layout: the stage with half-width h reads the same
+  // h values the strided loop reads (stride n / 2h over the table
+  // above), copied contiguously so SIMD butterflies load them with unit
+  // stride. Exactly the same floats — layout only, never recomputed.
+  if (n >= 2) {
+    stage_tw_fwd_.resize(n - 1);
+    stage_tw_inv_.resize(n - 1);
+    for (std::size_t half = 1; half <= n / 2; half <<= 1) {
+      const std::size_t step = n / (2 * half);
+      for (std::size_t k = 0; k < half; ++k) {
+        stage_tw_fwd_[half - 1 + k] = twiddle_fwd_[k * step];
+        stage_tw_inv_[half - 1 + k] = twiddle_inv_[k * step];
+      }
+    }
+  }
 }
 
 void FftPlan::transform(std::span<cfloat> data, bool inverse) const {
   if (data.size() != n_) {
     throw std::invalid_argument("FftPlan: buffer size mismatch");
   }
-  cfloat* a = data.data();
-
-  for (std::size_t i = 0; i < n_; ++i) {
-    const std::size_t j = bitrev_[i];
-    if (i < j) std::swap(a[i], a[j]);
-  }
-
-  // Butterflies on float lanes. The explicit real/imag form keeps the
-  // exact operation order of the std::complex butterfly it replaced —
-  // (ac-bd, ad+bc) for the twiddle product, then componentwise add/sub —
-  // but drops the NaN-recovery branch std::complex multiplication inlines
-  // to, which blocks auto-vectorization of the stage loop (DESIGN.md
-  // "Hot-path kernels"). std::complex guarantees (re, im) array layout.
-  const std::vector<cfloat>& tw = inverse ? twiddle_inv_ : twiddle_fwd_;
-  const float* twf = reinterpret_cast<const float*>(tw.data());
-  float* af = reinterpret_cast<float*>(a);
-  for (std::size_t len = 2; len <= n_; len <<= 1) {
-    const std::size_t half = len >> 1;
-    const std::size_t step = n_ / len;  // twiddle stride for this stage
-    for (std::size_t block = 0; block < n_; block += len) {
-      std::size_t tw_idx = 0;
-      float* lo = af + 2 * block;
-      float* hi = af + 2 * (block + half);
-      for (std::size_t k = 0; k < 2 * half; k += 2, tw_idx += 2 * step) {
-        const float wr = twf[tw_idx], wi = twf[tw_idx + 1];
-        const float br = hi[k], bi = hi[k + 1];
-        const float vr = br * wr - bi * wi;
-        const float vi = br * wi + bi * wr;
-        const float ur = lo[k], ui = lo[k + 1];
-        lo[k] = ur + vr;
-        lo[k + 1] = ui + vi;
-        hi[k] = ur - vr;
-        hi[k + 1] = ui - vi;
-      }
-    }
-  }
-
-  if (inverse) {
-    const float scale = 1.0f / static_cast<float>(n_);
-    for (std::size_t i = 0; i < n_; ++i) a[i] *= scale;
-  }
+  active_fft_backend().transform(*this, data.data(), inverse);
 }
 
 void FftPlan::forward(std::span<cfloat> data) const { transform(data, false); }
@@ -97,6 +74,22 @@ void FftPlan::forward(std::span<const cfloat> in, std::span<cfloat> out) const {
   std::fill(out.begin() + static_cast<std::ptrdiff_t>(in.size()), out.end(),
             cfloat{0.0f, 0.0f});
   transform(out, false);
+}
+
+void FftPlan::forward_batch(std::span<cfloat> data, std::size_t count) const {
+  if (data.size() != n_ * count) {
+    throw std::invalid_argument("FftPlan: batch buffer size mismatch");
+  }
+  if (count == 0) return;
+  active_fft_backend().transform_batch(*this, data.data(), count, false);
+}
+
+void FftPlan::inverse_batch(std::span<cfloat> data, std::size_t count) const {
+  if (data.size() != n_ * count) {
+    throw std::invalid_argument("FftPlan: batch buffer size mismatch");
+  }
+  if (count == 0) return;
+  active_fft_backend().transform_batch(*this, data.data(), count, true);
 }
 
 namespace {

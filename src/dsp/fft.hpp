@@ -4,6 +4,11 @@
 // oversampled symbols, at most 2^12 * 8 = 32768), so an iterative
 // Cooley-Tukey radix-2 transform with precomputed twiddles is sufficient and
 // keeps the library dependency-free.
+//
+// A plan owns the size-dependent tables (bit-reverse permutation, twiddles
+// in both stride-indexed and per-stage packed layouts); the arithmetic is
+// executed by the process-global dsp::FftBackend (fft_backend.hpp), so one
+// runtime dispatch decision serves scalar, AVX2, AVX-512 and NEON kernels.
 #pragma once
 
 #include <cstddef>
@@ -25,6 +30,7 @@ class FftPlan {
   explicit FftPlan(std::size_t n);
 
   std::size_t size() const { return n_; }
+  unsigned log2n() const { return log2n_; }
 
   /// In-place forward DFT (engineering sign convention: X[k] = sum x[n] e^{-j2pi nk/N}).
   void forward(std::span<cfloat> data) const;
@@ -36,6 +42,35 @@ class FftPlan {
   /// `in` may be shorter and is zero-padded.
   void forward(std::span<const cfloat> in, std::span<cfloat> out) const;
 
+  /// Batched in-place forward DFT: `count` independent transforms over
+  /// contiguous plan-size rows of `data` (data.size() == count * size()),
+  /// executed in one backend invocation so the twiddle / bit-reverse
+  /// tables are loaded once per batch. Bit-identical to `count`
+  /// successive forward() calls on the same backend.
+  void forward_batch(std::span<cfloat> data, std::size_t count) const;
+
+  /// Batched in-place inverse DFT (see forward_batch), 1/N-normalized.
+  void inverse_batch(std::span<cfloat> data, std::size_t count) const;
+
+  // --- Table access for FftBackend implementations. ---
+
+  /// Bit-reverse permutation, length size().
+  std::span<const std::uint32_t> bitrev() const { return bitrev_; }
+
+  /// Stride-indexed twiddles e^{-+j 2 pi k / N}, k in [0, N/2): stage with
+  /// butterfly half-width h uses entries k * (N / 2h).
+  std::span<const cfloat> twiddles(bool inverse) const {
+    return inverse ? twiddle_inv_ : twiddle_fwd_;
+  }
+
+  /// Per-stage packed twiddles, length N-1: the stage with half-width h
+  /// (h = 1, 2, 4, ..., N/2) owns the h contiguous entries starting at
+  /// offset h-1. Same values as twiddles(), laid out so SIMD butterfly
+  /// loops load them with unit stride.
+  std::span<const cfloat> stage_twiddles(bool inverse) const {
+    return inverse ? stage_tw_inv_ : stage_tw_fwd_;
+  }
+
  private:
   void transform(std::span<cfloat> data, bool inverse) const;
 
@@ -44,6 +79,8 @@ class FftPlan {
   std::vector<std::uint32_t> bitrev_;
   std::vector<cfloat> twiddle_fwd_;  // e^{-j 2 pi k / N}, k in [0, N/2)
   std::vector<cfloat> twiddle_inv_;
+  std::vector<cfloat> stage_tw_fwd_;  // packed per stage, N-1 entries
+  std::vector<cfloat> stage_tw_inv_;
 };
 
 /// Returns a shared plan for length `n`, creating it on first use.

@@ -1,0 +1,254 @@
+#include "dsp/fft_backend.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+#include "common/cpu.hpp"
+#include "dsp/fft.hpp"
+
+// Factories of the SIMD TUs compiled in by CMake (dsp/CMakeLists.txt).
+// Each returns a process-lifetime singleton; whether it is *registered*
+// is decided here at runtime by the CPU predicates, so a binary built
+// with every backend still runs correctly on a machine without them.
+#if defined(TNB_SIMD_X86)
+namespace tnb::dsp {
+const FftBackend* tnb_fft_backend_avx2();
+const FftBackend* tnb_fft_backend_avx512();
+}  // namespace tnb::dsp
+#endif
+#if defined(TNB_SIMD_NEON)
+namespace tnb::dsp {
+const FftBackend* tnb_fft_backend_neon();
+}  // namespace tnb::dsp
+#endif
+#if defined(TNB_HAVE_KISSFFT)
+namespace tnb::dsp {
+const FftBackend* tnb_fft_backend_kissfft();
+}  // namespace tnb::dsp
+#endif
+
+namespace tnb::dsp {
+
+void FftBackend::bit_reverse(const FftPlan& plan, cfloat* a) {
+  const std::span<const std::uint32_t> rev = plan.bitrev();
+  const std::size_t n = plan.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = rev[i];
+    if (i < j) std::swap(a[i], a[j]);
+  }
+}
+
+void FftBackend::scale_inverse(std::size_t n, cfloat* a) {
+  const float scale = 1.0f / static_cast<float>(n);
+  for (std::size_t i = 0; i < n; ++i) a[i] *= scale;
+}
+
+void FftBackend::transform_batch(const FftPlan& plan, cfloat* data,
+                                 std::size_t count, bool inverse) const {
+  // One backend invocation for the whole batch: the plan's tables (and
+  // this backend's dispatch decision) are resolved once, and successive
+  // rows of the same size keep the twiddles hot in cache. Per-row
+  // arithmetic is exactly transform(), so batch == N x single for every
+  // backend, bit-identically.
+  const std::size_t n = plan.size();
+  for (std::size_t b = 0; b < count; ++b) {
+    transform(plan, data + b * n, inverse);
+  }
+}
+
+void FftBackend::dechirp_rotate(const cfloat* w, std::size_t m, const cfloat* c,
+                                const cfloat* r, cfloat* out) const {
+  // Strided real/imag form with the exact (ac-bd, ad+bc) operation order
+  // of the scalar complex loop it replaced (see DESIGN.md "Hot-path
+  // kernels"); GCC/Clang auto-vectorize it at the baseline ISA, and with
+  // no FMA at baseline x86-64 the result is bit-identical to the
+  // pre-backend code.
+  const float* wf = reinterpret_cast<const float*>(w);
+  const float* cf = reinterpret_cast<const float*>(c);
+  const float* rf = reinterpret_cast<const float*>(r);
+  float* of = reinterpret_cast<float*>(out);
+  for (std::size_t i = 0; i < 2 * m; i += 2) {
+    const float ar = wf[i], ai = wf[i + 1];
+    const float br = cf[i], bi = cf[i + 1];
+    const float tr = ar * br - ai * bi;
+    const float ti = ar * bi + ai * br;
+    const float pr = rf[i], pi = rf[i + 1];
+    of[i] = tr * pr - ti * pi;
+    of[i + 1] = tr * pi + ti * pr;
+  }
+}
+
+void FftBackend::mag_fold(const cfloat* s, std::size_t n, std::size_t image,
+                          float* out) const {
+  const float* sf = reinterpret_cast<const float*>(s);
+  if (image == 0) {
+    for (std::size_t k = 0; k < n; ++k) {
+      const float re = sf[2 * k], im = sf[2 * k + 1];
+      out[k] = re * re + im * im;
+    }
+    return;
+  }
+  const float* gf = sf + 2 * image;
+  for (std::size_t k = 0; k < n; ++k) {
+    const float re = sf[2 * k], im = sf[2 * k + 1];
+    const float re2 = gf[2 * k], im2 = gf[2 * k + 1];
+    out[k] = (re * re + im * im) + (re2 * re2 + im2 * im2);
+  }
+}
+
+void FftBackend::rotate_accumulate(const cfloat* s, std::size_t n, cfloat rot,
+                                   cfloat* sum) const {
+  const float rr = rot.real();
+  const float ri = rot.imag();
+  const float* sf = reinterpret_cast<const float*>(s);
+  float* af = reinterpret_cast<float*>(sum);
+  for (std::size_t i = 0; i < 2 * n; i += 2) {
+    const float sr = sf[i], si = sf[i + 1];
+    af[i] += sr * rr - si * ri;
+    af[i + 1] += sr * ri + si * rr;
+  }
+}
+
+namespace {
+
+class ScalarBackend final : public FftBackend {
+ public:
+  const char* name() const override { return "scalar"; }
+
+  void transform(const FftPlan& plan, cfloat* a, bool inverse) const override {
+    const std::size_t n = plan.size();
+    bit_reverse(plan, a);
+
+    // Butterflies on float lanes. The explicit real/imag form keeps the
+    // exact operation order of the std::complex butterfly it replaced —
+    // (ac-bd, ad+bc) for the twiddle product, then componentwise add/sub —
+    // but drops the NaN-recovery branch std::complex multiplication
+    // inlines to, which blocks auto-vectorization of the stage loop
+    // (DESIGN.md "Hot-path kernels"). std::complex guarantees (re, im)
+    // array layout.
+    const std::span<const cfloat> tw = plan.twiddles(inverse);
+    const float* twf = reinterpret_cast<const float*>(tw.data());
+    float* af = reinterpret_cast<float*>(a);
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+      const std::size_t half = len >> 1;
+      const std::size_t step = n / len;  // twiddle stride for this stage
+      for (std::size_t block = 0; block < n; block += len) {
+        std::size_t tw_idx = 0;
+        float* lo = af + 2 * block;
+        float* hi = af + 2 * (block + half);
+        for (std::size_t k = 0; k < 2 * half; k += 2, tw_idx += 2 * step) {
+          const float wr = twf[tw_idx], wi = twf[tw_idx + 1];
+          const float br = hi[k], bi = hi[k + 1];
+          const float vr = br * wr - bi * wi;
+          const float vi = br * wi + bi * wr;
+          const float ur = lo[k], ui = lo[k + 1];
+          lo[k] = ur + vr;
+          lo[k + 1] = ui + vi;
+          hi[k] = ur - vr;
+          hi[k + 1] = ui - vi;
+        }
+      }
+    }
+
+    if (inverse) scale_inverse(n, a);
+  }
+};
+
+/// Available backends in ascending preference order, scalar first.
+/// Built once; the list is immutable afterwards so lock-free readers are
+/// safe for the life of the process.
+const std::vector<const FftBackend*>& registry() {
+  static const std::vector<const FftBackend*> backends = [] {
+    std::vector<const FftBackend*> v;
+    v.push_back(&fft_backend_scalar());
+#if defined(TNB_HAVE_KISSFFT)
+    // Available but never auto-selected ahead of the SIMD backends:
+    // it exists for cross-validation, not speed.
+    v.push_back(tnb_fft_backend_kissfft());
+#endif
+#if defined(TNB_SIMD_NEON)
+    if (common::cpu_has_neon()) v.push_back(tnb_fft_backend_neon());
+#endif
+#if defined(TNB_SIMD_X86)
+    if (common::cpu_has_avx2()) v.push_back(tnb_fft_backend_avx2());
+    if (common::cpu_has_avx512()) v.push_back(tnb_fft_backend_avx512());
+#endif
+    return v;
+  }();
+  return backends;
+}
+
+std::atomic<const FftBackend*> g_active{nullptr};
+std::once_flag g_env_once;
+
+/// Selects a backend without touching the env once-flag (shared by the
+/// public setter and the env application below).
+bool select_backend(std::string_view name) {
+  const FftBackend* b = nullptr;
+  if (name == "auto") {
+    b = registry().back();  // ascending preference; scalar-only => scalar
+  } else {
+    b = find_fft_backend(name);
+    if (b == nullptr) return false;
+  }
+  g_active.store(b, std::memory_order_release);
+  return true;
+}
+
+/// Applies TNB_FFT_BACKEND exactly once, before the first dispatch.
+/// Unset keeps the scalar default; a bad value warns and keeps scalar
+/// (decoding with the wrong backend silently would be worse than slow).
+void apply_env() {
+  const char* env = std::getenv("TNB_FFT_BACKEND");
+  if (env == nullptr || *env == '\0') return;
+  if (!select_backend(env)) {
+    std::fprintf(stderr,
+                 "tnb: TNB_FFT_BACKEND='%s' is not available (have: %s); "
+                 "using scalar\n",
+                 env, fft_backend_names().c_str());
+  }
+}
+
+}  // namespace
+
+const FftBackend& fft_backend_scalar() {
+  static const ScalarBackend scalar;
+  return scalar;
+}
+
+std::span<const FftBackend* const> fft_backends() { return registry(); }
+
+const FftBackend* find_fft_backend(std::string_view name) {
+  for (const FftBackend* b : registry()) {
+    if (name == b->name()) return b;
+  }
+  return nullptr;
+}
+
+const FftBackend& active_fft_backend() {
+  std::call_once(g_env_once, apply_env);
+  const FftBackend* b = g_active.load(std::memory_order_acquire);
+  return b != nullptr ? *b : fft_backend_scalar();
+}
+
+bool set_fft_backend(std::string_view name) {
+  // Consume the env once-flag first so an explicit selection (CLI flag,
+  // test) is never overwritten by a later lazy TNB_FFT_BACKEND read:
+  // flag > env > scalar default.
+  std::call_once(g_env_once, [] {});
+  return select_backend(name);
+}
+
+std::string fft_backend_names() {
+  std::string s = "auto";
+  for (const FftBackend* b : registry()) {
+    s += ' ';
+    s += b->name();
+  }
+  return s;
+}
+
+}  // namespace tnb::dsp

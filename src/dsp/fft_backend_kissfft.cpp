@@ -1,0 +1,68 @@
+// Optional KissFFT FftBackend (-DTNB_KISSFFT=ON and a system kissfft).
+// Exists for cross-validation of the hand-written kernels against an
+// independent FFT implementation, not for speed: it is registered right
+// after scalar and never auto-selected ahead of the SIMD backends.
+//
+// KissFFT computes an unnormalized inverse, so the shared 1/N scaling is
+// applied here; the elementwise kernels (dechirp/fold/rotate) fall
+// through to the scalar base-class implementations.
+#if defined(TNB_HAVE_KISSFFT)
+
+#include <kiss_fft.h>
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "dsp/fft.hpp"
+#include "dsp/fft_backend.hpp"
+
+static_assert(sizeof(kiss_fft_cpx) == sizeof(tnb::cfloat),
+              "kissfft must be built with float kiss_fft_scalar");
+
+namespace tnb::dsp {
+namespace {
+
+/// Process-lifetime kiss_fft configs, one per (size, direction). Config
+/// allocation is rare (plan sizes are few) and guarded; the configs
+/// themselves are immutable and safe for concurrent kiss_fft() calls.
+kiss_fft_cfg config_for(std::size_t n, bool inverse) {
+  static std::mutex mu;
+  static std::map<std::pair<std::size_t, bool>, kiss_fft_cfg> cache;
+  const std::scoped_lock lock(mu);
+  auto [it, inserted] = cache.try_emplace({n, inverse}, nullptr);
+  if (inserted) {
+    it->second = kiss_fft_alloc(static_cast<int>(n), inverse ? 1 : 0, nullptr,
+                                nullptr);
+  }
+  return it->second;
+}
+
+class KissFftBackend final : public FftBackend {
+ public:
+  const char* name() const override { return "kissfft"; }
+
+  void transform(const FftPlan& plan, cfloat* a, bool inverse) const override {
+    const std::size_t n = plan.size();
+    // kiss_fft is out-of-place; reuse a thread-local scratch so the
+    // steady state stays allocation-free (Workspace contract).
+    thread_local std::vector<cfloat> scratch;
+    if (scratch.size() < n) scratch.resize(n);
+    kiss_fft(config_for(n, inverse), reinterpret_cast<kiss_fft_cpx*>(a),
+             reinterpret_cast<kiss_fft_cpx*>(scratch.data()));
+    for (std::size_t i = 0; i < n; ++i) a[i] = scratch[i];
+    if (inverse) scale_inverse(n, a);
+  }
+};
+
+}  // namespace
+
+const FftBackend* tnb_fft_backend_kissfft() {
+  static const KissFftBackend be;
+  return &be;
+}
+
+}  // namespace tnb::dsp
+
+#endif  // TNB_HAVE_KISSFFT

@@ -1,0 +1,188 @@
+// NEON FftBackend for AArch64 (gateway-class ARM hosts). NEON is
+// baseline on AArch64 so this TU needs no extra ISA flags; it is gated
+// on the architecture at compile time and on common::cpu_has_neon() at
+// registration. 128-bit vectors hold 2 interleaved complex floats, so
+// every radix-2 stage with half-width >= 2 vectorizes directly off the
+// packed per-stage twiddles; only n < 4 falls back to scalar.
+//
+// Same tolerance-equivalence contract as the x86 SIMD backends: vfmaq
+// fuses the multiply-accumulate inside complex products, deterministic
+// within the backend, batch == N x single bit-identically.
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include <cstddef>
+
+#include "dsp/fft.hpp"
+#include "dsp/fft_backend.hpp"
+
+namespace tnb::dsp {
+namespace {
+
+/// Element-wise complex product of 2 interleaved complex floats.
+inline float32x4_t cmul(float32x4_t a, float32x4_t b) {
+  const float32x4_t sign = {-1.0f, 1.0f, -1.0f, 1.0f};
+  const float32x4_t ar = vtrn1q_f32(a, a);   // [ar0 ar0 ar1 ar1]
+  const float32x4_t ai = vtrn2q_f32(a, a);   // [ai0 ai0 ai1 ai1]
+  const float32x4_t bs = vrev64q_f32(b);     // [bi0 br0 bi1 br1]
+  // (-ai*bi, ai*br) + ar*(br, bi) = (ar*br - ai*bi, ar*bi + ai*br)
+  return vfmaq_f32(vmulq_f32(vmulq_f32(ai, bs), sign), ar, b);
+}
+
+void butterflies_scalar(float* af, const float* twf, std::size_t n) {
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t half = len >> 1;
+    const std::size_t step = n / len;
+    for (std::size_t block = 0; block < n; block += len) {
+      std::size_t tw_idx = 0;
+      float* lo = af + 2 * block;
+      float* hi = af + 2 * (block + half);
+      for (std::size_t k = 0; k < 2 * half; k += 2, tw_idx += 2 * step) {
+        const float wr = twf[tw_idx], wi = twf[tw_idx + 1];
+        const float br = hi[k], bi = hi[k + 1];
+        const float vr = br * wr - bi * wi;
+        const float vi = br * wi + bi * wr;
+        const float ur = lo[k], ui = lo[k + 1];
+        lo[k] = ur + vr;
+        lo[k + 1] = ui + vi;
+        hi[k] = ur - vr;
+        hi[k + 1] = ui - vi;
+      }
+    }
+  }
+}
+
+/// Stage len == 2 (twiddle 1): one butterfly (2 complex) per vector.
+void stage_len2(float* af, std::size_t n) {
+  for (std::size_t i = 0; i < 2 * n; i += 4) {
+    const float32x4_t v = vld1q_f32(af + i);
+    const float32x4_t s = vextq_f32(v, v, 2);  // swap complex pair
+    const float32x4_t add = vaddq_f32(v, s);
+    const float32x4_t sub = vsubq_f32(s, v);
+    vst1q_f32(af + i, vcombine_f32(vget_low_f32(add), vget_high_f32(sub)));
+  }
+}
+
+/// Generic stage (len >= 4, half >= 2): packed per-stage twiddles, 2
+/// butterflies per iteration.
+void stage_generic(float* af, const float* stage_tw, std::size_t n,
+                   std::size_t len) {
+  const std::size_t half = len >> 1;
+  const float* tw = stage_tw + 2 * (half - 1);
+  for (std::size_t block = 0; block < n; block += len) {
+    float* lo = af + 2 * block;
+    float* hi = af + 2 * (block + half);
+    for (std::size_t k = 0; k < 2 * half; k += 4) {
+      const float32x4_t w = vld1q_f32(tw + k);
+      const float32x4_t b = vld1q_f32(hi + k);
+      const float32x4_t v = cmul(b, w);
+      const float32x4_t u = vld1q_f32(lo + k);
+      vst1q_f32(lo + k, vaddq_f32(u, v));
+      vst1q_f32(hi + k, vsubq_f32(u, v));
+    }
+  }
+}
+
+class NeonBackend final : public FftBackend {
+ public:
+  const char* name() const override { return "neon"; }
+
+  void transform(const FftPlan& plan, cfloat* a, bool inverse) const override {
+    const std::size_t n = plan.size();
+    bit_reverse(plan, a);
+    float* af = reinterpret_cast<float*>(a);
+    if (n < 4) {
+      const float* twf =
+          reinterpret_cast<const float*>(plan.twiddles(inverse).data());
+      butterflies_scalar(af, twf, n);
+    } else {
+      const float* stage_tw =
+          reinterpret_cast<const float*>(plan.stage_twiddles(inverse).data());
+      stage_len2(af, n);
+      for (std::size_t len = 4; len <= n; len <<= 1) {
+        stage_generic(af, stage_tw, n, len);
+      }
+    }
+    if (inverse) scale_inverse(n, a);
+  }
+
+  void dechirp_rotate(const cfloat* w, std::size_t m, const cfloat* c,
+                      const cfloat* r, cfloat* out) const override {
+    const float* wf = reinterpret_cast<const float*>(w);
+    const float* cf = reinterpret_cast<const float*>(c);
+    const float* rf = reinterpret_cast<const float*>(r);
+    float* of = reinterpret_cast<float*>(out);
+    std::size_t i = 0;
+    for (; i + 4 <= 2 * m; i += 4) {
+      const float32x4_t t = cmul(vld1q_f32(wf + i), vld1q_f32(cf + i));
+      vst1q_f32(of + i, cmul(t, vld1q_f32(rf + i)));
+    }
+    for (; i < 2 * m; i += 2) {
+      const float ar = wf[i], ai = wf[i + 1];
+      const float br = cf[i], bi = cf[i + 1];
+      const float tr = ar * br - ai * bi;
+      const float ti = ar * bi + ai * br;
+      const float pr = rf[i], pi = rf[i + 1];
+      of[i] = tr * pr - ti * pi;
+      of[i + 1] = tr * pi + ti * pr;
+    }
+  }
+
+  void mag_fold(const cfloat* s, std::size_t n, std::size_t image,
+                float* out) const override {
+    const float* sf = reinterpret_cast<const float*>(s);
+    const float* gf = sf + 2 * image;
+    std::size_t k = 0;
+    for (; k + 4 <= n; k += 4) {
+      float32x4_t norms = norms4(sf + 2 * k);
+      if (image != 0) norms = vaddq_f32(norms, norms4(gf + 2 * k));
+      vst1q_f32(out + k, norms);
+    }
+    for (; k < n; ++k) {
+      const float re = sf[2 * k], im = sf[2 * k + 1];
+      float v = re * re + im * im;
+      if (image != 0) {
+        const float re2 = gf[2 * k], im2 = gf[2 * k + 1];
+        v += re2 * re2 + im2 * im2;
+      }
+      out[k] = v;
+    }
+  }
+
+  void rotate_accumulate(const cfloat* s, std::size_t n, cfloat rot,
+                         cfloat* sum) const override {
+    const float rr = rot.real(), ri = rot.imag();
+    const float32x4_t rotv = {rr, ri, rr, ri};
+    const float* sf = reinterpret_cast<const float*>(s);
+    float* af = reinterpret_cast<float*>(sum);
+    std::size_t i = 0;
+    for (; i + 4 <= 2 * n; i += 4) {
+      const float32x4_t v = cmul(vld1q_f32(sf + i), rotv);
+      vst1q_f32(af + i, vaddq_f32(vld1q_f32(af + i), v));
+    }
+    for (; i < 2 * n; i += 2) {
+      const float sr = sf[i], si = sf[i + 1];
+      af[i] += sr * rr - si * ri;
+      af[i + 1] += sr * ri + si * rr;
+    }
+  }
+
+ private:
+  /// |.|^2 of 4 consecutive interleaved complex floats, packed in order.
+  static inline float32x4_t norms4(const float* p) {
+    const float32x4x2_t d = vld2q_f32(p);  // deinterleave re/im
+    return vfmaq_f32(vmulq_f32(d.val[1], d.val[1]), d.val[0], d.val[0]);
+  }
+};
+
+}  // namespace
+
+const FftBackend* tnb_fft_backend_neon() {
+  static const NeonBackend be;
+  return &be;
+}
+
+}  // namespace tnb::dsp
+
+#endif  // __aarch64__

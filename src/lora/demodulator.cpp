@@ -6,36 +6,11 @@
 
 #include "common/math_util.hpp"
 #include "dsp/fft.hpp"
+#include "dsp/fft_backend.hpp"
 #include "lora/chirp.hpp"
 #include "lora/gray.hpp"
 
 namespace tnb::lora {
-namespace {
-
-/// Fused dechirp + CFO rotation on float lanes: out[i] = (w[i]*c[i])*r[i].
-/// The strided real/imag form keeps the exact operation order of the
-/// scalar complex loop it replaced — (ac-bd, ad+bc) twice per element —
-/// while letting GCC/Clang auto-vectorize it (std::complex multiplication
-/// lowers to a __mulsc3 libcall per element, which neither vectorizes nor
-/// inlines). std::complex guarantees array-compatible (re, im) layout.
-inline void dechirp_rotate(const cfloat* w, std::size_t m, const cfloat* c,
-                           const cfloat* r, cfloat* out) {
-  const float* wf = reinterpret_cast<const float*>(w);
-  const float* cf = reinterpret_cast<const float*>(c);
-  const float* rf = reinterpret_cast<const float*>(r);
-  float* of = reinterpret_cast<float*>(out);
-  for (std::size_t i = 0; i < 2 * m; i += 2) {
-    const float ar = wf[i], ai = wf[i + 1];
-    const float br = cf[i], bi = cf[i + 1];
-    const float tr = ar * br - ai * bi;
-    const float ti = ar * bi + ai * br;
-    const float pr = rf[i], pi = rf[i + 1];
-    of[i] = tr * pr - ti * pi;
-    of[i + 1] = tr * pi + ti * pr;
-  }
-}
-
-}  // namespace
 
 void Workspace::reserve(const Params& p) {
   const std::size_t sps = p.sps();
@@ -99,10 +74,32 @@ void Demodulator::dechirp_fft_into(std::span<const cfloat> window,
   ws.reserve(p_);
   const std::vector<cfloat>& ref = up ? downchirp_ : upchirp_;
   const cfloat* phasor = ws.phasor(cfo_cycles, sps);
-  dechirp_rotate(window.data(), window.size(), ref.data(), phasor, out.data());
+  dsp::active_fft_backend().dechirp_rotate(window.data(), window.size(),
+                                           ref.data(), phasor, out.data());
   std::fill(out.begin() + static_cast<std::ptrdiff_t>(window.size()),
             out.end(), cfloat{0.0f, 0.0f});
   dsp::fft_plan(sps).forward(out);
+}
+
+void Demodulator::dechirp_fft_batch_into(std::span<const cfloat> windows,
+                                         std::size_t count, double cfo_cycles,
+                                         bool up, Workspace& ws,
+                                         std::span<cfloat> out) const {
+  const std::size_t sps = p_.sps();
+  if (windows.size() != count * sps || out.size() != count * sps) {
+    throw std::invalid_argument(
+        "dechirp_fft_batch_into: buffers must be count * sps long");
+  }
+  if (count == 0) return;
+  ws.reserve(p_);
+  const std::vector<cfloat>& ref = up ? downchirp_ : upchirp_;
+  const cfloat* phasor = ws.phasor(cfo_cycles, sps);
+  const dsp::FftBackend& be = dsp::active_fft_backend();
+  for (std::size_t b = 0; b < count; ++b) {
+    be.dechirp_rotate(windows.data() + b * sps, sps, ref.data(), phasor,
+                      out.data() + b * sps);
+  }
+  dsp::fft_plan(sps).forward_batch(out, count);
 }
 
 std::vector<cfloat> Demodulator::dechirp_fft(std::span<const cfloat> window,
@@ -118,14 +115,8 @@ void Demodulator::fold(std::span<const cfloat> spectrum, SignalVector& out) cons
     throw std::invalid_argument("fold: spectrum length must be sps");
   }
   if (out.size() != n) out.resize(n);
-  if (p_.osf == 1) {
-    for (std::size_t k = 0; k < n; ++k) out[k] = std::norm(spectrum[k]);
-    return;
-  }
-  const std::size_t image = n * (p_.osf - 1);
-  for (std::size_t k = 0; k < n; ++k) {
-    out[k] = std::norm(spectrum[k]) + std::norm(spectrum[k + image]);
-  }
+  const std::size_t image = p_.osf == 1 ? 0 : n * (p_.osf - 1);
+  dsp::active_fft_backend().mag_fold(spectrum.data(), n, image, out.data());
 }
 
 double Demodulator::folded_power_at(std::span<const cfloat> spectrum,

@@ -55,7 +55,7 @@ class Workspace {
   /// components (FracSync, Detector, SigCalc) keep their window and
   /// accumulator buffers here so one workspace serves a whole pipeline.
   /// Contents persist between kernel calls; sizing is the caller's job.
-  static constexpr std::size_t kIqSlots = 4;
+  static constexpr std::size_t kIqSlots = 6;
   static constexpr std::size_t kSvSlots = 2;
   common::aligned_vector<cfloat>& iq_scratch(std::size_t slot) {
     return iq_slots_[slot];
@@ -108,6 +108,17 @@ class Demodulator {
   /// (including a `ws.iq_scratch` slot).
   void dechirp_fft_into(std::span<const cfloat> window, double cfo_cycles,
                         bool up, Workspace& ws, std::span<cfloat> out) const;
+
+  /// Batched `dechirp_fft_into` over `count` full sps-long windows packed
+  /// contiguously in `windows` (size count * sps, as is `out`; in-place
+  /// with windows == out is fine). All windows share one CFO and chirp
+  /// direction — the common case in Detector's scan, FracSync's preamble
+  /// evaluation, and SigCalc's height sweep — so the phasor table is
+  /// resolved once and the FFTs run as one `forward_batch` invocation.
+  /// Bit-identical to `count` dechirp_fft_into calls on the same backend.
+  void dechirp_fft_batch_into(std::span<const cfloat> windows,
+                              std::size_t count, double cfo_cycles, bool up,
+                              Workspace& ws, std::span<cfloat> out) const;
 
   /// Folded power signal vector (length 2^SF).
   SignalVector signal_vector(std::span<const cfloat> window,

@@ -12,6 +12,8 @@
 #include "baselines/lzn_sync.hpp"
 #include "common/rng.hpp"
 #include "core/bec.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/fft_backend.hpp"
 #include "fleet/channelizer.hpp"
 #include "fleet/fleet.hpp"
 #include "lora/crc.hpp"
@@ -659,6 +661,65 @@ void oracle_fleet_differential(FuzzInput& in) {
     TNB_ORACLE(a[i].pkt.payload == b[i].pkt.payload,
                "ledger entry payload mismatch");
   }
+}
+
+// --------------------------------------------------------------- fft backend
+
+void oracle_fft_backend(FuzzInput& in) {
+  // Arbitrary pow2 size up to 2^15 (the largest demod transform:
+  // SF 12 x OSF 8) on an arbitrary registered backend.
+  const unsigned log2n = static_cast<unsigned>(in.uniform(1, 15));
+  const std::size_t n = std::size_t{1} << log2n;
+  const auto backends = dsp::fft_backends();
+  const dsp::FftBackend& be = *backends[in.uniform(0, backends.size() - 1)];
+  const auto& plan = dsp::fft_plan(n);
+  const IqBuffer input = arbitrary_iq(in, n);
+
+  // Repeating the same transform on the same bytes is bit-identical:
+  // backends keep no hidden state (scratch reuse must not leak between
+  // calls — the kissfft backend's thread-local buffer, for one).
+  IqBuffer a = input, b = input;
+  be.transform(plan, a.data(), false);
+  be.transform(plan, b.data(), false);
+  TNB_ORACLE(std::memcmp(a.data(), b.data(), n * sizeof(cfloat)) == 0,
+             std::string(be.name()) + ": transform not deterministic");
+
+  // forward -> inverse recovers the input. Float error compounds once per
+  // butterfly stage each way; bound it in ULP of the peak input magnitude
+  // (int16-grid inputs keep the dynamic range tame).
+  be.transform(plan, a.data(), true);
+  float peak = 1.0f;
+  for (const cfloat& v : input) {
+    peak = std::max({peak, std::abs(v.real()), std::abs(v.imag())});
+  }
+  const float tol = (64.0f + 32.0f * static_cast<float>(log2n)) * peak *
+                    std::ldexp(1.0f, -23);
+  for (std::size_t i = 0; i < n; ++i) {
+    TNB_ORACLE(std::abs(a[i].real() - input[i].real()) <= tol &&
+                   std::abs(a[i].imag() - input[i].imag()) <= tol,
+               std::string(be.name()) + ": forward->inverse drifted at bin " +
+                   std::to_string(i));
+  }
+
+  // transform_batch over rows cut from the same bytes == one transform
+  // per row, bit for bit (cap the total at 2^15 elements to keep replay
+  // fast). Rows repeat the fuzzed spectrum; the bit-identity contract
+  // doesn't care.
+  const std::size_t count =
+      in.uniform(1, std::max<std::size_t>(1, (std::size_t{1} << 15) / n));
+  IqBuffer batched(count * n), singles(count * n);
+  for (std::size_t r = 0; r < count; ++r) {
+    std::memcpy(batched.data() + r * n, input.data(), n * sizeof(cfloat));
+  }
+  std::memcpy(singles.data(), batched.data(), count * n * sizeof(cfloat));
+  const bool inverse = in.boolean();
+  be.transform_batch(plan, batched.data(), count, inverse);
+  for (std::size_t r = 0; r < count; ++r) {
+    be.transform(plan, singles.data() + r * n, inverse);
+  }
+  TNB_ORACLE(std::memcmp(batched.data(), singles.data(),
+                         count * n * sizeof(cfloat)) == 0,
+             std::string(be.name()) + ": transform_batch != per-row transform");
 }
 
 // ----------------------------------------------------------------- baselines

@@ -120,6 +120,14 @@ void oracle_wire_codec_roundtrip(FuzzInput& in);
 /// does not assert rejection; the pinned-seed variant lives in test_wire.)
 void oracle_wire_codec_totality(FuzzInput& in);
 
+// ---- dsp::FftBackend ----
+/// Every registered backend on an arbitrary pow2 size (2 .. 2^15) and
+/// arbitrary int16-grid spectrum: forward -> inverse recovers the input
+/// within a stage-scaled float bound, transform_batch is bit-identical to
+/// the same transforms run one row at a time, and repeating a transform
+/// on identical input is bit-identical (no hidden state).
+void oracle_fft_backend(FuzzInput& in);
+
 // ---- base::CoRaDetector / base::LZnSync (the baseline peers) ----
 /// Arbitrary IQ through a fuzz-chosen baseline receiver (CoRa, CoRa+,
 /// CoRa-TnB, LZn-Thrive): total — never crashes — deterministic for a

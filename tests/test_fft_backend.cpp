@@ -1,0 +1,298 @@
+// FftBackend contracts (DESIGN.md "SIMD demod backends"):
+//  - scalar-vs-SIMD per-transform equivalence to a ULP-scaled bound over
+//    the full SF 5..12 x OSF {1, 8} size grid,
+//  - forward_batch bit-identical to N single transforms on every backend,
+//  - same-backend determinism (two runs, memcmp-equal),
+//  - elementwise kernel (dechirp/fold/rotate) equivalence,
+//  - forward -> inverse round trip per backend,
+//  - end-to-end decode agreement between scalar and each SIMD backend.
+//
+// On machines without AVX2 (or non-x86 without NEON) only the scalar
+// backend registers and the cross-backend loops are vacuously empty —
+// the suite still passes, it just covers less.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/receiver.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/fft_backend.hpp"
+#include "lora/chirp.hpp"
+#include "lora/demodulator.hpp"
+#include "sim/deployment.hpp"
+#include "sim/metrics.hpp"
+#include "sim/trace_builder.hpp"
+
+namespace tnb::dsp {
+namespace {
+
+/// Selects a backend for one test and restores the scalar default on
+/// exit, so test order can never leak a SIMD selection into suites that
+/// assume the bit-identity contract.
+class BackendGuard {
+ public:
+  explicit BackendGuard(const char* name) {
+    EXPECT_TRUE(set_fft_backend(name));
+  }
+  ~BackendGuard() { set_fft_backend("scalar"); }
+};
+
+std::vector<const FftBackend*> simd_backends() {
+  std::vector<const FftBackend*> v;
+  for (const FftBackend* b : fft_backends()) {
+    if (std::string_view(b->name()) != "scalar") v.push_back(b);
+  }
+  return v;
+}
+
+std::vector<cfloat> random_buffer(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<cfloat> buf(n);
+  for (auto& v : buf) v = rng.complex_normal();
+  return buf;
+}
+
+float max_abs(std::span<const cfloat> x) {
+  float m = 0.0f;
+  for (const cfloat& v : x) {
+    m = std::max({m, std::abs(v.real()), std::abs(v.imag())});
+  }
+  return m;
+}
+
+/// Per-element bound for scalar-vs-SIMD transform outputs: a fixed ULP
+/// budget per butterfly stage (FMA contraction changes each complex
+/// multiply by at most a few ULP, and the error compounds once per
+/// stage), scaled by the spectrum's magnitude. Expressed in ULP of
+/// max|X| so the bound tracks the data instead of an absolute epsilon.
+float transform_tolerance(std::size_t n, float scale) {
+  const float log2n = std::log2(static_cast<float>(n));
+  const float ulps = 32.0f + 16.0f * log2n;
+  return ulps * scale * std::ldexp(1.0f, -23);
+}
+
+void expect_close(std::span<const cfloat> a, std::span<const cfloat> b,
+                  float tol, const char* what) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_NEAR(a[i].real(), b[i].real(), tol) << what << " bin " << i;
+    ASSERT_NEAR(a[i].imag(), b[i].imag(), tol) << what << " bin " << i;
+  }
+}
+
+TEST(FftBackend, RegistryHasScalarFirst) {
+  const auto backends = fft_backends();
+  ASSERT_FALSE(backends.empty());
+  EXPECT_STREQ(backends.front()->name(), "scalar");
+  EXPECT_EQ(&fft_backend_scalar(), backends.front());
+  EXPECT_NE(fft_backend_names().find("auto"), std::string::npos);
+  EXPECT_NE(fft_backend_names().find("scalar"), std::string::npos);
+}
+
+TEST(FftBackend, FindAndSetValidateNames) {
+  EXPECT_EQ(find_fft_backend("no-such-backend"), nullptr);
+  EXPECT_FALSE(set_fft_backend("no-such-backend"));
+  EXPECT_STREQ(active_fft_backend().name(), "scalar");  // unchanged
+  {
+    BackendGuard guard("auto");
+    EXPECT_STREQ(active_fft_backend().name(), fft_backends().back()->name());
+  }
+  EXPECT_STREQ(active_fft_backend().name(), "scalar");
+}
+
+TEST(FftBackend, TransformEquivalenceAcrossSizes) {
+  // SF 5..12 x OSF {1, 8}: every transform size the demod hot path uses
+  // (32 .. 32768), forward and inverse.
+  for (unsigned sf = 5; sf <= 12; ++sf) {
+    for (const unsigned osf : {1u, 8u}) {
+      const std::size_t n = (std::size_t{1} << sf) * osf;
+      const auto& plan = fft_plan(n);
+      const std::vector<cfloat> input = random_buffer(n, 100 + sf * 10 + osf);
+      for (const bool inverse : {false, true}) {
+        std::vector<cfloat> ref = input;
+        fft_backend_scalar().transform(plan, ref.data(), inverse);
+        const float tol = transform_tolerance(n, std::max(max_abs(ref), 1.0f));
+        for (const FftBackend* be : simd_backends()) {
+          std::vector<cfloat> out = input;
+          be->transform(plan, out.data(), inverse);
+          expect_close(ref, out, tol, be->name());
+        }
+      }
+    }
+  }
+}
+
+TEST(FftBackend, BatchBitIdenticalToSingles) {
+  constexpr std::size_t kCount = 5;
+  for (const std::size_t n : {32u, 1024u, 8192u}) {
+    const auto& plan = fft_plan(n);
+    const std::vector<cfloat> input = random_buffer(n * kCount, 7);
+    for (const FftBackend* be : fft_backends()) {
+      for (const bool inverse : {false, true}) {
+        std::vector<cfloat> batched = input;
+        be->transform_batch(plan, batched.data(), kCount, inverse);
+        std::vector<cfloat> singles = input;
+        for (std::size_t b = 0; b < kCount; ++b) {
+          be->transform(plan, singles.data() + b * n, inverse);
+        }
+        EXPECT_EQ(std::memcmp(batched.data(), singles.data(),
+                              batched.size() * sizeof(cfloat)),
+                  0)
+            << be->name() << " n=" << n << " inverse=" << inverse;
+      }
+    }
+  }
+}
+
+TEST(FftBackend, SameBackendDeterminism) {
+  const std::size_t n = 4096;
+  const auto& plan = fft_plan(n);
+  const std::vector<cfloat> input = random_buffer(n, 11);
+  for (const FftBackend* be : fft_backends()) {
+    std::vector<cfloat> a = input, b = input;
+    be->transform(plan, a.data(), false);
+    be->transform(plan, b.data(), false);
+    EXPECT_EQ(std::memcmp(a.data(), b.data(), n * sizeof(cfloat)), 0)
+        << be->name();
+  }
+}
+
+TEST(FftBackend, RoundTripRecoversInput) {
+  for (const FftBackend* be : fft_backends()) {
+    for (const std::size_t n : {64u, 2048u, 32768u}) {
+      const auto& plan = fft_plan(n);
+      const std::vector<cfloat> input = random_buffer(n, 13);
+      std::vector<cfloat> buf = input;
+      be->transform(plan, buf.data(), false);
+      be->transform(plan, buf.data(), true);
+      const float tol =
+          2.0f * transform_tolerance(n, std::max(max_abs(input), 1.0f));
+      expect_close(input, buf, tol, be->name());
+    }
+  }
+}
+
+TEST(FftBackend, ElementwiseKernelsMatchScalar) {
+  // Odd length exercises every backend's scalar tail loop.
+  const std::size_t m = 1003;
+  const std::vector<cfloat> w = random_buffer(m, 21);
+  const std::vector<cfloat> c = random_buffer(m, 22);
+  const std::vector<cfloat> r = random_buffer(m, 23);
+  const FftBackend& scalar = fft_backend_scalar();
+
+  std::vector<cfloat> ref_dc(m);
+  scalar.dechirp_rotate(w.data(), m, c.data(), r.data(), ref_dc.data());
+  std::vector<float> ref_mag(m / 2);
+  scalar.mag_fold(w.data(), m / 2, m / 2, ref_mag.data());
+  std::vector<float> ref_mag_flat(m);
+  scalar.mag_fold(w.data(), m, 0, ref_mag_flat.data());
+  std::vector<cfloat> ref_acc = c;
+  scalar.rotate_accumulate(w.data(), m, cfloat{0.6f, -0.8f}, ref_acc.data());
+
+  // Two chained complex multiplies / a two-term power sum: a few ULP of
+  // the element magnitude covers any FMA contraction.
+  const float tol = 16.0f * std::ldexp(std::max(max_abs(ref_dc), 4.0f), -23);
+  const float mag_peak = *std::max_element(ref_mag_flat.begin(), ref_mag_flat.end());
+  const float mag_tol = 16.0f * std::ldexp(std::max(mag_peak, 4.0f), -23);
+  for (const FftBackend* be : simd_backends()) {
+    std::vector<cfloat> dc(m);
+    be->dechirp_rotate(w.data(), m, c.data(), r.data(), dc.data());
+    expect_close(ref_dc, dc, tol, be->name());
+
+    std::vector<float> mag(m / 2);
+    be->mag_fold(w.data(), m / 2, m / 2, mag.data());
+    for (std::size_t k = 0; k < mag.size(); ++k) {
+      ASSERT_NEAR(ref_mag[k], mag[k], mag_tol) << be->name() << " fold " << k;
+    }
+    std::vector<float> mag_flat(m);
+    be->mag_fold(w.data(), m, 0, mag_flat.data());
+    for (std::size_t k = 0; k < m; ++k) {
+      ASSERT_NEAR(ref_mag_flat[k], mag_flat[k], mag_tol)
+          << be->name() << " flat " << k;
+    }
+
+    std::vector<cfloat> acc = c;
+    be->rotate_accumulate(w.data(), m, cfloat{0.6f, -0.8f}, acc.data());
+    expect_close(ref_acc, acc, tol, be->name());
+  }
+}
+
+TEST(FftBackend, DemodBatchMatchesSinglesBitIdentically) {
+  // The lora::Demodulator batch entry point: per backend, one
+  // dechirp_fft_batch_into call over packed windows must reproduce the
+  // per-window dechirp_fft_into results byte for byte.
+  const lora::Params p{.sf = 7, .cr = 4, .bandwidth_hz = 125e3, .osf = 2};
+  const lora::Demodulator demod(p);
+  const std::size_t sps = p.sps();
+  constexpr std::size_t kCount = 4;
+  std::vector<cfloat> windows;
+  for (std::size_t i = 0; i < kCount; ++i) {
+    const auto sym =
+        lora::make_upchirp(p, static_cast<std::uint32_t>(17 * i + 3));
+    windows.insert(windows.end(), sym.begin(), sym.end());
+  }
+  for (const FftBackend* be : fft_backends()) {
+    BackendGuard guard(be->name());
+    lora::Workspace ws(p);
+    std::vector<cfloat> batched(kCount * sps);
+    demod.dechirp_fft_batch_into(windows, kCount, 0.37, /*up=*/true, ws,
+                                 batched);
+    std::vector<cfloat> single(sps);
+    for (std::size_t i = 0; i < kCount; ++i) {
+      demod.dechirp_fft_into(
+          std::span<const cfloat>(windows.data() + i * sps, sps), 0.37,
+          /*up=*/true, ws, single);
+      EXPECT_EQ(std::memcmp(batched.data() + i * sps, single.data(),
+                            sps * sizeof(cfloat)),
+                0)
+          << be->name() << " window " << i;
+    }
+  }
+}
+
+TEST(FftBackend, EndToEndDecodeAgreement) {
+  // Decode one simulated multi-packet trace with the scalar backend and
+  // with every SIMD backend. SIMD rounding may legitimately flip a
+  // borderline packet, so the gate is >= 99% agreement (with one packet
+  // of slack for small samples), not bit-identity.
+  sim::TraceOptions opt;
+  opt.duration_s = 2.0;
+  opt.load_pps = 6.0;
+  const lora::Params p{.sf = 7, .cr = 4, .bandwidth_hz = 125e3, .osf = 2};
+  Rng trace_rng(99);
+  opt.nodes = sim::indoor_deployment().draw_nodes(trace_rng);
+  opt.nodes.resize(4);
+  const sim::Trace trace = sim::build_trace(p, opt, trace_rng);
+  const rx::Receiver receiver(p);
+
+  auto decode_count = [&]() {
+    Rng rng(5);
+    const auto decoded = receiver.decode(trace.iq, rng);
+    return sim::evaluate(trace, decoded).decoded_unique;
+  };
+
+  std::size_t scalar_count = 0;
+  {
+    BackendGuard guard("scalar");
+    scalar_count = decode_count();
+  }
+  ASSERT_GT(scalar_count, 0u) << "scenario decodes nothing; test is vacuous";
+
+  for (const FftBackend* be : simd_backends()) {
+    BackendGuard guard(be->name());
+    const std::size_t count = decode_count();
+    const std::size_t slack =
+        std::max<std::size_t>(1, scalar_count / 100);  // >= 99% agreement
+    EXPECT_GE(count + slack, scalar_count) << be->name();
+    EXPECT_LE(count, scalar_count + slack) << be->name();
+  }
+}
+
+}  // namespace
+}  // namespace tnb::dsp

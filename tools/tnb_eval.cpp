@@ -30,6 +30,7 @@
 #include "baselines/sic.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
+#include "dsp/fft_backend.hpp"
 #include "obs/stage_timer.hpp"
 #include "sim/ground_truth.hpp"
 #include "sim/metrics.hpp"
@@ -46,9 +47,13 @@ namespace {
                "[--osf N] [--scheme NAME|all]\n"
                "                [--antennas N] [--implicit-len BYTES] "
                "[--jobs N]\n"
-               "                [--metrics-file FILE] [--wire-format]\n"
-               "schemes: %s, sic, all\n",
-               tnb::base::scheme_cli_list().c_str());
+               "                [--metrics-file FILE] [--wire-format] "
+               "[--fft-backend NAME]\n"
+               "schemes: %s, sic, all\n"
+               "fft backends: %s (default: TNB_FFT_BACKEND env var, else "
+               "scalar)\n",
+               tnb::base::scheme_cli_list().c_str(),
+               tnb::dsp::fft_backend_names().c_str());
   std::exit(2);
 }
 
@@ -89,6 +94,14 @@ int main(int argc, char** argv) {
     else if (arg == "--wire-format") wire_format = true;
     else if (arg == "--jobs") jobs = std::atoi(value());
     else if (arg == "--metrics-file") metrics_file = value();
+    else if (arg == "--fft-backend") {
+      const char* name = value();
+      if (!dsp::set_fft_backend(name)) {
+        std::fprintf(stderr, "tnb_eval: unknown fft backend '%s' (valid: %s)\n",
+                     name, dsp::fft_backend_names().c_str());
+        return 2;
+      }
+    }
     else usage();
   }
   if (in.empty()) usage();
@@ -173,8 +186,12 @@ int main(int argc, char** argv) {
   // Same merged-stats JSON schema as tnb_streamd's stats line (the shared
   // ReceiverStats::to_json format, documented in DESIGN.md).
   std::printf("aggregate %s\n", total.to_json().c_str());
-  std::printf("runs=%zu jobs=%d wall=%.2fs speedup=%.2fx\n", schemes.size(),
-              jobs, wall, wall > 0.0 ? seq / wall : 1.0);
+  // The runs= line is excluded from the decode-ab-diff comparison, so the
+  // backend name (and timing) may vary without breaking the bit-identity
+  // gate on the result rows above.
+  std::printf("runs=%zu jobs=%d wall=%.2fs speedup=%.2fx fft_backend=%s\n",
+              schemes.size(), jobs, wall, wall > 0.0 ? seq / wall : 1.0,
+              dsp::active_fft_backend().name());
 
   // Per-stage pipeline timing, merged over every scheme (seconds). All
   // seven stages are registered eagerly, so a stage a scheme never enters

@@ -57,6 +57,7 @@
 #include <thread>
 #include <vector>
 
+#include "dsp/fft_backend.hpp"
 #include "fleet/fleet.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
@@ -79,7 +80,7 @@ namespace {
                "                   [--implicit-len BYTES] [--seed N] "
                "[--quiet] [--wire-format]\n"
                "                   [--channels N] [--sfs LIST] [--lanes J] "
-               "[--taps N]\n");
+               "[--taps N] [--fft-backend NAME]\n");
   std::exit(2);
 }
 
@@ -147,6 +148,15 @@ int main(int argc, char** argv) {
     }
     else if (arg == "--lanes") lanes = std::atoi(value());
     else if (arg == "--taps") taps = std::strtoul(value(), nullptr, 10);
+    else if (arg == "--fft-backend") {
+      const char* name = value();
+      if (!dsp::set_fft_backend(name)) {
+        std::fprintf(stderr,
+                     "tnb_streamd: unknown fft backend '%s' (valid: %s)\n",
+                     name, dsp::fft_backend_names().c_str());
+        return 2;
+      }
+    }
     else usage();
   }
   params.validate();
@@ -231,6 +241,10 @@ int main(int argc, char** argv) {
     const stream::RingStats rs = ring.stats();
     obs::JsonWriter w;
     w.begin_object();
+    // Before the "stream" key: the decode-ab-diff CI job extracts the
+    // stats object from "stream" onward, so the backend label must not
+    // land inside the compared span.
+    w.field("fft_backend", dsp::active_fft_backend().name());
     if (fleet_mode) {
       w.key("fleet").raw(gw->stats().to_json());
     } else {
