@@ -1,0 +1,669 @@
+#include "impair/impairment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "channel/awgn.hpp"
+#include "lora/modulator.hpp"
+
+namespace tnb::impair {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kTwoPi = 2.0 * kPi;
+
+/// CFO range of injected interferers, matching sim::kMaxCfoHz (paper 8.5).
+/// Duplicated here because tnb_sim links against tnb_impair, not the other
+/// way around.
+constexpr double kInterfererMaxCfoHz = 4880.0;
+
+/// Data symbols of an injected interferer burst. The interferer is raw
+/// chirps (no frame coding — it only has to look like a foreign-SF LoRa
+/// packet to the receiver), so any fixed count works; 24 symbols is in the
+/// range of the paper's 14-byte payloads.
+constexpr std::size_t kInterfererSymbols = 24;
+
+double wrap_phase(double phi) {
+  if (phi > kPi) return phi - kTwoPi;
+  if (phi < -kPi) return phi + kTwoPi;
+  return phi;
+}
+
+/// Transmitter oscillator phase noise: a Wiener process with per-sample
+/// increment variance 2*pi*linewidth/fs (the Lorentzian-linewidth random
+/// walk model). Pure rotation, so sample magnitudes are preserved.
+class PhaseNoise final : public Impairment {
+ public:
+  PhaseNoise(const ImpairmentConfig& cfg, const lora::Params& params,
+             obs::Registry* registry)
+      : Impairment(cfg),
+        sigma_(std::sqrt(kTwoPi * cfg.linewidth_hz / params.sample_rate_hz())) {
+    if (obs::Registry* r = obs::resolve(registry); r != nullptr) {
+      r->gauge("tnb_impair_phase_noise_linewidth_hz",
+               "Configured oscillator linewidth")
+          .set(static_cast<std::int64_t>(std::llround(cfg.linewidth_hz)));
+    }
+  }
+
+  void reset() override { phi_ = 0.0; }
+
+  void process(IqBuffer& buf, Rng& rng) override {
+    for (cfloat& v : buf) {
+      phi_ = wrap_phase(phi_ + sigma_ * rng.normal());
+      const cfloat rot(static_cast<float>(std::cos(phi_)),
+                       static_cast<float>(std::sin(phi_)));
+      v *= rot;
+    }
+  }
+
+ private:
+  double sigma_;
+  double phi_ = 0.0;
+};
+
+/// Receiver IQ imbalance: y = mu*x + nu*conj(x). Deterministic, so every
+/// antenna sees the same front-end mismatch.
+class IqImbalance final : public Impairment {
+ public:
+  IqImbalance(const ImpairmentConfig& cfg, const lora::Params&,
+              obs::Registry* registry)
+      : Impairment(cfg) {
+    const auto [mu, nu] = iq_imbalance_coeffs(cfg);
+    mu_ = cfloat(static_cast<float>(mu.real()), static_cast<float>(mu.imag()));
+    nu_ = cfloat(static_cast<float>(nu.real()), static_cast<float>(nu.imag()));
+    if (obs::Registry* r = obs::resolve(registry); r != nullptr) {
+      r->gauge("tnb_impair_iq_gain_mdb", "IQ gain mismatch, milli-dB")
+          .set(static_cast<std::int64_t>(std::llround(cfg.gain_db * 1000.0)));
+      r->gauge("tnb_impair_iq_phase_mdeg", "IQ phase skew, milli-degrees")
+          .set(static_cast<std::int64_t>(std::llround(cfg.phase_deg * 1000.0)));
+    }
+  }
+
+  void process(IqBuffer& buf, Rng&) override {
+    for (cfloat& v : buf) v = mu_ * v + nu_ * std::conj(v);
+  }
+
+ private:
+  cfloat mu_{1.0f, 0.0f};
+  cfloat nu_{0.0f, 0.0f};
+};
+
+/// ADC quantization: each component is rounded (half-even, matching
+/// nearbyint under the default rounding mode) to a code in
+/// [-2^(bits-1), 2^(bits-1)-1] at step full_scale/2^(bits-1), clipping at
+/// the rails. NaN components map to 0, the same convention as
+/// sim::write_trace_i16. Idempotent: reconstruction levels re-quantize to
+/// themselves.
+class Quantizer final : public Impairment {
+ public:
+  Quantizer(const ImpairmentConfig& cfg, const lora::Params&,
+            obs::Registry* registry)
+      : Impairment(cfg),
+        step_(cfg.full_scale / static_cast<double>(1u << (cfg.bits - 1))),
+        lo_(-static_cast<double>(1u << (cfg.bits - 1))),
+        hi_(static_cast<double>(1u << (cfg.bits - 1)) - 1.0) {
+    if (obs::Registry* r = obs::resolve(registry); r != nullptr) {
+      clipped_total_ = r->counter("tnb_impair_clipped_samples_total",
+                                  "Samples clipped at the ADC rails");
+      quantized_total_ = r->counter("tnb_impair_quantized_samples_total",
+                                    "Samples pushed through the quantizer");
+      r->gauge("tnb_impair_quantize_bits", "Configured ADC bit depth")
+          .set(static_cast<std::int64_t>(cfg.bits));
+    }
+  }
+
+  void process(IqBuffer& buf, Rng&) override {
+    std::uint64_t clipped = 0;
+    for (cfloat& v : buf) {
+      bool clip = false;
+      v = cfloat(component(v.real(), clip), component(v.imag(), clip));
+      if (clip) ++clipped;
+    }
+    stats_.clipped += clipped;
+    stats_.total += buf.size();
+    clipped_total_.inc(clipped);
+    quantized_total_.inc(buf.size());
+  }
+
+  ClipStats clip_stats() const override { return stats_; }
+
+ private:
+  float component(float x, bool& clip) const {
+    if (std::isnan(x)) return 0.0f;
+    double code = std::nearbyint(static_cast<double>(x) / step_);
+    if (code < lo_) {
+      code = lo_;
+      clip = true;
+    } else if (code > hi_) {
+      code = hi_;
+      clip = true;
+    }
+    return static_cast<float>(code * step_);
+  }
+
+  double step_;
+  double lo_;
+  double hi_;
+  ClipStats stats_;
+  obs::CounterRef clipped_total_;
+  obs::CounterRef quantized_total_;
+};
+
+/// Sample-clock drift: the receiver's ADC runs ppm parts-per-million fast,
+/// so the stream is read at rate 1 + ppm*1e-6 input samples per output
+/// sample, with the linear interpolation rx::extract_window uses (exact
+/// pass-through at integral positions — rate 1.0 is byte-exact). Carries a
+/// pending window across process() calls so streaming chunks resample
+/// continuously.
+class ClockDrift final : public Impairment {
+ public:
+  ClockDrift(const ImpairmentConfig& cfg, const lora::Params&,
+             obs::Registry* registry)
+      : Impairment(cfg), rate_(1.0 + cfg.ppm * 1e-6) {
+    if (obs::Registry* r = obs::resolve(registry); r != nullptr) {
+      r->gauge("tnb_impair_clock_drift_ppb",
+               "Applied sample-clock offset, parts per billion")
+          .set(static_cast<std::int64_t>(std::llround(cfg.ppm * 1000.0)));
+    }
+  }
+
+  void reset() override {
+    pending_.clear();
+    pos_ = 0.0;
+  }
+
+  void process(IqBuffer& buf, Rng&) override {
+    pending_.insert(pending_.end(), buf.begin(), buf.end());
+    IqBuffer out;
+    out.reserve(buf.size() + 1);
+    while (true) {
+      const auto i0 = static_cast<std::size_t>(pos_);
+      const double frac = pos_ - static_cast<double>(i0);
+      if (i0 >= pending_.size()) break;
+      if (frac != 0.0 && i0 + 1 >= pending_.size()) break;
+      out.push_back(sample_at(i0, frac));
+      pos_ += rate_;
+    }
+    const std::size_t consumed =
+        std::min(static_cast<std::size_t>(pos_), pending_.size());
+    pending_.erase(pending_.begin(),
+                   pending_.begin() + static_cast<std::ptrdiff_t>(consumed));
+    pos_ -= static_cast<double>(consumed);
+    buf = std::move(out);
+  }
+
+  void flush(IqBuffer& out) override {
+    out.clear();
+    while (static_cast<std::size_t>(pos_) < pending_.size()) {
+      const auto i0 = static_cast<std::size_t>(pos_);
+      const double frac = pos_ - static_cast<double>(i0);
+      out.push_back(sample_at(i0, frac));  // zero past the end
+      pos_ += rate_;
+    }
+    pending_.clear();
+    pos_ = 0.0;
+  }
+
+ private:
+  cfloat sample_at(std::size_t i0, double frac) const {
+    if (frac == 0.0) return pending_[i0];
+    const cfloat a = pending_[i0];
+    const cfloat b =
+        i0 + 1 < pending_.size() ? pending_[i0 + 1] : cfloat{0.0f, 0.0f};
+    const auto w1 = static_cast<float>(frac);
+    return a * (1.0f - w1) + b * w1;
+  }
+
+  double rate_;
+  IqBuffer pending_;
+  double pos_ = 0.0;
+};
+
+/// Foreign-SF interference: raw-chirp LoRa bursts at a different spreading
+/// factor (same bandwidth and OSF) injected over the trace at an offered
+/// load, each with a random CFO and uniform placement. Overrides
+/// process_multi so all antennas of a trace receive the same on-air
+/// interferers.
+class InterSf final : public Impairment {
+ public:
+  InterSf(const ImpairmentConfig& cfg, const lora::Params& params,
+          obs::Registry* registry)
+      : Impairment(cfg), mod_(foreign_params(cfg, params)) {
+    if (obs::Registry* r = obs::resolve(registry); r != nullptr) {
+      injected_ = r->counter("tnb_impair_injected_packets_total",
+                             "Foreign-SF interferers injected");
+      r->gauge("tnb_impair_inter_sf", "Spreading factor of the interferers")
+          .set(static_cast<std::int64_t>(cfg.sf));
+    }
+  }
+
+  void process(IqBuffer& buf, Rng& rng) override {
+    IqBuffer* one = &buf;
+    process_multi(std::span<IqBuffer* const>(&one, 1), rng);
+  }
+
+  void process_multi(std::span<IqBuffer* const> bufs, Rng& rng) override {
+    if (bufs.empty() || bufs.front()->empty()) return;
+    const std::size_t trace_samples = bufs.front()->size();
+    const double fs = mod_.params().sample_rate_hz();
+    const std::size_t pkt_samples = mod_.packet_samples(kInterfererSymbols);
+    const auto count = static_cast<std::size_t>(
+        cfg_.pps * static_cast<double>(trace_samples) / fs + 0.5);
+    const double start_max =
+        trace_samples > pkt_samples + 2
+            ? static_cast<double>(trace_samples - pkt_samples - 2)
+            : 1.0;
+    std::vector<std::uint32_t> shifts(kInterfererSymbols);
+    for (std::size_t k = 0; k < count; ++k) {
+      const double start = rng.uniform(0.0, start_max);
+      lora::WaveformOptions wopt;
+      wopt.cfo_hz = rng.uniform(-kInterfererMaxCfoHz, kInterfererMaxCfoHz);
+      wopt.amplitude = chan::amplitude_for_snr_db(cfg_.snr_db);
+      const auto start_int = static_cast<std::size_t>(start);
+      wopt.frac_delay = start - static_cast<double>(start_int);
+      for (std::uint32_t& s : shifts) {
+        s = static_cast<std::uint32_t>(
+            rng.uniform_index(mod_.params().n_bins()));
+      }
+      const IqBuffer pkt = mod_.synthesize_shifts(shifts, wopt);
+      for (IqBuffer* buf : bufs) {
+        const std::size_t n_add =
+            std::min(pkt.size(), buf->size() > start_int
+                                     ? buf->size() - start_int
+                                     : std::size_t{0});
+        for (std::size_t i = 0; i < n_add; ++i) {
+          (*buf)[start_int + i] += pkt[i];
+        }
+      }
+      injected_.inc();
+    }
+  }
+
+ private:
+  static lora::Params foreign_params(const ImpairmentConfig& cfg,
+                                     const lora::Params& params) {
+    lora::Params fp = params;
+    fp.sf = cfg.sf;
+    fp.ldro = false;  // irrelevant for raw-chirp synthesis
+    fp.validate();
+    return fp;
+  }
+
+  lora::Modulator mod_;
+  obs::CounterRef injected_;
+};
+
+/// Mobile-node Doppler: f(t) = doppler_hz * cos(2 pi t / period_s + theta0)
+/// with theta0 drawn uniformly per packet (each packet catches the node at
+/// a random point of its trajectory). The frequency is integrated into a
+/// phase ramp, so this is a pure rotation like phase noise.
+class Doppler final : public Impairment {
+ public:
+  Doppler(const ImpairmentConfig& cfg, const lora::Params& params,
+          obs::Registry* registry)
+      : Impairment(cfg),
+        dt_(1.0 / params.sample_rate_hz()),
+        omega_(kTwoPi / cfg.period_s) {
+    if (obs::Registry* r = obs::resolve(registry); r != nullptr) {
+      r->gauge("tnb_impair_doppler_peak_hz", "Configured peak Doppler shift")
+          .set(static_cast<std::int64_t>(std::llround(cfg.doppler_hz)));
+    }
+  }
+
+  void reset() override {
+    fresh_ = true;
+    phi_ = 0.0;
+    t_ = 0.0;
+  }
+
+  void process(IqBuffer& buf, Rng& rng) override {
+    if (fresh_) {
+      theta0_ = rng.uniform(0.0, kTwoPi);
+      fresh_ = false;
+    }
+    for (cfloat& v : buf) {
+      const double f = cfg_.doppler_hz * std::cos(omega_ * t_ + theta0_);
+      phi_ = wrap_phase(phi_ + kTwoPi * f * dt_);
+      const cfloat rot(static_cast<float>(std::cos(phi_)),
+                       static_cast<float>(std::sin(phi_)));
+      v *= rot;
+      t_ += dt_;
+    }
+  }
+
+ private:
+  double dt_;
+  double omega_;
+  double theta0_ = 0.0;
+  double phi_ = 0.0;
+  double t_ = 0.0;
+  bool fresh_ = true;
+};
+
+[[noreturn]] void bad_spec(const std::string& what) {
+  throw std::invalid_argument("parse_impairment: " + what + " (" +
+                              impairment_cli_help() + ")");
+}
+
+}  // namespace
+
+void Impairment::process_multi(std::span<IqBuffer* const> bufs, Rng& rng) {
+  for (IqBuffer* buf : bufs) {
+    reset();
+    process(*buf, rng);
+  }
+}
+
+const char* kind_name(Kind kind) {
+  switch (kind) {
+    case Kind::kPhaseNoise: return "phase_noise";
+    case Kind::kIqImbalance: return "iq_imbalance";
+    case Kind::kQuantize: return "quantize";
+    case Kind::kClockDrift: return "clock_drift";
+    case Kind::kInterSf: return "inter_sf";
+    case Kind::kDoppler: return "doppler";
+  }
+  return "?";
+}
+
+bool ImpairmentConfig::is_noop() const {
+  switch (kind) {
+    case Kind::kPhaseNoise: return linewidth_hz == 0.0;
+    case Kind::kIqImbalance: return gain_db == 0.0 && phase_deg == 0.0;
+    case Kind::kQuantize: return bits == 0;
+    case Kind::kClockDrift: return ppm == 0.0;
+    case Kind::kInterSf: return sf == 0 || pps == 0.0;
+    case Kind::kDoppler: return doppler_hz == 0.0;
+  }
+  return true;
+}
+
+void ImpairmentConfig::validate() const {
+  const auto fail = [this](const std::string& what) {
+    throw std::invalid_argument(std::string("ImpairmentConfig(") +
+                                kind_name(kind) + "): " + what);
+  };
+  switch (kind) {
+    case Kind::kPhaseNoise:
+      if (!(linewidth_hz >= 0.0) || linewidth_hz > 1e7) {
+        fail("linewidth_hz must be in [0, 1e7]");
+      }
+      break;
+    case Kind::kIqImbalance:
+      if (!(std::abs(gain_db) <= 40.0)) fail("|gain_db| must be <= 40");
+      if (!(std::abs(phase_deg) < 90.0)) fail("|phase_deg| must be < 90");
+      break;
+    case Kind::kQuantize:
+      if (bits > 16) fail("bits must be in [0, 16]");
+      if (!(full_scale > 0.0) || !std::isfinite(full_scale) ||
+          full_scale > 1e6) {
+        fail("full_scale must be in (0, 1e6]");
+      }
+      break;
+    case Kind::kClockDrift:
+      if (!(std::abs(ppm) < 1e5)) fail("|ppm| must be < 1e5");
+      break;
+    case Kind::kInterSf:
+      if (sf != 0 && (sf < 5 || sf > 12)) fail("sf must be 0 or 5..12");
+      if (!(pps >= 0.0) || pps > 1e4) fail("pps must be in [0, 1e4]");
+      if (!(std::abs(snr_db) <= 60.0)) fail("|snr_db| must be <= 60");
+      break;
+    case Kind::kDoppler:
+      if (!(std::abs(doppler_hz) <= 1e6)) fail("|doppler_hz| must be <= 1e6");
+      if (!(period_s > 0.0) || !std::isfinite(period_s)) {
+        fail("period_s must be positive");
+      }
+      break;
+  }
+}
+
+std::string ImpairmentConfig::to_string() const {
+  char buf[160];
+  switch (kind) {
+    case Kind::kPhaseNoise:
+      std::snprintf(buf, sizeof buf, "phase_noise,linewidth_hz=%g",
+                    linewidth_hz);
+      break;
+    case Kind::kIqImbalance:
+      std::snprintf(buf, sizeof buf, "iq_imbalance,gain_db=%g,phase_deg=%g",
+                    gain_db, phase_deg);
+      break;
+    case Kind::kQuantize:
+      std::snprintf(buf, sizeof buf, "quantize,bits=%u,full_scale=%g", bits,
+                    full_scale);
+      break;
+    case Kind::kClockDrift:
+      std::snprintf(buf, sizeof buf, "clock_drift,ppm=%g", ppm);
+      break;
+    case Kind::kInterSf:
+      std::snprintf(buf, sizeof buf, "inter_sf,sf=%u,pps=%g,snr_db=%g", sf,
+                    pps, snr_db);
+      break;
+    case Kind::kDoppler:
+      std::snprintf(buf, sizeof buf, "doppler,hz=%g,period_s=%g", doppler_hz,
+                    period_s);
+      break;
+  }
+  return buf;
+}
+
+std::string impairment_cli_help() {
+  return "valid: phase_noise,linewidth_hz=F | "
+         "iq_imbalance,gain_db=F,phase_deg=F | "
+         "quantize,bits=N,full_scale=F | clock_drift,ppm=F | "
+         "inter_sf,sf=N,pps=F,snr_db=F | doppler,hz=F,period_s=F";
+}
+
+ImpairmentConfig parse_impairment(const std::string& spec) {
+  ImpairmentConfig cfg;
+  std::size_t pos = spec.find(',');
+  const std::string kind = spec.substr(0, pos);
+  if (kind == "phase_noise") cfg.kind = Kind::kPhaseNoise;
+  else if (kind == "iq_imbalance") cfg.kind = Kind::kIqImbalance;
+  else if (kind == "quantize") cfg.kind = Kind::kQuantize;
+  else if (kind == "clock_drift") cfg.kind = Kind::kClockDrift;
+  else if (kind == "inter_sf") cfg.kind = Kind::kInterSf;
+  else if (kind == "doppler") cfg.kind = Kind::kDoppler;
+  else bad_spec("unknown impairment '" + kind + "'");
+
+  while (pos != std::string::npos) {
+    const std::size_t next = spec.find(',', pos + 1);
+    const std::string item =
+        spec.substr(pos + 1, next == std::string::npos ? next : next - pos - 1);
+    pos = next;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) bad_spec("expected key=value, got '" + item + "'");
+    const std::string key = item.substr(0, eq);
+    const std::string val = item.substr(eq + 1);
+    double num = 0.0;
+    try {
+      std::size_t used = 0;
+      num = std::stod(val, &used);
+      if (used != val.size()) throw std::invalid_argument(val);
+    } catch (const std::exception&) {
+      bad_spec("bad value '" + val + "' for key '" + key + "'");
+    }
+    const bool ok = [&] {
+      switch (cfg.kind) {
+        case Kind::kPhaseNoise:
+          if (key == "linewidth_hz" || key == "linewidth") {
+            cfg.linewidth_hz = num;
+            return true;
+          }
+          return false;
+        case Kind::kIqImbalance:
+          if (key == "gain_db") { cfg.gain_db = num; return true; }
+          if (key == "phase_deg") { cfg.phase_deg = num; return true; }
+          return false;
+        case Kind::kQuantize:
+          if (key == "bits") {
+            if (num < 0.0 || num != std::floor(num)) return false;
+            cfg.bits = static_cast<unsigned>(num);
+            return true;
+          }
+          if (key == "full_scale") { cfg.full_scale = num; return true; }
+          return false;
+        case Kind::kClockDrift:
+          if (key == "ppm") { cfg.ppm = num; return true; }
+          return false;
+        case Kind::kInterSf:
+          if (key == "sf") {
+            if (num < 0.0 || num != std::floor(num)) return false;
+            cfg.sf = static_cast<unsigned>(num);
+            return true;
+          }
+          if (key == "pps") { cfg.pps = num; return true; }
+          if (key == "snr_db") { cfg.snr_db = num; return true; }
+          return false;
+        case Kind::kDoppler:
+          if (key == "hz" || key == "doppler_hz") {
+            cfg.doppler_hz = num;
+            return true;
+          }
+          if (key == "period_s") { cfg.period_s = num; return true; }
+          return false;
+      }
+      return false;
+    }();
+    if (!ok) {
+      bad_spec("unknown key '" + key + "' for " + kind_name(cfg.kind));
+    }
+  }
+  cfg.validate();
+  return cfg;
+}
+
+std::pair<std::complex<double>, std::complex<double>> iq_imbalance_coeffs(
+    const ImpairmentConfig& cfg) {
+  const double eps = std::pow(10.0, cfg.gain_db / 20.0);
+  const double phi = cfg.phase_deg * kPi / 180.0;
+  const std::complex<double> e_neg(std::cos(phi), -std::sin(phi));
+  const std::complex<double> e_pos(std::cos(phi), std::sin(phi));
+  return {0.5 * (1.0 + eps * e_neg), 0.5 * (1.0 - eps * e_pos)};
+}
+
+cfloat iq_imbalance_invert(const ImpairmentConfig& cfg, cfloat y) {
+  const auto [mu, nu] = iq_imbalance_coeffs(cfg);
+  const std::complex<double> yd(y.real(), y.imag());
+  const double det = std::norm(mu) - std::norm(nu);
+  const std::complex<double> x = (std::conj(mu) * yd - nu * std::conj(yd)) / det;
+  return cfloat(static_cast<float>(x.real()), static_cast<float>(x.imag()));
+}
+
+std::unique_ptr<Impairment> make_impairment(const ImpairmentConfig& cfg,
+                                            const lora::Params& params,
+                                            obs::Registry* registry) {
+  cfg.validate();
+  switch (cfg.kind) {
+    case Kind::kPhaseNoise:
+      return std::make_unique<PhaseNoise>(cfg, params, registry);
+    case Kind::kIqImbalance:
+      return std::make_unique<IqImbalance>(cfg, params, registry);
+    case Kind::kQuantize:
+      if (cfg.bits == 0) {
+        // A disabled quantizer has no step size; substitute the widest
+        // depth so direct construction of a no-op config stays total.
+        ImpairmentConfig c = cfg;
+        c.bits = 16;
+        return std::make_unique<Quantizer>(c, params, registry);
+      }
+      return std::make_unique<Quantizer>(cfg, params, registry);
+    case Kind::kClockDrift:
+      return std::make_unique<ClockDrift>(cfg, params, registry);
+    case Kind::kInterSf: {
+      ImpairmentConfig c = cfg;
+      if (c.sf == 0) c.sf = params.sf;  // no-op config: keep construction total
+      return std::make_unique<InterSf>(c, params, registry);
+    }
+    case Kind::kDoppler:
+      return std::make_unique<Doppler>(cfg, params, registry);
+  }
+  throw std::invalid_argument("make_impairment: unknown kind");
+}
+
+Pipeline::Pipeline(std::span<const ImpairmentConfig> configs,
+                   const lora::Params& params, obs::Registry* registry) {
+  for (const ImpairmentConfig& cfg : configs) {
+    cfg.validate();
+    if (cfg.is_noop()) continue;  // zero severity: no stage, no Rng draws
+    auto stage = make_impairment(cfg, params, registry);
+    (cfg.per_packet() ? packet_stages_ : trace_stages_).push_back(stage.get());
+    stages_.push_back(std::move(stage));
+  }
+}
+
+bool Pipeline::synthesis_only() const {
+  for (const auto& s : stages_) {
+    if (s->config().kind == Kind::kInterSf) return true;
+  }
+  return false;
+}
+
+void Pipeline::apply_packet(IqBuffer& packet, Rng& rng) {
+  for (Impairment* s : packet_stages_) {
+    s->reset();
+    s->process(packet, rng);
+  }
+}
+
+void Pipeline::apply_trace(std::span<IqBuffer* const> antennas, Rng& rng) {
+  if (trace_stages_.empty() || antennas.empty()) return;
+  std::vector<std::size_t> orig(antennas.size());
+  for (std::size_t a = 0; a < antennas.size(); ++a) {
+    orig[a] = antennas[a]->size();
+  }
+  for (Impairment* s : trace_stages_) {
+    if (s->config().kind == Kind::kInterSf) {
+      s->process_multi(antennas, rng);  // same interferers on every antenna
+      continue;
+    }
+    for (IqBuffer* buf : antennas) {
+      s->reset();
+      s->process(*buf, rng);
+      IqBuffer tail;
+      s->flush(tail);
+      buf->insert(buf->end(), tail.begin(), tail.end());
+    }
+  }
+  // The resampler changes length slightly; restore the trace contract.
+  for (std::size_t a = 0; a < antennas.size(); ++a) {
+    antennas[a]->resize(orig[a], cfloat{0.0f, 0.0f});
+  }
+}
+
+void Pipeline::apply_trace(IqBuffer& trace, Rng& rng) {
+  IqBuffer* one = &trace;
+  apply_trace(std::span<IqBuffer* const>(&one, 1), rng);
+}
+
+void Pipeline::process_stream(IqBuffer& chunk, Rng& rng) {
+  for (auto& s : stages_) s->process(chunk, rng);
+}
+
+void Pipeline::flush_stream(IqBuffer& tail, Rng& rng) {
+  tail.clear();
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    IqBuffer t;
+    stages_[i]->flush(t);
+    if (t.empty()) continue;
+    for (std::size_t j = i + 1; j < stages_.size(); ++j) {
+      stages_[j]->process(t, rng);
+    }
+    tail.insert(tail.end(), t.begin(), t.end());
+  }
+}
+
+ClipStats Pipeline::clip_stats() const {
+  ClipStats total;
+  for (const auto& s : stages_) {
+    const ClipStats c = s->clip_stats();
+    total.clipped += c.clipped;
+    total.total += c.total;
+  }
+  return total;
+}
+
+}  // namespace tnb::impair

@@ -1,6 +1,9 @@
 #include "sim/deployment.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
 
 namespace tnb::sim {
 
@@ -59,6 +62,210 @@ Deployment etu_deployment(unsigned sf, std::size_t n_nodes) {
     d.snr_max_db = 20.0;
   }
   return d;
+}
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925;
+
+/// Exponential inter-arrival draw at `rate` events per second.
+double exponential(Rng& rng, double rate) {
+  return -std::log(1.0 - rng.uniform()) / rate;
+}
+
+std::vector<double> poisson_times(double rate, double duration, Rng& rng) {
+  std::vector<double> times;
+  if (rate <= 0.0) return times;
+  double t = exponential(rng, rate);
+  while (t < duration) {
+    times.push_back(t);
+    t += exponential(rng, rate);
+  }
+  return times;
+}
+
+std::vector<double> bursty_times(const TrafficModel& tm, double rate,
+                                 double duration, Rng& rng) {
+  std::vector<double> times;
+  if (rate <= 0.0) return times;
+  const double p_on = tm.burst_mean_s / (tm.burst_mean_s + tm.quiet_mean_s);
+  const double rate_on = tm.burst_factor * rate;
+  const double rate_off =
+      rate * (1.0 - p_on * tm.burst_factor) / (1.0 - p_on);
+  bool on = rng.uniform() < p_on;  // start in the stationary distribution
+  double t = 0.0;
+  while (t < duration) {
+    const double dwell =
+        exponential(rng, 1.0 / (on ? tm.burst_mean_s : tm.quiet_mean_s));
+    const double end = std::min(t + dwell, duration);
+    const double state_rate = on ? rate_on : rate_off;
+    if (state_rate > 0.0) {
+      double s = t + exponential(rng, state_rate);
+      while (s < end) {
+        times.push_back(s);
+        s += exponential(rng, state_rate);
+      }
+    }
+    t += dwell;
+    on = !on;
+  }
+  return times;
+}
+
+std::vector<double> diurnal_times(const TrafficModel& tm, double rate,
+                                  double duration, Rng& rng) {
+  std::vector<double> times;
+  if (rate <= 0.0) return times;
+  const double period =
+      tm.diurnal_period_s > 0.0 ? tm.diurnal_period_s : duration;
+  const double rate_max = rate * (1.0 + tm.diurnal_depth);
+  // Thinning: candidates at the peak rate, accepted with probability
+  // rate(t) / rate_max. One uniform per candidate, always consumed.
+  double t = exponential(rng, rate_max);
+  while (t < duration) {
+    const double accept =
+        (1.0 + tm.diurnal_depth * std::cos(kTwoPi * t / period)) /
+        (1.0 + tm.diurnal_depth);
+    if (rng.uniform() < accept) times.push_back(t);
+    t += exponential(rng, rate_max);
+  }
+  return times;
+}
+
+}  // namespace
+
+const char* arrivals_name(Arrivals a) {
+  switch (a) {
+    case Arrivals::kPoisson: return "poisson";
+    case Arrivals::kBursty: return "bursty";
+    case Arrivals::kDiurnal: return "diurnal";
+  }
+  return "?";
+}
+
+void TrafficModel::validate() const {
+  if (!(duty_cycle >= 0.0) || duty_cycle > 1.0) {
+    throw std::invalid_argument("TrafficModel: duty_cycle must be in [0, 1]");
+  }
+  if (!(burst_factor >= 1.0)) {
+    throw std::invalid_argument("TrafficModel: burst_factor must be >= 1");
+  }
+  if (!(burst_mean_s > 0.0) || !(quiet_mean_s > 0.0)) {
+    throw std::invalid_argument(
+        "TrafficModel: burst/quiet dwell means must be positive");
+  }
+  const double p_on = burst_mean_s / (burst_mean_s + quiet_mean_s);
+  if (p_on * burst_factor > 1.0) {
+    throw std::invalid_argument(
+        "TrafficModel: burst_factor too large for the on-state fraction "
+        "(the quiet-state rate would be negative)");
+  }
+  if (!(diurnal_depth >= 0.0) || diurnal_depth >= 1.0) {
+    throw std::invalid_argument(
+        "TrafficModel: diurnal_depth must be in [0, 1)");
+  }
+  if (!(diurnal_period_s >= 0.0)) {
+    throw std::invalid_argument(
+        "TrafficModel: diurnal_period_s must be >= 0");
+  }
+  double weight_sum = 0.0;
+  for (const auto& [sf, w] : sf_weights) {
+    if (sf < 5 || sf > 12) {
+      throw std::invalid_argument("TrafficModel: sf_weights SF must be 5..12");
+    }
+    if (!(w >= 0.0) || !std::isfinite(w)) {
+      throw std::invalid_argument(
+          "TrafficModel: sf_weights weights must be non-negative");
+    }
+    weight_sum += w;
+  }
+  if (!sf_weights.empty() && weight_sum <= 0.0) {
+    throw std::invalid_argument(
+        "TrafficModel: sf_weights needs at least one positive weight");
+  }
+}
+
+TrafficModel parse_traffic(const std::string& name) {
+  TrafficModel tm;
+  if (name == "poisson") tm.arrivals = Arrivals::kPoisson;
+  else if (name == "bursty") tm.arrivals = Arrivals::kBursty;
+  else if (name == "diurnal") tm.arrivals = Arrivals::kDiurnal;
+  else {
+    throw std::invalid_argument("parse_traffic: unknown model '" + name +
+                                "' (valid: poisson, bursty, diurnal)");
+  }
+  return tm;
+}
+
+std::vector<unsigned> draw_sf_assignment(const TrafficModel& tm,
+                                         std::size_t n_nodes,
+                                         unsigned default_sf, Rng& rng) {
+  std::vector<unsigned> sf(n_nodes, default_sf);
+  if (tm.sf_weights.empty()) return sf;  // no Rng draws
+  double total = 0.0;
+  for (const auto& [_, w] : tm.sf_weights) total += w;
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    double u = rng.uniform() * total;
+    for (const auto& [s, w] : tm.sf_weights) {
+      u -= w;
+      if (u < 0.0) {
+        sf[i] = s;
+        break;
+      }
+    }
+    // Rounding may leave u barely >= 0 after the last entry; the node then
+    // keeps the last listed SF.
+    if (u >= 0.0) sf[i] = tm.sf_weights.back().first;
+  }
+  return sf;
+}
+
+TrafficDraw draw_arrivals(const TrafficModel& tm, double load_pps,
+                          double duration_s, std::span<const unsigned> node_sf,
+                          const std::function<double(unsigned)>& airtime_s,
+                          Rng& rng) {
+  tm.validate();
+  if (node_sf.empty()) {
+    throw std::invalid_argument("draw_arrivals: empty node population");
+  }
+  if (tm.duty_cycle > 0.0 && !airtime_s) {
+    throw std::invalid_argument(
+        "draw_arrivals: duty_cycle needs an airtime callback");
+  }
+
+  std::vector<double> times;
+  switch (tm.arrivals) {
+    case Arrivals::kPoisson:
+      times = poisson_times(load_pps, duration_s, rng);
+      break;
+    case Arrivals::kBursty:
+      times = bursty_times(tm, load_pps, duration_s, rng);
+      break;
+    case Arrivals::kDiurnal:
+      times = diurnal_times(tm, load_pps, duration_s, rng);
+      break;
+  }
+
+  TrafficDraw draw;
+  draw.arrivals.reserve(times.size());
+  const double budget = tm.duty_cycle > 0.0
+                            ? tm.duty_cycle * duration_s
+                            : std::numeric_limits<double>::infinity();
+  std::vector<double> used(node_sf.size(), 0.0);
+  for (double t : times) {
+    PacketArrival a;
+    a.node = rng.uniform_index(node_sf.size());
+    a.start_s = t;
+    a.sf = node_sf[a.node];
+    const double air = airtime_s ? airtime_s(a.sf) : 0.0;
+    if (used[a.node] + air > budget) {
+      ++draw.duty_dropped;
+      continue;
+    }
+    used[a.node] += air;
+    draw.arrivals.push_back(a);
+  }
+  return draw;
 }
 
 }  // namespace tnb::sim

@@ -9,7 +9,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -44,5 +47,90 @@ Deployment outdoor2_deployment();
 /// Uniform SNR deployment for the ETU simulations: SNR ranges are
 /// [0, 20] dB for SF 8 and [-6, 14] dB for SF 10 (paper Section 8.5).
 Deployment etu_deployment(unsigned sf, std::size_t n_nodes = 25);
+
+// ---------------------------------------------------------------------------
+// Network-scale traffic models.
+//
+// The builder's legacy schedule splits load_pps * duration packets evenly
+// across nodes at uniform start times. A TrafficModel replaces that with
+// event arrivals the way a real LoRaWAN network offers load: Poisson
+// arrivals, MMPP-2 bursty traffic (alternating burst/quiet states with
+// exponentially distributed dwell times — index of dispersion > 1), or
+// diurnally shaped load (a non-homogeneous Poisson process thinned against
+// a cosine rate profile). On top of the arrival process it models per-node
+// regulatory duty-cycle budgets and an ADR-like spreading-factor mix:
+// nodes assigned a foreign SF still transmit (their packets are injected
+// into the waveform as interference) but are not part of the trace's
+// same-SF ground truth.
+
+enum class Arrivals {
+  kPoisson,  ///< homogeneous Poisson process at load_pps
+  kBursty,   ///< MMPP-2: burst/quiet states, mean rate still load_pps
+  kDiurnal,  ///< cosine-shaped rate profile, mean rate still load_pps
+};
+
+const char* arrivals_name(Arrivals a);
+
+struct TrafficModel {
+  Arrivals arrivals = Arrivals::kPoisson;
+
+  /// Per-node airtime budget as a fraction of the trace duration (EU868's
+  /// 1% band would be 0.01). Arrivals beyond a node's budget are dropped
+  /// (counted in TrafficDraw::duty_dropped). 0 disables the limit.
+  double duty_cycle = 0.0;
+
+  /// ADR-like SF mix: (sf, weight) pairs; each node is assigned one SF for
+  /// the whole trace, drawn from this distribution. Empty keeps every node
+  /// on the trace SF.
+  std::vector<std::pair<unsigned, double>> sf_weights;
+
+  // MMPP-2 parameters (kBursty). The burst-state arrival rate is
+  // burst_factor * load_pps; the quiet-state rate is solved so the
+  // stationary mean rate stays load_pps, which requires
+  // p_on * burst_factor <= 1 with p_on = burst_mean / (burst_mean + quiet).
+  double burst_factor = 4.0;   ///< rate multiplier inside a burst (>= 1)
+  double burst_mean_s = 0.25;  ///< mean burst dwell time
+  double quiet_mean_s = 1.0;   ///< mean quiet dwell time
+
+  // Diurnal shaping (kDiurnal): rate(t) = load * (1 + depth * cos(2 pi t /
+  // period)). period 0 means one period per trace.
+  double diurnal_depth = 0.8;     ///< modulation depth in [0, 1)
+  double diurnal_period_s = 0.0;  ///< 0 -> trace duration
+
+  /// Throws std::invalid_argument on inconsistent parameters.
+  void validate() const;
+};
+
+/// Parses a --traffic name (poisson | bursty | diurnal) into a model with
+/// default parameters. Throws std::invalid_argument on unknown names.
+TrafficModel parse_traffic(const std::string& name);
+
+/// One scheduled transmission.
+struct PacketArrival {
+  std::size_t node = 0;  ///< index into the node population
+  double start_s = 0.0;  ///< transmission start, seconds from trace start
+  unsigned sf = 0;       ///< the transmitting node's assigned SF
+};
+
+struct TrafficDraw {
+  std::vector<PacketArrival> arrivals;  ///< time-sorted, duty-filtered
+  std::size_t duty_dropped = 0;         ///< arrivals over a node's budget
+};
+
+/// Assigns each node an SF from tm.sf_weights (all default_sf — with no
+/// Rng draws — when the mix is empty).
+std::vector<unsigned> draw_sf_assignment(const TrafficModel& tm,
+                                         std::size_t n_nodes,
+                                         unsigned default_sf, Rng& rng);
+
+/// Draws the arrival schedule of one trace: event times from tm.arrivals
+/// at mean rate load_pps over [0, duration_s), each assigned a uniformly
+/// random node, then filtered against per-node duty-cycle budgets using
+/// airtime_s(sf) (ignored when tm.duty_cycle is 0; airtime_s may be null
+/// in that case). Deterministic in rng.
+TrafficDraw draw_arrivals(const TrafficModel& tm, double load_pps,
+                          double duration_s, std::span<const unsigned> node_sf,
+                          const std::function<double(unsigned)>& airtime_s,
+                          Rng& rng);
 
 }  // namespace tnb::sim

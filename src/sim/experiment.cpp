@@ -36,6 +36,8 @@ Trace build_run_trace(const Scenario& scenario, std::uint64_t seed) {
   opt.channel = scenario.channel;
   opt.n_antennas = scenario.n_antennas;
   opt.implicit_header = scenario.implicit_header;
+  opt.traffic = scenario.traffic;
+  opt.impairments = scenario.impairments;
   return build_trace(scenario.params, opt, rng);
 }
 

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -38,6 +39,11 @@ struct Scenario {
   const chan::Channel* channel = nullptr;
   unsigned n_antennas = 1;
   bool implicit_header = false;
+  /// Optional traffic model and impairment chain, forwarded to
+  /// TraceOptions — both deterministic per run seed, so Series stays
+  /// bit-identical for any jobs count.
+  std::optional<TrafficModel> traffic;
+  std::vector<impair::ImpairmentConfig> impairments;
 };
 
 /// Execution options for run_repeated / run_grid.

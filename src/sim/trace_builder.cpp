@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <stdexcept>
 
 #include "channel/awgn.hpp"
@@ -71,6 +72,11 @@ Trace build_trace(const lora::Params& params, const TraceOptions& opt, Rng& rng)
     return a == 0 ? trace.iq : trace.extra_antennas[a - 1];
   };
 
+  // Impairment chain: validated here, no-op configs dropped. An empty (or
+  // all-no-op) pipeline never touches `rng`, keeping legacy traces
+  // bit-identical.
+  impair::Pipeline pipeline(opt.impairments, params);
+
   const lora::Modulator mod(params);
   // With a custom shift encoder the symbol count comes from the encoder
   // itself (it depends only on the payload length, fixed per trace).
@@ -87,61 +93,169 @@ Trace build_trace(const lora::Params& params, const TraceOptions& opt, Rng& rng)
     throw std::invalid_argument("build_trace: trace shorter than one packet");
   }
 
-  // Total packets at the offered load, split across nodes as evenly as
-  // possible (the remainder goes to the first nodes, so short traces still
-  // realize the exact offered load rather than a per-node quantization).
-  const std::size_t total_pkts = std::max<std::size_t>(
-      1, static_cast<std::size_t>(opt.load_pps * opt.duration_s + 0.5));
-  const std::size_t base = total_pkts / opt.nodes.size();
-  const std::size_t extra = total_pkts % opt.nodes.size();
+  // Synthesizes the packet of `rec` (rec.start_sample, cfo, snr already
+  // set), runs the transmitter-side impairments, and superimposes it on
+  // every antenna — shared by the legacy and traffic-model schedulers.
+  const auto add_packet = [&](TxPacketRecord& rec) {
+    const std::size_t start_int = static_cast<std::size_t>(rec.start_sample);
+    lora::WaveformOptions wopt;
+    wopt.frac_delay = rec.start_sample - static_cast<double>(start_int);
+    wopt.cfo_hz = rec.cfo_hz;
+    wopt.amplitude = chan::amplitude_for_snr_db(rec.snr_db);
+    IqBuffer clean =
+        opt.shift_encoder
+            ? mod.synthesize_shifts(opt.shift_encoder(rec.app_payload), wopt)
+            : mod.synthesize(opt.implicit_header
+                                 ? lora::encode_payload_symbols(
+                                       params,
+                                       lora::assemble_payload(rec.app_payload))
+                                 : lora::make_packet_symbols(params,
+                                                             rec.app_payload),
+                             wopt);
+    if (pipeline.has_per_packet()) pipeline.apply_packet(clean, rng);
+    rec.n_samples = clean.size();
+
+    for (unsigned a = 0; a < opt.n_antennas; ++a) {
+      IqBuffer pkt = clean;
+      if (opt.channel != nullptr) {
+        // Independent realization per antenna: receive diversity.
+        opt.channel->apply(pkt, params.sample_rate_hz(), rng);
+      }
+      IqBuffer& dst = antenna_at(a);
+      const std::size_t n_add = std::min(pkt.size(), trace_samples - start_int);
+      for (std::size_t i = 0; i < n_add; ++i) {
+        dst[start_int + i] += pkt[i];
+      }
+    }
+  };
 
   std::vector<std::uint16_t> node_seq(opt.nodes.size(), 0);
-  for (std::size_t ni = 0; ni < opt.nodes.size(); ++ni) {
-    const NodeConfig& node = opt.nodes[ni];
-    const std::size_t count = base + (ni < extra ? 1 : 0);
-    for (std::size_t k = 0; k < count; ++k) {
-      TxPacketRecord rec;
-      rec.node_id = node.id;
-      rec.seq = node_seq[ni]++;
-      rec.app_payload = make_app_payload(node.id, rec.seq,
-                                         opt.app_payload_bytes, rng);
-      rec.cfo_hz = node.cfo_hz;
-      rec.snr_db = node.snr_db;
-      rec.n_data_symbols = n_data_symbols;
-      rec.start_sample = rng.uniform(
-          0.0, static_cast<double>(trace_samples - pkt_samples - 2));
+  if (opt.traffic.has_value()) {
+    const TrafficModel& tm = *opt.traffic;
+    const double fs = params.sample_rate_hz();
+    const std::vector<unsigned> node_sf =
+        draw_sf_assignment(tm, opt.nodes.size(), params.sf, rng);
 
-      const std::size_t start_int = static_cast<std::size_t>(rec.start_sample);
-      lora::WaveformOptions wopt;
-      wopt.frac_delay = rec.start_sample - static_cast<double>(start_int);
-      wopt.cfo_hz = rec.cfo_hz;
-      wopt.amplitude = chan::amplitude_for_snr_db(rec.snr_db);
-      const IqBuffer clean =
-          opt.shift_encoder
-              ? mod.synthesize_shifts(opt.shift_encoder(rec.app_payload), wopt)
-              : mod.synthesize(opt.implicit_header
-                                   ? lora::encode_payload_symbols(
-                                         params,
-                                         lora::assemble_payload(rec.app_payload))
-                                   : lora::make_packet_symbols(params,
-                                                               rec.app_payload),
-                               wopt);
-      rec.n_samples = clean.size();
+    // Frame layout of the ADR mix's foreign SFs (paper coding at that SF;
+    // the trace SF keeps opt.shift_encoder). Built before the arrival
+    // draws — no randomness involved.
+    struct ForeignSf {
+      lora::Params p;
+      std::size_t n_symbols = 0;
+      std::size_t pkt_samples = 0;
+    };
+    std::map<unsigned, ForeignSf> foreign;
+    for (unsigned sf : node_sf) {
+      if (sf == params.sf || foreign.count(sf) != 0) continue;
+      ForeignSf f;
+      f.p = params;
+      f.p.sf = sf;
+      f.p.ldro = params.ldro && sf >= 8;
+      f.n_symbols =
+          opt.implicit_header
+              ? lora::num_payload_symbols(f.p, opt.app_payload_bytes + 2)
+              : lora::num_packet_symbols(f.p, opt.app_payload_bytes + 2);
+      f.pkt_samples = lora::Modulator(f.p).packet_samples(f.n_symbols);
+      foreign.emplace(sf, f);
+    }
 
-      for (unsigned a = 0; a < opt.n_antennas; ++a) {
-        IqBuffer pkt = clean;
-        if (opt.channel != nullptr) {
-          // Independent realization per antenna: receive diversity.
-          opt.channel->apply(pkt, params.sample_rate_hz(), rng);
+    const auto airtime = [&](unsigned sf) {
+      const std::size_t n =
+          sf == params.sf ? pkt_samples : foreign.at(sf).pkt_samples;
+      return static_cast<double>(n) / fs;
+    };
+    const TrafficDraw draw = draw_arrivals(tm, opt.load_pps, opt.duration_s,
+                                           node_sf, airtime, rng);
+    trace.duty_dropped = draw.duty_dropped;
+
+    for (const PacketArrival& a : draw.arrivals) {
+      const NodeConfig& node = opt.nodes[a.node];
+      const double start = a.start_s * fs;
+      if (a.sf == params.sf) {
+        // Arrivals too close to the trace end to fit are dropped (an event
+        // schedule, unlike the legacy placement, does not know the packet
+        // length up front).
+        if (start > static_cast<double>(trace_samples) -
+                        static_cast<double>(pkt_samples) - 2.0) {
+          continue;
         }
-        IqBuffer& dst = antenna_at(a);
-        const std::size_t n_add =
-            std::min(pkt.size(), trace_samples - start_int);
-        for (std::size_t i = 0; i < n_add; ++i) {
-          dst[start_int + i] += pkt[i];
+        TxPacketRecord rec;
+        rec.node_id = node.id;
+        rec.seq = node_seq[a.node]++;
+        rec.app_payload =
+            make_app_payload(node.id, rec.seq, opt.app_payload_bytes, rng);
+        rec.cfo_hz = node.cfo_hz;
+        rec.snr_db = node.snr_db;
+        rec.n_data_symbols = n_data_symbols;
+        rec.start_sample = start;
+        add_packet(rec);
+        trace.packets.push_back(std::move(rec));
+      } else {
+        const ForeignSf& f = foreign.at(a.sf);
+        if (start > static_cast<double>(trace_samples) -
+                        static_cast<double>(f.pkt_samples) - 2.0) {
+          continue;
         }
+        // A real transmission from an ADR-assigned node, but invisible to
+        // the same-SF ground truth: synthesized into the waveform only.
+        const std::uint16_t seq = node_seq[a.node]++;
+        const std::vector<std::uint8_t> payload =
+            make_app_payload(node.id, seq, opt.app_payload_bytes, rng);
+        const std::size_t start_int = static_cast<std::size_t>(start);
+        lora::WaveformOptions wopt;
+        wopt.frac_delay = start - static_cast<double>(start_int);
+        wopt.cfo_hz = node.cfo_hz;
+        wopt.amplitude = chan::amplitude_for_snr_db(node.snr_db);
+        const lora::Modulator fmod(f.p);
+        IqBuffer clean = fmod.synthesize(
+            opt.implicit_header
+                ? lora::encode_payload_symbols(f.p,
+                                               lora::assemble_payload(payload))
+                : lora::make_packet_symbols(f.p, payload),
+            wopt);
+        if (pipeline.has_per_packet()) pipeline.apply_packet(clean, rng);
+        for (unsigned ant = 0; ant < opt.n_antennas; ++ant) {
+          IqBuffer pkt = clean;
+          if (opt.channel != nullptr) {
+            opt.channel->apply(pkt, fs, rng);
+          }
+          IqBuffer& dst = antenna_at(ant);
+          const std::size_t n_add =
+              std::min(pkt.size(), trace_samples - start_int);
+          for (std::size_t i = 0; i < n_add; ++i) {
+            dst[start_int + i] += pkt[i];
+          }
+        }
+        ++trace.n_foreign;
       }
-      trace.packets.push_back(std::move(rec));
+    }
+  } else {
+    // Legacy schedule: total packets at the offered load, split across
+    // nodes as evenly as possible (the remainder goes to the first nodes,
+    // so short traces still realize the exact offered load rather than a
+    // per-node quantization).
+    const std::size_t total_pkts = std::max<std::size_t>(
+        1, static_cast<std::size_t>(opt.load_pps * opt.duration_s + 0.5));
+    const std::size_t base = total_pkts / opt.nodes.size();
+    const std::size_t extra = total_pkts % opt.nodes.size();
+
+    for (std::size_t ni = 0; ni < opt.nodes.size(); ++ni) {
+      const NodeConfig& node = opt.nodes[ni];
+      const std::size_t count = base + (ni < extra ? 1 : 0);
+      for (std::size_t k = 0; k < count; ++k) {
+        TxPacketRecord rec;
+        rec.node_id = node.id;
+        rec.seq = node_seq[ni]++;
+        rec.app_payload = make_app_payload(node.id, rec.seq,
+                                           opt.app_payload_bytes, rng);
+        rec.cfo_hz = node.cfo_hz;
+        rec.snr_db = node.snr_db;
+        rec.n_data_symbols = n_data_symbols;
+        rec.start_sample = rng.uniform(
+            0.0, static_cast<double>(trace_samples - pkt_samples - 2));
+        add_packet(rec);
+        trace.packets.push_back(std::move(rec));
+      }
     }
   }
 
@@ -155,6 +269,12 @@ Trace build_trace(const lora::Params& params, const TraceOptions& opt, Rng& rng)
     for (IqBuffer& a : trace.extra_antennas) {
       chan::add_awgn(a, trace.noise_power, rng);
     }
+  }
+
+  if (pipeline.has_per_trace()) {
+    std::vector<IqBuffer*> antennas{&trace.iq};
+    for (IqBuffer& a : trace.extra_antennas) antennas.push_back(&a);
+    pipeline.apply_trace(antennas, rng);
   }
   return trace;
 }

@@ -10,12 +10,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "channel/fading.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "impair/impairment.hpp"
 #include "lora/params.hpp"
 #include "sim/deployment.hpp"
 
@@ -39,6 +41,12 @@ struct Trace {
   std::vector<IqBuffer> extra_antennas; ///< antennas 1..n-1 (receive diversity)
   std::vector<TxPacketRecord> packets;  ///< sorted by start_sample
   double noise_power = 0.0;             ///< per-sample complex noise variance
+  /// Foreign-SF packets injected into the waveform by the traffic model's
+  /// SF mix. They interfere but are not ground truth (the receiver under
+  /// test runs at `params.sf`), so they are not in `packets` or the CSV.
+  std::size_t n_foreign = 0;
+  /// Arrivals dropped by the traffic model's per-node duty-cycle budget.
+  std::size_t duty_dropped = 0;
 
   /// Spans over all antennas, for Receiver::decode_multi.
   std::vector<std::span<const cfloat>> antenna_spans() const {
@@ -69,6 +77,16 @@ struct TraceOptions {
   /// to the same symbol count (app_payload_bytes is fixed per trace).
   std::function<std::vector<std::uint32_t>(std::span<const std::uint8_t>)>
       shift_encoder;
+  /// Event-arrival traffic model replacing the flat even-split schedule
+  /// (Poisson/bursty/diurnal arrivals, duty-cycle budgets, ADR SF mix).
+  /// Unset keeps the legacy schedule bit-identical.
+  std::optional<TrafficModel> traffic;
+  /// Ordered hardware-impairment chain (tnb::impair), applied inside
+  /// build_trace: per-packet stages to each clean waveform before the
+  /// channel, per-trace stages to the summed trace after noise. Zero-
+  /// severity configs are dropped and draw no randomness, so an all-no-op
+  /// chain is bit-identical to an empty one.
+  std::vector<impair::ImpairmentConfig> impairments;
 };
 
 /// Builds one trace. All randomness comes from `rng`.

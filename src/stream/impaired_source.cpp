@@ -1,0 +1,51 @@
+#include "stream/impaired_source.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace tnb::stream {
+
+ImpairedSource::ImpairedSource(std::unique_ptr<ChunkSource> inner,
+                               std::span<const impair::ImpairmentConfig> configs,
+                               const lora::Params& params, std::uint64_t seed,
+                               obs::Registry* registry)
+    : inner_(std::move(inner)),
+      pipeline_(configs, params, registry),
+      rng_(seed) {
+  if (pipeline_.synthesis_only()) {
+    throw std::invalid_argument(
+        "ImpairedSource: inter_sf is synthesis-only (use tnb_gen --impair)");
+  }
+  if (pipeline_.has_per_packet()) {
+    throw std::invalid_argument(
+        "ImpairedSource: phase_noise/doppler are transmitter-side, applied "
+        "per packet (use tnb_gen --impair)");
+  }
+}
+
+std::size_t ImpairedSource::next(IqBuffer& out, std::size_t max_samples) {
+  out.clear();
+  while (out.size() < max_samples) {
+    if (!carry_.empty()) {
+      const std::size_t take =
+          std::min(max_samples - out.size(), carry_.size());
+      out.insert(out.end(), carry_.begin(),
+                 carry_.begin() + static_cast<std::ptrdiff_t>(take));
+      carry_.erase(carry_.begin(),
+                   carry_.begin() + static_cast<std::ptrdiff_t>(take));
+      continue;
+    }
+    if (drained_) break;
+    if (inner_->next(chunk_, max_samples) == 0) {
+      pipeline_.flush_stream(carry_, rng_);
+      drained_ = true;
+      continue;
+    }
+    pipeline_.process_stream(chunk_, rng_);
+    carry_.swap(chunk_);  // carry_ is empty here
+  }
+  return out.size();
+}
+
+}  // namespace tnb::stream

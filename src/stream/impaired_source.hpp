@@ -1,0 +1,49 @@
+// ChunkSource decorator applying a tnb::impair chain to a live stream.
+//
+// tnb_streamd --impair wraps its input source in an ImpairedSource so the
+// gateway decodes the stream as a degraded front end would deliver it.
+// Stages run in config order with state carried across chunks (the
+// resampler's pending window), and randomness comes from a dedicated
+// seeded Rng — the decoded output is deterministic for a fixed (input,
+// chain, seed). Only receiver-side stages are accepted: inter_sf is
+// synthesis-only (an injected packet spans chunk boundaries) and
+// phase_noise/doppler are transmitter-side per-packet effects; both are
+// rejected at construction.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "impair/impairment.hpp"
+#include "stream/chunk_source.hpp"
+
+namespace tnb::stream {
+
+class ImpairedSource final : public ChunkSource {
+ public:
+  /// Throws std::invalid_argument on invalid configs or a chain containing
+  /// a synthesis-only stage (inter_sf).
+  ImpairedSource(std::unique_ptr<ChunkSource> inner,
+                 std::span<const impair::ImpairmentConfig> configs,
+                 const lora::Params& params, std::uint64_t seed,
+                 obs::Registry* registry = nullptr);
+
+  /// Pulls from the inner source, runs the chain, and delivers at most
+  /// `max_samples` — a slow-clock resampler (ppm < 0) emits more samples
+  /// than it consumes, so the surplus is carried into the next call. At
+  /// inner end-of-stream the chain is flushed once and its tail delivered.
+  std::size_t next(IqBuffer& out, std::size_t max_samples) override;
+
+  impair::ClipStats clip_stats() const { return pipeline_.clip_stats(); }
+
+ private:
+  std::unique_ptr<ChunkSource> inner_;
+  impair::Pipeline pipeline_;
+  Rng rng_;
+  IqBuffer carry_;   ///< processed samples beyond the last call's budget
+  IqBuffer chunk_;   ///< scratch for inner reads
+  bool drained_ = false;
+};
+
+}  // namespace tnb::stream

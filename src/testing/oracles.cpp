@@ -24,6 +24,7 @@
 #include "lora/interleaver.hpp"
 #include "lora/modulator.hpp"
 #include "lora/whitening.hpp"
+#include "sim/trace_builder.hpp"
 #include "sim/trace_io.hpp"
 #include "stream/chunk_source.hpp"
 #include "stream/streaming_receiver.hpp"
@@ -720,6 +721,120 @@ void oracle_fft_backend(FuzzInput& in) {
   TNB_ORACLE(std::memcmp(batched.data(), singles.data(),
                          count * n * sizeof(cfloat)) == 0,
              std::string(be.name()) + ": transform_batch != per-row transform");
+}
+
+// ---------------------------------------------------------- impair / traffic
+
+void oracle_impairment_totality(FuzzInput& in) {
+  lora::Params p;
+  p.sf = static_cast<unsigned>(in.uniform(5, 8));
+  p.cr = static_cast<unsigned>(in.uniform(1, 4));
+  p.osf = static_cast<unsigned>(in.uniform(1, 2));
+  p.ldro = in.boolean() && p.sf >= 8;  // LDRO is only valid at SF >= 8
+
+  sim::TraceOptions opt;
+  // At least ~1.5 packet airtimes, so the build_trace "trace shorter than
+  // one packet" precondition holds for every drawn (SF, osf, LDRO).
+  const std::size_t pkt_samples = lora::Modulator(p).packet_samples(
+      lora::num_packet_symbols(p, opt.app_payload_bytes + 2));
+  const double min_duration =
+      1.5 * static_cast<double>(pkt_samples) / p.sample_rate_hz();
+  opt.duration_s = std::max(in.real(0.05, 0.25), min_duration);
+  opt.load_pps = in.real(0.0, 30.0);
+  opt.n_antennas = static_cast<unsigned>(in.uniform(1, 2));
+  opt.implicit_header = in.boolean();
+  const std::size_t n_nodes = in.uniform(1, 4);
+  for (std::size_t k = 0; k < n_nodes; ++k) {
+    sim::NodeConfig node;
+    node.id = static_cast<std::uint16_t>(k + 1);
+    node.snr_db = in.real(-5.0, 20.0);
+    node.cfo_hz = in.real(-sim::kMaxCfoHz, sim::kMaxCfoHz);
+    opt.nodes.push_back(node);
+  }
+
+  const std::size_t n_stages = in.uniform(0, 4);
+  for (std::size_t k = 0; k < n_stages; ++k) {
+    impair::ImpairmentConfig cfg;
+    switch (in.uniform(0, 5)) {
+      case 0:
+        cfg.kind = impair::Kind::kPhaseNoise;
+        cfg.linewidth_hz = in.real(0.0, 1e5);
+        break;
+      case 1:
+        cfg.kind = impair::Kind::kIqImbalance;
+        cfg.gain_db = in.real(-6.0, 6.0);
+        cfg.phase_deg = in.real(-45.0, 45.0);
+        break;
+      case 2:
+        cfg.kind = impair::Kind::kQuantize;
+        cfg.bits = static_cast<unsigned>(in.uniform(0, 16));
+        cfg.full_scale = in.real(0.1, 64.0);
+        break;
+      case 3:
+        cfg.kind = impair::Kind::kClockDrift;
+        cfg.ppm = in.real(-500.0, 500.0);
+        break;
+      case 4:
+        cfg.kind = impair::Kind::kInterSf;
+        cfg.sf = static_cast<unsigned>(in.uniform(5, 12));
+        cfg.pps = in.real(0.0, 50.0);
+        cfg.snr_db = in.real(-10.0, 20.0);
+        break;
+      default:
+        cfg.kind = impair::Kind::kDoppler;
+        cfg.doppler_hz = in.real(-5e3, 5e3);
+        cfg.period_s = in.real(0.1, 20.0);
+        break;
+    }
+    opt.impairments.push_back(cfg);
+  }
+  if (in.boolean()) {
+    sim::TrafficModel tm;
+    tm.arrivals = static_cast<sim::Arrivals>(in.uniform(0, 2));
+    tm.duty_cycle = in.boolean() ? in.real(0.0, 1.0) : 0.0;
+    if (in.boolean()) {
+      tm.sf_weights = {{p.sf, in.real(0.1, 1.0)},
+                       {static_cast<unsigned>(in.uniform(5, 12)),
+                        in.real(0.0, 1.0)}};
+    }
+    opt.traffic = tm;
+  }
+  const std::uint64_t seed = in.u64();
+
+  const auto build = [&] {
+    Rng rng(seed);
+    return sim::build_trace(p, opt, rng);
+  };
+  const sim::Trace a = build();
+  TNB_ORACLE(!a.iq.empty(), "empty trace");
+  TNB_ORACLE(a.extra_antennas.size() + 1 == opt.n_antennas ||
+                 (opt.n_antennas == 1 && a.extra_antennas.empty()),
+             "antenna count mismatch");
+  const auto check_finite = [](const IqBuffer& buf) {
+    for (const cfloat& v : buf) {
+      TNB_ORACLE(std::isfinite(v.real()) && std::isfinite(v.imag()),
+                 "non-finite sample in built trace");
+    }
+  };
+  check_finite(a.iq);
+  for (const IqBuffer& ant : a.extra_antennas) {
+    TNB_ORACLE(ant.size() == a.iq.size(), "antenna length mismatch");
+    check_finite(ant);
+  }
+  for (const sim::TxPacketRecord& rec : a.packets) {
+    TNB_ORACLE(rec.start_sample >= 0.0 &&
+                   rec.start_sample + static_cast<double>(rec.n_samples) <=
+                       static_cast<double>(a.iq.size()) + 1.0,
+               "ground-truth record outside the trace");
+  }
+
+  const sim::Trace b = build();
+  TNB_ORACLE(a.iq == b.iq && a.extra_antennas == b.extra_antennas,
+             "same-seed rebuild not bit-identical");
+  TNB_ORACLE(a.packets.size() == b.packets.size() &&
+                 a.n_foreign == b.n_foreign &&
+                 a.duty_dropped == b.duty_dropped,
+             "same-seed rebuild ground truth mismatch");
 }
 
 // ----------------------------------------------------------------- baselines

@@ -128,6 +128,15 @@ void oracle_wire_codec_totality(FuzzInput& in);
 /// on identical input is bit-identical (no hidden state).
 void oracle_fft_backend(FuzzInput& in);
 
+// ---- impair::Pipeline / sim traffic models ----
+/// An arbitrary impairment chain (0..4 stages, severities across the full
+/// validated range) plus an optional traffic model keeps sim::build_trace
+/// total: every sample of every antenna is finite, all antennas have the
+/// trace length, every ground-truth record lies inside the trace, and
+/// rebuilding from the same seed is bit-identical (no hidden state across
+/// packets or stages).
+void oracle_impairment_totality(FuzzInput& in);
+
 // ---- base::CoRaDetector / base::LZnSync (the baseline peers) ----
 /// Arbitrary IQ through a fuzz-chosen baseline receiver (CoRa, CoRa+,
 /// CoRa-TnB, LZn-Thrive): total — never crashes — deterministic for a

@@ -1,0 +1,14 @@
+// Fuzz harness: arbitrary impairment chains and traffic models through
+// sim::build_trace — total (finite samples, length contract, in-trace
+// ground truth) and bit-identical on a same-seed rebuild.
+#include <cstddef>
+#include <cstdint>
+
+#include "testing/oracles.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  tnb::testing::FuzzInput in(data, size);
+  tnb::testing::oracle_impairment_totality(in);
+  return 0;
+}

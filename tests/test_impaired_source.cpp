@@ -1,0 +1,161 @@
+// Tests for stream::ImpairedSource — the ChunkSource decorator tnb_streamd
+// --impair wraps around its input: stage-state continuity across chunk
+// boundaries, the carry buffer's max_samples contract, flush-at-EOF, and
+// the construction-time rejection of non-stream stages.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "stream/impaired_source.hpp"
+
+namespace {
+
+using namespace tnb;
+
+lora::Params test_params() {
+  return lora::Params{.sf = 7, .cr = 4, .bandwidth_hz = 125e3, .osf = 2};
+}
+
+/// ChunkSource serving a fixed buffer in caller-controlled chunk sizes.
+class VectorSource final : public stream::ChunkSource {
+ public:
+  explicit VectorSource(IqBuffer data, std::size_t serve = 0)
+      : data_(std::move(data)), serve_(serve) {}
+
+  std::size_t next(IqBuffer& out, std::size_t max_samples) override {
+    const std::size_t cap = serve_ > 0 ? std::min(serve_, max_samples)
+                                       : max_samples;
+    const std::size_t n = std::min(cap, data_.size() - pos_);
+    out.assign(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+               data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return n;
+  }
+
+ private:
+  IqBuffer data_;
+  std::size_t serve_;
+  std::size_t pos_ = 0;
+};
+
+IqBuffer random_iq(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  IqBuffer buf(n);
+  for (cfloat& v : buf) {
+    v = cfloat(static_cast<float>(rng.uniform(-1.0, 1.0)),
+               static_cast<float>(rng.uniform(-1.0, 1.0)));
+  }
+  return buf;
+}
+
+IqBuffer drain(stream::ChunkSource& src, std::size_t chunk) {
+  IqBuffer all, tmp;
+  while (src.next(tmp, chunk) > 0) {
+    all.insert(all.end(), tmp.begin(), tmp.end());
+  }
+  return all;
+}
+
+std::vector<impair::ImpairmentConfig> chain(
+    std::initializer_list<const char*> specs) {
+  std::vector<impair::ImpairmentConfig> out;
+  for (const char* s : specs) out.push_back(impair::parse_impairment(s));
+  return out;
+}
+
+// The output must not depend on how the stream is chunked: stage state
+// (the resampler's pending window, the IQ coefficients) carries across
+// chunk boundaries.
+TEST(ImpairedSource, ChunkingInvariant) {
+  const lora::Params params = test_params();
+  const IqBuffer data = random_iq(40000, 1);
+  const auto configs = chain({"iq_imbalance,gain_db=1,phase_deg=4",
+                              "clock_drift,ppm=300", "quantize,bits=10"});
+  IqBuffer ref;
+  {
+    stream::ImpairedSource src(std::make_unique<VectorSource>(data), configs,
+                               params, /*seed=*/5);
+    ref = drain(src, data.size() + 16);
+  }
+  EXPECT_FALSE(ref.empty());
+  for (std::size_t chunk : {64u, 1000u, 4096u, 9999u}) {
+    stream::ImpairedSource src(std::make_unique<VectorSource>(data), configs,
+                               params, 5);
+    const IqBuffer got = drain(src, chunk);
+    EXPECT_TRUE(got == ref) << "chunk=" << chunk;
+  }
+  // Also invariant in the *inner* source's serving size.
+  for (std::size_t serve : {17u, 333u}) {
+    stream::ImpairedSource src(
+        std::make_unique<VectorSource>(data, serve), configs, params, 5);
+    const IqBuffer got = drain(src, 4096);
+    EXPECT_TRUE(got == ref) << "serve=" << serve;
+  }
+}
+
+// next() must never deliver more than max_samples even when a slow-clock
+// resampler (ppm < 0) emits more samples than it consumed.
+TEST(ImpairedSource, RespectsMaxSamplesWithSlowClock) {
+  const lora::Params params = test_params();
+  const IqBuffer data = random_iq(30000, 2);
+  stream::ImpairedSource src(std::make_unique<VectorSource>(data),
+                             chain({"clock_drift,ppm=-5000"}), params, 3);
+  IqBuffer tmp, all;
+  std::size_t n;
+  while ((n = src.next(tmp, 1024)) > 0) {
+    EXPECT_LE(n, 1024u);
+    EXPECT_EQ(n, tmp.size());
+    all.insert(all.end(), tmp.begin(), tmp.end());
+  }
+  // ppm = -5000 stretches the stream by a factor 1/(1 - 5e-3): more out
+  // than in, delivered without violating the budget.
+  EXPECT_GT(all.size(), data.size());
+  const double expected =
+      static_cast<double>(data.size()) / (1.0 - 5000.0 * 1e-6);
+  EXPECT_NEAR(static_cast<double>(all.size()), expected, 3.0);
+}
+
+// A no-op chain passes samples through byte-exactly.
+TEST(ImpairedSource, NoopChainPassesThrough) {
+  const lora::Params params = test_params();
+  const IqBuffer data = random_iq(10000, 4);
+  stream::ImpairedSource src(
+      std::make_unique<VectorSource>(data),
+      chain({"quantize,bits=0", "clock_drift,ppm=0"}), params, 1);
+  const IqBuffer got = drain(src, 777);
+  EXPECT_TRUE(got == data);
+}
+
+// Quantizer clip stats are visible through the decorator.
+TEST(ImpairedSource, ExposesClipStats) {
+  const lora::Params params = test_params();
+  IqBuffer data = random_iq(5000, 5);
+  for (cfloat& v : data) v *= 100.0f;  // everything beyond full_scale=1
+  stream::ImpairedSource src(std::make_unique<VectorSource>(data),
+                             chain({"quantize,bits=8,full_scale=1"}), params,
+                             1);
+  drain(src, 512);
+  EXPECT_EQ(src.clip_stats().total, data.size());
+  EXPECT_GT(src.clip_stats().rate(), 0.9);
+}
+
+// Construction rejects stages that cannot run on a live stream.
+TEST(ImpairedSource, RejectsNonStreamStages) {
+  const lora::Params params = test_params();
+  const auto make = [&](std::initializer_list<const char*> specs) {
+    stream::ImpairedSource src(std::make_unique<VectorSource>(IqBuffer(16)),
+                               chain(specs), params, 1);
+  };
+  EXPECT_THROW(make({"inter_sf,sf=9,pps=2"}), std::invalid_argument);
+  EXPECT_THROW(make({"phase_noise,linewidth_hz=100"}), std::invalid_argument);
+  EXPECT_THROW(make({"doppler,hz=100"}), std::invalid_argument);
+  EXPECT_THROW(make({"quantize,bits=8", "doppler,hz=50"}),
+               std::invalid_argument);
+  EXPECT_NO_THROW(make({"iq_imbalance,gain_db=1", "quantize,bits=8",
+                        "clock_drift,ppm=20"}));
+}
+
+}  // namespace

@@ -6,6 +6,14 @@
 //                      aligntrack+|all]
 //            [--antennas N] [--implicit-len BYTES] [--jobs N]
 //            [--metrics-file FILE] [--wire-format]
+//            [--impair SPEC]... [--impair-seed N]
+//
+// --impair degrades the trace before decoding with receiver-side
+// tnb::impair stages (iq_imbalance, quantize, clock_drift) or injects
+// inter_sf interference, in flag order — the same specs tnb_gen takes.
+// Transmitter-side stages (phase_noise, doppler) need packet boundaries
+// and are rejected here; apply them at synthesis with tnb_gen --impair.
+// --impair-seed (default 1) seeds the chain's own RNG.
 //
 // --wire-format decodes with the gr-lora-sdr wire convention (tnb::wire)
 // instead of the paper frame format — for corpora written by
@@ -19,7 +27,9 @@
 // and summarized after the result table; --metrics-file additionally
 // writes the full Prometheus text snapshot.
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <optional>
@@ -31,6 +41,7 @@
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "dsp/fft_backend.hpp"
+#include "impair/impairment.hpp"
 #include "obs/stage_timer.hpp"
 #include "sim/ground_truth.hpp"
 #include "sim/metrics.hpp"
@@ -49,11 +60,14 @@ namespace {
                "[--jobs N]\n"
                "                [--metrics-file FILE] [--wire-format] "
                "[--fft-backend NAME]\n"
+               "                [--impair SPEC]... [--impair-seed N]\n"
                "schemes: %s, sic, all\n"
                "fft backends: %s (default: TNB_FFT_BACKEND env var, else "
-               "scalar)\n",
+               "scalar)\n"
+               "impair specs (receiver-side): %s\n",
                tnb::base::scheme_cli_list().c_str(),
-               tnb::dsp::fft_backend_names().c_str());
+               tnb::dsp::fft_backend_names().c_str(),
+               tnb::impair::impairment_cli_help().c_str());
   std::exit(2);
 }
 
@@ -76,6 +90,8 @@ int main(int argc, char** argv) {
   int implicit_len = 0;
   bool wire_format = false;
   int jobs = common::default_jobs();
+  std::vector<impair::ImpairmentConfig> impairments;
+  std::uint64_t impair_seed = 1;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -93,6 +109,16 @@ int main(int argc, char** argv) {
     else if (arg == "--implicit-len") implicit_len = std::atoi(value());
     else if (arg == "--wire-format") wire_format = true;
     else if (arg == "--jobs") jobs = std::atoi(value());
+    else if (arg == "--impair") {
+      try {
+        impairments.push_back(impair::parse_impairment(value()));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "tnb_eval: %s\n", e.what());
+        return 2;
+      }
+    }
+    else if (arg == "--impair-seed")
+      impair_seed = std::strtoull(value(), nullptr, 10);
     else if (arg == "--metrics-file") metrics_file = value();
     else if (arg == "--fft-backend") {
       const char* name = value();
@@ -120,6 +146,25 @@ int main(int argc, char** argv) {
         sim::read_trace_i16(in + ".ant" + std::to_string(a) + ".bin"));
   }
   trace.packets = sim::read_ground_truth_csv(in + ".csv");
+
+  if (!impairments.empty()) {
+    try {
+      impair::Pipeline chain(impairments, params, &registry);
+      if (chain.has_per_packet()) {
+        std::fprintf(stderr,
+                     "tnb_eval: phase_noise/doppler are transmitter-side; "
+                     "apply them with tnb_gen --impair\n");
+        return 2;
+      }
+      std::vector<IqBuffer*> antenna_bufs{&trace.iq};
+      for (IqBuffer& a : trace.extra_antennas) antenna_bufs.push_back(&a);
+      Rng impair_rng(impair_seed);
+      chain.apply_trace(antenna_bufs, impair_rng);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "tnb_eval: %s\n", e.what());
+      return 2;
+    }
+  }
   std::printf("trace: %zu samples, %zu ground-truth packets\n",
               trace.iq.size(), trace.packets.size());
 

@@ -5,13 +5,25 @@
 //           [--sf N] [--cr N] [--bw KHZ] [--osf N] [--load PPS]
 //           [--duration S] [--seed N] [--antennas N]
 //           [--channel none|epa|eva|etu] [--channels N] [--implicit]
-//           [--wire-format]
+//           [--wire-format] [--impair SPEC]... [--traffic NAME]
+//           [--duty-cycle FRAC] [--sf-dist LIST]
 //
 // --wire-format encodes every packet with the gr-lora-sdr wire convention
 // (tnb::wire — whitening, CR 4/5..4/8 Hamming, diagonal interleaving,
 // explicit header + CRC16) instead of the paper format; decode the result
 // with tnb_streamd/tnb_eval --wire-format. --bw selects the LoRa bandwidth
 // in kHz (125, 250 or 500; default 125).
+//
+// --impair adds one hardware-impairment stage per flag, applied in flag
+// order inside the synthesizer (tnb::impair): e.g.
+//   --impair phase_noise,linewidth_hz=200 --impair quantize,bits=8
+// Zero-severity stages are dropped, so the output is bit-identical to an
+// unimpaired run. --traffic poisson|bursty|diurnal switches the flat
+// even-split schedule to event arrivals at the same mean load;
+// --duty-cycle caps each node's airtime fraction and --sf-dist (e.g.
+// "7:0.5,8:0.3,9:0.2") assigns nodes an ADR-like SF mix — foreign-SF
+// packets are synthesized as interference but excluded from the ground
+// truth (both imply --traffic poisson when it is absent).
 //
 // Writes PREFIX.bin (antenna 0), PREFIX.ant1.bin... (extra antennas) and
 // PREFIX.csv (ground truth).
@@ -25,11 +37,13 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <optional>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "channel/tdl.hpp"
@@ -50,8 +64,31 @@ namespace {
                "               [--load PPS] [--duration S] [--seed N] "
                "[--antennas N]\n"
                "               [--channel none|epa|eva|etu] [--channels N] "
-               "[--implicit] [--wire-format]\n");
+               "[--implicit] [--wire-format]\n"
+               "               [--impair SPEC]... [--traffic "
+               "poisson|bursty|diurnal] [--duty-cycle FRAC]\n"
+               "               [--sf-dist SF:W,SF:W,...]\n"
+               "impair specs: %s\n",
+               tnb::impair::impairment_cli_help().c_str());
   std::exit(2);
+}
+
+/// Parses an --sf-dist list "7:0.5,8:0.3,9:0.2".
+std::vector<std::pair<unsigned, double>> parse_sf_dist(const char* spec) {
+  std::vector<std::pair<unsigned, double>> weights;
+  for (const char* p = spec; *p != '\0';) {
+    char* end = nullptr;
+    const unsigned long sf = std::strtoul(p, &end, 10);
+    if (end == p || *end != ':') usage();
+    p = end + 1;
+    const double w = std::strtod(p, &end);
+    if (end == p) usage();
+    weights.emplace_back(static_cast<unsigned>(sf), w);
+    p = *end == ',' ? end + 1 : end;
+    if (*end != ',' && *end != '\0') usage();
+  }
+  if (weights.empty()) usage();
+  return weights;
 }
 
 }  // namespace
@@ -65,6 +102,10 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 1;
   unsigned antennas = 1, n_channels = 1;
   bool implicit = false, wire_format = false;
+  std::vector<impair::ImpairmentConfig> impairments;
+  std::optional<sim::TrafficModel> traffic;
+  double duty_cycle = 0.0;
+  std::vector<std::pair<unsigned, double>> sf_dist;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -87,9 +128,38 @@ int main(int argc, char** argv) {
       n_channels = std::strtoul(value(), nullptr, 10);
     else if (arg == "--implicit") implicit = true;
     else if (arg == "--wire-format") wire_format = true;
+    else if (arg == "--impair") {
+      try {
+        impairments.push_back(impair::parse_impairment(value()));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "tnb_gen: %s\n", e.what());
+        return 2;
+      }
+    }
+    else if (arg == "--traffic") {
+      try {
+        traffic = sim::parse_traffic(value());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "tnb_gen: %s\n", e.what());
+        return 2;
+      }
+    }
+    else if (arg == "--duty-cycle") duty_cycle = std::atof(value());
+    else if (arg == "--sf-dist") sf_dist = parse_sf_dist(value());
     else usage();
   }
   if (out.empty()) usage();
+  if (duty_cycle > 0.0 || !sf_dist.empty()) {
+    if (!traffic.has_value()) traffic = sim::parse_traffic("poisson");
+    traffic->duty_cycle = duty_cycle;
+    traffic->sf_weights = sf_dist;
+    try {
+      traffic->validate();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "tnb_gen: %s\n", e.what());
+      return 2;
+    }
+  }
 
   sim::Deployment dep;
   if (deployment == "indoor") dep = sim::indoor_deployment();
@@ -112,6 +182,8 @@ int main(int argc, char** argv) {
   opt.channel = tdl.get();
   opt.n_antennas = antennas;
   opt.implicit_header = implicit;
+  opt.traffic = traffic;
+  opt.impairments = impairments;
   if (wire_format) {
     std::optional<rx::ImplicitHeader> ih;
     if (implicit) {
@@ -179,5 +251,14 @@ int main(int argc, char** argv) {
               dep.name.c_str(), params.sf, params.cr, params.osf, load,
               duration, channel.c_str(),
               static_cast<unsigned long long>(seed));
+  if (traffic.has_value()) {
+    std::printf("traffic=%s duty_cycle=%g foreign_sf_packets=%zu "
+                "duty_dropped=%zu\n",
+                sim::arrivals_name(traffic->arrivals), traffic->duty_cycle,
+                trace.n_foreign, trace.duty_dropped);
+  }
+  for (const impair::ImpairmentConfig& cfg : impairments) {
+    std::printf("impair %s\n", cfg.to_string().c_str());
+  }
   return 0;
 }

@@ -8,6 +8,15 @@
 //               [--realtime] [--drop] [--implicit-len BYTES] [--seed N]
 //               [--quiet] [--wire-format]
 //               [--channels N] [--sfs LIST] [--lanes J] [--taps N]
+//               [--impair SPEC]... [--impair-seed N]
+//
+// --impair degrades the incoming stream before the ring with receiver-side
+// tnb::impair stages (iq_imbalance, quantize, clock_drift), in flag order,
+// state carried across chunks — the same specs tnb_gen takes. Synthesis-
+// side stages (phase_noise, doppler, inter_sf) are rejected; apply those
+// with tnb_gen --impair. --impair-seed (default 1) seeds the chain's RNG.
+// Single-channel only: the wideband composite of --channels N runs at a
+// different rate than the per-channel chain models.
 //
 // --wire-format decodes with the gr-lora-sdr wire convention (tnb::wire)
 // instead of the paper frame format — the counterpart of tnb_gen
@@ -59,9 +68,11 @@
 
 #include "dsp/fft_backend.hpp"
 #include "fleet/fleet.hpp"
+#include "impair/impairment.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "sim/trace_builder.hpp"
+#include "stream/impaired_source.hpp"
 #include "stream/streaming_receiver.hpp"
 #include "wire/wire_codec.hpp"
 
@@ -80,7 +91,10 @@ namespace {
                "                   [--implicit-len BYTES] [--seed N] "
                "[--quiet] [--wire-format]\n"
                "                   [--channels N] [--sfs LIST] [--lanes J] "
-               "[--taps N] [--fft-backend NAME]\n");
+               "[--taps N] [--fft-backend NAME]\n"
+               "                   [--impair SPEC]... [--impair-seed N]\n"
+               "impair specs (receiver-side): %s\n",
+               tnb::impair::impairment_cli_help().c_str());
   std::exit(2);
 }
 
@@ -105,6 +119,8 @@ int main(int argc, char** argv) {
   unsigned n_channels = 1, taps = 1;
   int lanes = 1;
   std::vector<unsigned> fleet_sfs;
+  std::vector<impair::ImpairmentConfig> impairments;
+  std::uint64_t impair_seed = 1;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -148,6 +164,16 @@ int main(int argc, char** argv) {
     }
     else if (arg == "--lanes") lanes = std::atoi(value());
     else if (arg == "--taps") taps = std::strtoul(value(), nullptr, 10);
+    else if (arg == "--impair") {
+      try {
+        impairments.push_back(impair::parse_impairment(value()));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "tnb_streamd: %s\n", e.what());
+        return 2;
+      }
+    }
+    else if (arg == "--impair-seed")
+      impair_seed = std::strtoull(value(), nullptr, 10);
     else if (arg == "--fft-backend") {
       const char* name = value();
       if (!dsp::set_fft_backend(name)) {
@@ -161,6 +187,12 @@ int main(int argc, char** argv) {
   }
   params.validate();
   const bool fleet_mode = n_channels > 1;
+  if (!impairments.empty() && fleet_mode) {
+    std::fprintf(stderr,
+                 "tnb_streamd: --impair is single-channel only (the wideband "
+                 "composite runs at a different sample rate)\n");
+    return 2;
+  }
   if (chunk == 0) chunk = 16 * params.sps() * (fleet_mode ? n_channels : 1);
   if (ring_capacity == 0) ring_capacity = 8 * chunk;
 
@@ -227,6 +259,15 @@ int main(int argc, char** argv) {
   } else {
     source = std::make_unique<stream::FileReplaySource>(
         in, scale, realtime ? in_rate : 0.0);
+  }
+  if (!impairments.empty()) {
+    try {
+      source = std::make_unique<stream::ImpairedSource>(
+          std::move(source), impairments, params, impair_seed, &registry);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "tnb_streamd: %s\n", e.what());
+      return 2;
+    }
   }
 
   stream::IqRing ring(ring_capacity);
